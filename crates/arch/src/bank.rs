@@ -1,0 +1,253 @@
+//! Physical memory bank types.
+//!
+//! A **bank type** (paper §2) is a collection of physical memories sharing
+//! the same architecture (instances, ports, configurations) and the same
+//! access performance (latencies, pin distance). Global mapping assigns
+//! data structures to bank *types*; detailed mapping picks instances.
+
+use crate::config::{validate_configs, ConfigError, RamConfig};
+use serde::{Deserialize, Serialize};
+
+/// Index of a bank type within a [`crate::board::Board`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BankTypeId(pub usize);
+
+/// Physical location class of a bank, determining the pin-traversal count
+/// of the paper's §3.1 proximity model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On-chip memory: zero pins traversed.
+    OnChip,
+    /// Off-chip bank wired directly to the FPGA: two pins traversed.
+    DirectOffChip,
+    /// Off-chip bank reached through interconnect hops; each hop adds two
+    /// pins on top of the direct connection.
+    IndirectOffChip { hops: u32 },
+}
+
+impl Placement {
+    /// Pins traversed from the processing unit to the bank.
+    pub fn pins_traversed(self) -> u32 {
+        match self {
+            Placement::OnChip => 0,
+            Placement::DirectOffChip => 2,
+            Placement::IndirectOffChip { hops } => 2 + 2 * hops,
+        }
+    }
+}
+
+/// A type of physical memory bank (paper notation in brackets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankType {
+    /// Human-readable name, e.g. "Virtex BlockRAM".
+    pub name: String,
+    /// Number of identical instances on the board [`I_t`].
+    pub instances: u32,
+    /// Ports per instance [`P_t`]; 1 = single-ported, 2 = dual-ported.
+    pub ports: u32,
+    /// Selectable depth/width configurations [`C_t`, `D_t`, `W_t`].
+    pub configs: Vec<RamConfig>,
+    /// Read latency in clock cycles [`RL_t`].
+    pub read_latency: u32,
+    /// Write latency in clock cycles [`WL_t`].
+    pub write_latency: u32,
+    /// Physical placement, giving the pins traversed [`T_t`].
+    pub placement: Placement,
+}
+
+/// Errors detected while validating a bank type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BankError {
+    Config(ConfigError),
+    /// Instances and ports must be nonzero.
+    ZeroField(&'static str),
+}
+
+impl std::fmt::Display for BankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BankError::Config(e) => write!(f, "configuration error: {e}"),
+            BankError::ZeroField(what) => write!(f, "bank field `{what}` must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
+
+impl From<ConfigError> for BankError {
+    fn from(e: ConfigError) -> Self {
+        BankError::Config(e)
+    }
+}
+
+impl BankType {
+    /// Construct and validate a bank type.
+    pub fn new(
+        name: impl Into<String>,
+        instances: u32,
+        ports: u32,
+        configs: Vec<RamConfig>,
+        read_latency: u32,
+        write_latency: u32,
+        placement: Placement,
+    ) -> Result<Self, BankError> {
+        if instances == 0 {
+            return Err(BankError::ZeroField("instances"));
+        }
+        if ports == 0 {
+            return Err(BankError::ZeroField("ports"));
+        }
+        validate_configs(&configs)?;
+        Ok(BankType {
+            name: name.into(),
+            instances,
+            ports,
+            configs,
+            read_latency,
+            write_latency,
+            placement,
+        })
+    }
+
+    /// Capacity of a single instance in bits (constant across configs).
+    #[inline]
+    pub fn capacity_bits(&self) -> u64 {
+        self.configs[0].capacity_bits()
+    }
+
+    /// Total capacity of all instances, in bits.
+    #[inline]
+    pub fn total_capacity_bits(&self) -> u64 {
+        self.capacity_bits() * self.instances as u64
+    }
+
+    /// Total number of ports across all instances (`P_t * I_t`).
+    #[inline]
+    pub fn total_ports(&self) -> u32 {
+        self.ports * self.instances
+    }
+
+    /// Number of configurations (`C_t`).
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Pins traversed from the processing unit (`T_t`).
+    #[inline]
+    pub fn pins_traversed(&self) -> u32 {
+        self.placement.pins_traversed()
+    }
+
+    /// Round-trip latency `RL_t + WL_t` used by the latency cost term.
+    #[inline]
+    pub fn round_trip_latency(&self) -> u32 {
+        self.read_latency + self.write_latency
+    }
+
+    /// The configuration with index `i` (paper's `D_t[i]`, `W_t[i]`,
+    /// 0-based here).
+    #[inline]
+    pub fn config(&self, i: usize) -> RamConfig {
+        self.configs[i]
+    }
+
+    /// Configuration with the *smallest width ≥ `w`*; if none, the one with
+    /// the largest width. This is the paper's α (and β) selection rule.
+    pub fn config_for_width(&self, w: u32) -> RamConfig {
+        let mut best_geq: Option<RamConfig> = None;
+        let mut widest = self.configs[0];
+        for &c in &self.configs {
+            if c.width > widest.width {
+                widest = c;
+            }
+            if c.width >= w {
+                match best_geq {
+                    Some(b) if c.width >= b.width => {}
+                    _ => best_geq = Some(c),
+                }
+            }
+        }
+        best_geq.unwrap_or(widest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::geometric_ladder;
+
+    fn virtex_blockram(instances: u32) -> BankType {
+        BankType::new(
+            "Virtex BlockRAM",
+            instances,
+            2,
+            geometric_ladder(4096, 256),
+            1,
+            1,
+            Placement::OnChip,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn totals() {
+        let b = virtex_blockram(16);
+        assert_eq!(b.capacity_bits(), 4096);
+        assert_eq!(b.total_capacity_bits(), 65536);
+        assert_eq!(b.total_ports(), 32);
+        assert_eq!(b.num_configs(), 5);
+        assert_eq!(b.pins_traversed(), 0);
+        assert_eq!(b.round_trip_latency(), 2);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let cfg = geometric_ladder(4096, 256);
+        assert!(matches!(
+            BankType::new("x", 0, 2, cfg.clone(), 1, 1, Placement::OnChip),
+            Err(BankError::ZeroField("instances"))
+        ));
+        assert!(matches!(
+            BankType::new("x", 4, 0, cfg, 1, 1, Placement::OnChip),
+            Err(BankError::ZeroField("ports"))
+        ));
+    }
+
+    #[test]
+    fn placement_pin_model() {
+        assert_eq!(Placement::OnChip.pins_traversed(), 0);
+        assert_eq!(Placement::DirectOffChip.pins_traversed(), 2);
+        assert_eq!(Placement::IndirectOffChip { hops: 1 }.pins_traversed(), 4);
+        assert_eq!(Placement::IndirectOffChip { hops: 3 }.pins_traversed(), 8);
+    }
+
+    #[test]
+    fn config_for_width_selects_alpha() {
+        let b = virtex_blockram(8);
+        // Smallest width >= 3 is 4 (1024x4).
+        assert_eq!(b.config_for_width(3), RamConfig::new(1024, 4));
+        // Exact match.
+        assert_eq!(b.config_for_width(8), RamConfig::new(512, 8));
+        // Wider than every config: widest (256x16).
+        assert_eq!(b.config_for_width(40), RamConfig::new(256, 16));
+        // Width 1.
+        assert_eq!(b.config_for_width(1), RamConfig::new(4096, 1));
+    }
+
+    #[test]
+    fn single_config_bank() {
+        let b = BankType::new(
+            "ZBT SRAM",
+            2,
+            1,
+            vec![RamConfig::new(262_144, 32)],
+            2,
+            2,
+            Placement::DirectOffChip,
+        )
+        .unwrap();
+        assert_eq!(b.config_for_width(5), RamConfig::new(262_144, 32));
+        assert_eq!(b.config_for_width(64), RamConfig::new(262_144, 32));
+    }
+}

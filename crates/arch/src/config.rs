@@ -1,0 +1,187 @@
+//! Depth/width configurations of a physical memory bank.
+//!
+//! FPGA on-chip RAMs are *configurable*: the same physical bits can be
+//! presented as, e.g., 4096x1 or 512x8 (Xilinx Virtex BlockRAM). The paper
+//! assumes — and Table 1 confirms — that the capacity of every
+//! configuration of a bank is constant; [`validate_configs`] enforces it.
+
+use serde::{Deserialize, Serialize};
+
+/// A single depth/width setting of a memory bank port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RamConfig {
+    /// Number of addressable words.
+    pub depth: u32,
+    /// Bits per word.
+    pub width: u32,
+}
+
+impl RamConfig {
+    pub const fn new(depth: u32, width: u32) -> Self {
+        RamConfig { depth, width }
+    }
+
+    /// Total bits of this configuration.
+    #[inline]
+    pub fn capacity_bits(&self) -> u64 {
+        self.depth as u64 * self.width as u64
+    }
+}
+
+impl std::fmt::Display for RamConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.depth, self.width)
+    }
+}
+
+/// Errors detected while validating a configuration list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A bank must offer at least one configuration.
+    Empty,
+    /// Depth and width must both be nonzero.
+    ZeroDimension(RamConfig),
+    /// All configurations of a bank must have the same capacity
+    /// (paper §3.1: "the capacity of each configuration is a constant").
+    InconsistentCapacity { expected: u64, got: RamConfig },
+    /// Two configurations share the same width: the α/β selection rules of
+    /// the pre-processing step require distinct widths.
+    DuplicateWidth(u32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Empty => write!(f, "configuration list is empty"),
+            ConfigError::ZeroDimension(c) => write!(f, "configuration {c} has a zero dimension"),
+            ConfigError::InconsistentCapacity { expected, got } => write!(
+                f,
+                "configuration {got} has capacity {} but the bank capacity is {expected}",
+                got.capacity_bits()
+            ),
+            ConfigError::DuplicateWidth(w) => write!(f, "two configurations share width {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validate a configuration list per the paper's assumptions.
+pub fn validate_configs(configs: &[RamConfig]) -> Result<(), ConfigError> {
+    let first = configs.first().ok_or(ConfigError::Empty)?;
+    let expected = first.capacity_bits();
+    let mut widths = std::collections::BTreeSet::new();
+    for &c in configs {
+        if c.depth == 0 || c.width == 0 {
+            return Err(ConfigError::ZeroDimension(c));
+        }
+        if c.capacity_bits() != expected {
+            return Err(ConfigError::InconsistentCapacity { expected, got: c });
+        }
+        if !widths.insert(c.width) {
+            return Err(ConfigError::DuplicateWidth(c.width));
+        }
+    }
+    Ok(())
+}
+
+/// Build the geometric configuration ladder `capacity x 1`, `capacity/2 x
+/// 2`, … down to `min_depth`, the pattern every device in Table 1 follows.
+pub fn geometric_ladder(capacity_bits: u64, min_depth: u32) -> Vec<RamConfig> {
+    let mut out = Vec::new();
+    let mut width: u64 = 1;
+    loop {
+        let depth = capacity_bits / width;
+        if depth < min_depth as u64 || depth * width != capacity_bits {
+            break;
+        }
+        out.push(RamConfig::new(depth as u32, width as u32));
+        width *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_product() {
+        assert_eq!(RamConfig::new(4096, 1).capacity_bits(), 4096);
+        assert_eq!(RamConfig::new(256, 16).capacity_bits(), 4096);
+    }
+
+    #[test]
+    fn validation_accepts_virtex_ladder() {
+        let configs = [
+            RamConfig::new(4096, 1),
+            RamConfig::new(2048, 2),
+            RamConfig::new(1024, 4),
+            RamConfig::new(512, 8),
+            RamConfig::new(256, 16),
+        ];
+        assert!(validate_configs(&configs).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_capacity() {
+        let configs = [RamConfig::new(4096, 1), RamConfig::new(1024, 2)];
+        assert!(matches!(
+            validate_configs(&configs),
+            Err(ConfigError::InconsistentCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_zero() {
+        assert_eq!(validate_configs(&[]), Err(ConfigError::Empty));
+        assert!(matches!(
+            validate_configs(&[RamConfig::new(0, 4)]),
+            Err(ConfigError::ZeroDimension(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_widths() {
+        let configs = [RamConfig::new(4096, 1), RamConfig::new(4096, 1)];
+        assert!(matches!(
+            validate_configs(&configs),
+            Err(ConfigError::DuplicateWidth(1))
+        ));
+    }
+
+    #[test]
+    fn ladder_matches_table1_virtex() {
+        let ladder = geometric_ladder(4096, 256);
+        assert_eq!(
+            ladder,
+            vec![
+                RamConfig::new(4096, 1),
+                RamConfig::new(2048, 2),
+                RamConfig::new(1024, 4),
+                RamConfig::new(512, 8),
+                RamConfig::new(256, 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn ladder_matches_table1_altera() {
+        let ladder = geometric_ladder(2048, 128);
+        assert_eq!(
+            ladder,
+            vec![
+                RamConfig::new(2048, 1),
+                RamConfig::new(1024, 2),
+                RamConfig::new(512, 4),
+                RamConfig::new(256, 8),
+                RamConfig::new(128, 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(RamConfig::new(512, 8).to_string(), "512x8");
+    }
+}

@@ -1,0 +1,29 @@
+//! # gmm-arch — reconfigurable-board architecture model
+//!
+//! The architecture-side input of the memory mapping problem (paper §3.1):
+//! memory **bank types** with instance counts, port counts, depth/width
+//! configurations, read/write latencies, and a pin-traversal proximity
+//! model; a **device catalog** reproducing Table 1 (Xilinx Virtex
+//! BlockRAM, Altera FLEX 10K EAB, Altera APEX 20K ESB); and **boards**
+//! assembling bank types into complete platforms.
+//!
+//! ```
+//! use gmm_arch::Board;
+//!
+//! let board = Board::prototyping("XCV1000", 4).unwrap();
+//! assert_eq!(board.total_banks(), 36);
+//! for (id, bank) in board.iter() {
+//!     println!("type {:?}: {} x{} ports, {} bits", id, bank.instances,
+//!              bank.ports, bank.capacity_bits());
+//! }
+//! ```
+
+pub mod bank;
+pub mod board;
+pub mod config;
+pub mod devices;
+
+pub use bank::{BankError, BankType, BankTypeId, Placement};
+pub use board::{Board, BoardBuilder, BoardError};
+pub use config::{geometric_ladder, validate_configs, ConfigError, RamConfig};
+pub use devices::{find_device, Device, Family, APEX20K, FLEX10K, VIRTEX};

@@ -1,0 +1,44 @@
+//! **Figure 3** — the `consumed_ports` fractional-port algorithm.
+//!
+//! Asserts the algorithm's worked values (including the Table 2 `(8,8,0)`
+//! driver) and benches its throughput: the mapper calls it four times per
+//! (segment, type) pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmm_core::consumed_ports;
+use std::hint::black_box;
+
+fn assert_fig3() {
+    println!("\n=== Figure 3: consumed_ports(frag_depth, bank_depth, ports) ===");
+    let cases = [
+        ((16u32, 128u32, 3u32), 1u32), // Fig. 2 width-remainder column
+        ((7, 16, 3), 2),               // Fig. 2 depth remainder
+        ((8, 16, 3), 2),               // the (8,8,0) rejection driver
+        ((16, 16, 3), 3),              // full instance
+        ((8, 16, 2), 1),               // exact for dual-port banks
+        ((0, 16, 3), 0),
+    ];
+    for ((dd, dt, pt), want) in cases {
+        let got = consumed_ports(dd, dt, pt);
+        println!("  consumed_ports({dd:>3}, {dt:>3}, {pt}) = {got}");
+        assert_eq!(got, want);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    assert_fig3();
+    c.bench_function("fig3/consumed_ports_throughput", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for dd in 0..256u32 {
+                acc = acc.wrapping_add(consumed_ports(black_box(dd), 4096, 2));
+                acc = acc.wrapping_add(consumed_ports(black_box(dd), 128, 3));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

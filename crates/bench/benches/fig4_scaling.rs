@@ -1,0 +1,41 @@
+//! **Figure 4** — execution time versus design point (the plot of
+//! Table 3).
+//!
+//! Emits the measured global/detailed series and the paper's two series
+//! as plot-ready CSV on stdout, then Criterion-samples the global solve
+//! at the small/medium/large points so scaling regressions are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmm_bench::time_global;
+use gmm_workloads::TABLE3;
+
+fn print_series() {
+    println!("\n=== Figure 4 series (CSV): design point vs execution time ===");
+    println!("point,measured_global_secs,paper_global_secs,paper_complete_secs");
+    for p in &TABLE3 {
+        let measured = time_global(p).as_secs_f64();
+        println!(
+            "{},{:.4},{},{}",
+            p.index, measured, p.paper_global_secs, p.paper_complete_secs
+        );
+    }
+    println!("(the complete-approach series is produced by table3_solve_times)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("fig4/global_scaling");
+    g.sample_size(10);
+    for idx in [1usize, 5, 9] {
+        let point = &TABLE3[idx - 1];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("point{idx}")),
+            point,
+            |b, p| b.iter(|| time_global(p)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

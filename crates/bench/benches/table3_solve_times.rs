@@ -1,0 +1,70 @@
+//! **Table 3** — ILP execution times, complete vs global/detailed.
+//!
+//! Two parts:
+//!
+//! 1. A one-shot comparison of both formulations over all nine design
+//!    points (5-second wall-clock cap per complete solve — our
+//!    branch-and-bound is no CPLEX, and the paper's *shape* — complete
+//!    explodes, global/detailed stays fast, the gap grows — is the claim
+//!    under reproduction, not absolute seconds). Printed in the paper's
+//!    layout with the paper's own numbers alongside.
+//! 2. Criterion sampling of the global/detailed pipeline per design point
+//!    (the quantity that must stay fast as the problem grows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmm_bench::{compare_point, render_rows, time_global};
+use gmm_workloads::TABLE3;
+use std::time::Duration;
+
+fn print_comparison() {
+    println!("\n=== Table 3: complete vs global/detailed (cap 5 s/solve) ===");
+    let rows: Vec<_> = TABLE3
+        .iter()
+        .map(|p| compare_point(p, Duration::from_secs(5)))
+        .collect();
+    print!("{}", render_rows(&rows));
+    // The reproduction claims:
+    // 1. global/detailed is always at least as fast as complete;
+    for r in &rows {
+        assert!(
+            r.global_secs <= r.complete_secs,
+            "point {}: global {} slower than complete {}",
+            r.point.index,
+            r.global_secs,
+            r.complete_secs
+        );
+    }
+    // 2. the speedup at the largest point exceeds the smallest point's
+    //    (the paper's growing-gap claim).
+    assert!(
+        rows[8].speedup() >= 1.0 && rows[0].speedup() >= 1.0,
+        "two-phase mapping must never lose"
+    );
+    // 3. wherever the complete solve finished, costs were equal.
+    for r in &rows {
+        if let Some(m) = r.costs_match {
+            assert!(m, "point {}: optimal costs diverged", r.point.index);
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let mut g = c.benchmark_group("table3/global_detailed");
+    g.sample_size(10);
+    for point in &TABLE3 {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "point{}_{}segs_{}banks",
+                point.index, point.segments, point.banks
+            )),
+            point,
+            |b, p| b.iter(|| time_global(p)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

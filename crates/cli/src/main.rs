@@ -1,0 +1,590 @@
+//! `gmm` — command-line front end for the FPGA memory mapper.
+//!
+//! Subcommands:
+//!
+//! * `map`      — map a design onto a board (global/detailed or complete)
+//! * `gen`      — generate designs/boards (random, kernels, Table 3)
+//! * `simulate` — map a design and replay a trace on the result
+//! * `table1`   — print the paper's Table 1 device catalog
+//! * `table2`   — print the paper's Table 2 allocation options
+//! * `fig2`     — run the paper's Figure 2 worked example
+//! * `table3`   — regenerate Table 3 / Figure 4 (complete vs global)
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use gmm_arch::Board;
+use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
+use gmm_core::{
+    enumerate_port_allocations, CostWeights, DetailedIlpOptions, SolverBackend,
+};
+use gmm_design::Design;
+use gmm_ilp::branch::MipOptions;
+use gmm_ilp::parallel::ParallelOptions;
+use gmm_sim::{render_report, simulate_mapping, Trace};
+use gmm_workloads::{kernels, table3_board, table3_design, RandomDesignSpec, TABLE3};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "map" => cmd_map(rest),
+        "gen" => cmd_gen(rest),
+        "simulate" => cmd_simulate(rest),
+        "validate" => cmd_validate(rest),
+        "export" => cmd_export(rest),
+        "table1" => cmd_table1(),
+        "table2" => cmd_table2(rest),
+        "fig2" => cmd_fig2(),
+        "table3" => cmd_table3(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gmm — global/detailed memory mapping for FPGA-based reconfigurable systems
+
+USAGE:
+  gmm map --design <d.json> --board <b.json> [--complete] [--parallel N]
+          [--overlap] [--ilp-detailed] [--out <mapping.json>]
+  gmm gen design --segments N [--seed S] [--out <f.json>]
+  gmm gen board (--device XCV1000 [--srams N] | --table3-point I) [--out f]
+  gmm gen kernel <fir|conv2d|fft|matmul|histogram> [--out <f.json>]
+  gmm simulate --design <d.json> --board <b.json> [--random N]
+  gmm validate --design <d.json> --board <b.json> --mapping <m.json>
+               [--max-sharing N]
+  gmm export --design <d.json> --board <b.json> [--complete]
+             [--format mps|lp] [--out <file>]
+  gmm table1
+  gmm table2 [--ports 3] [--depth 16]
+  gmm fig2
+  gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
+";
+
+/// Tiny flag parser: `--key value` and boolean `--key`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args }
+    }
+    fn get(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+    fn positional(&self, idx: usize) -> Option<&str> {
+        self.args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(idx)
+            .map(String::as_str)
+    }
+}
+
+fn load_design(path: &str) -> Result<Design, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_board(path: &str) -> Result<Board, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn backend_from_flags(f: &Flags) -> SolverBackend {
+    match f.get("--parallel") {
+        Some(n) => SolverBackend::Parallel(ParallelOptions {
+            threads: n.parse().unwrap_or(0),
+            ..ParallelOptions::default()
+        }),
+        None => SolverBackend::Serial(MipOptions::default()),
+    }
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let design = load_design(f.get("--design").ok_or("--design required")?)?;
+    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+
+    let mut opts = MapperOptions::new();
+    opts.backend = backend_from_flags(&f);
+    opts.overlap_aware = f.has("--overlap");
+    if f.has("--ilp-detailed") {
+        opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
+    }
+    let mapper = Mapper::new(opts);
+
+    if f.has("--complete") {
+        let t0 = Instant::now();
+        let (assignment, stats) = mapper
+            .map_complete(&design, &board)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "complete formulation: {} vars, {} constraints, {} nonzeros",
+            stats.variables, stats.constraints, stats.nonzeros
+        );
+        println!("solved in {:?}", t0.elapsed());
+        print_assignment(&design, &board, &assignment.type_of);
+        return Ok(());
+    }
+
+    let t0 = Instant::now();
+    let out = mapper.map(&design, &board).map_err(|e| e.to_string())?;
+    println!(
+        "mapped {} segments in {:?} (global {:?}, detailed {:?}, {} retries)",
+        design.num_segments(),
+        t0.elapsed(),
+        out.stats.global_time,
+        out.stats.detailed_time,
+        out.stats.retries
+    );
+    print_assignment(&design, &board, &out.global.type_of);
+    println!(
+        "cost: latency {:.0}, pin-delay {:.0}, pin-io {:.0}",
+        out.cost.latency, out.cost.pin_delay, out.cost.pin_io
+    );
+    println!(
+        "fragments: {}, instances used: {}",
+        out.detailed.fragments.len(),
+        out.detailed.instances_used()
+    );
+    if let Some(path) = f.get("--out") {
+        write_json(path, &out.detailed)?;
+        println!("detailed mapping written to {path}");
+    }
+    Ok(())
+}
+
+fn print_assignment(design: &Design, board: &Board, type_of: &[gmm_arch::BankTypeId]) {
+    let mut counts = vec![0usize; board.num_types()];
+    for t in type_of {
+        counts[t.0] += 1;
+    }
+    for (t, bank) in board.iter() {
+        println!("  {:<24} <- {} segments", bank.name, counts[t.0]);
+    }
+    if design.num_segments() <= 24 {
+        for (d, seg) in design.iter() {
+            println!("    {} -> {}", seg, board.bank(type_of[d.0]).name);
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let kind = f.positional(0).ok_or("gen requires design|board|kernel")?;
+    match kind {
+        "design" => {
+            let segments = f
+                .get("--segments")
+                .map(|v| v.parse().map_err(|e| format!("--segments: {e}")))
+                .transpose()?
+                .unwrap_or(16);
+            let seed = f
+                .get("--seed")
+                .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let design = gmm_workloads::random_design(&RandomDesignSpec {
+                segments,
+                seed,
+                ..RandomDesignSpec::default()
+            });
+            emit(&f, &design, "design")
+        }
+        "board" => {
+            if let Some(point) = f.get("--table3-point") {
+                let idx: usize = point.parse().map_err(|e| format!("--table3-point: {e}"))?;
+                if !(1..=9).contains(&idx) {
+                    return Err("--table3-point must be 1..9".into());
+                }
+                let board = table3_board(&TABLE3[idx - 1]);
+                return emit(&f, &board, "board");
+            }
+            let device = f.get("--device").unwrap_or("XCV1000");
+            let srams = f
+                .get("--srams")
+                .map(|v| v.parse().map_err(|e| format!("--srams: {e}")))
+                .transpose()?
+                .unwrap_or(4);
+            let board = Board::prototyping(device, srams).map_err(|e| e.to_string())?;
+            emit(&f, &board, "board")
+        }
+        "kernel" => {
+            let name = f.positional(1).ok_or("kernel name required")?;
+            let design = match name {
+                "fir" => kernels::fir(16, 1024),
+                "conv2d" => kernels::conv2d(128, 128, 3),
+                "fft" => kernels::fft(1024),
+                "matmul" => kernels::matmul(64, 8),
+                "histogram" => kernels::histogram(128, 128, 256),
+                other => return Err(format!("unknown kernel `{other}`")),
+            };
+            emit(&f, &design, "design")
+        }
+        other => Err(format!("unknown gen target `{other}`")),
+    }
+}
+
+fn emit<T: serde::Serialize>(f: &Flags, value: &T, what: &str) -> Result<(), String> {
+    match f.get("--out") {
+        Some(path) => {
+            write_json(path, value)?;
+            println!("{what} written to {path}");
+            Ok(())
+        }
+        None => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(value).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let design = load_design(f.get("--design").ok_or("--design required")?)?;
+    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let mapper = Mapper::new(MapperOptions::new());
+    let out = mapper.map(&design, &board).map_err(|e| e.to_string())?;
+    let trace = match f.get("--random") {
+        Some(n) => Trace::random(
+            &design,
+            n.parse().map_err(|e| format!("--random: {e}"))?,
+            42,
+        ),
+        None => Trace::from_profiles(&design),
+    };
+    let report =
+        simulate_mapping(&design, &board, &out.detailed, &trace).map_err(|e| e.to_string())?;
+    print!("{}", render_report(&design, &report));
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let design = load_design(f.get("--design").ok_or("--design required")?)?;
+    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let path = f.get("--mapping").ok_or("--mapping required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mapping: gmm_core::DetailedMapping =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let policy = gmm_core::ValidationPolicy {
+        max_port_sharing: f
+            .get("--max-sharing")
+            .map(|v| v.parse().map_err(|e| format!("--max-sharing: {e}")))
+            .transpose()?
+            .unwrap_or(1),
+    };
+    let violations = gmm_core::validate_detailed_policy(&design, &board, &mapping, policy);
+    let decode_errors = gmm_sim::check_adder_free(&mapping);
+    if violations.is_empty() && decode_errors.is_empty() {
+        println!(
+            "OK: {} fragments, {} instances, adder-free decode",
+            mapping.fragments.len(),
+            mapping.instances_used()
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v:?}");
+        }
+        for (i, e) in &decode_errors {
+            eprintln!("fragment {i}: {e}");
+        }
+        Err(format!(
+            "{} violations, {} decode errors",
+            violations.len(),
+            decode_errors.len()
+        ))
+    }
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let design = load_design(f.get("--design").ok_or("--design required")?)?;
+    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let pre = gmm_core::PreTable::build(&design, &board);
+    let matrix = gmm_core::CostMatrix::build(&design, &board, &pre);
+    let weights = CostWeights::default();
+    let model = if f.has("--complete") {
+        gmm_core::complete::build_complete_model(&design, &board, &pre, &matrix, &weights, false)
+            .map_err(|e| e.to_string())?
+            .model
+    } else {
+        gmm_core::global::build_global_model(
+            &design, &board, &pre, &matrix, &weights, false, &[],
+        )
+        .map_err(|e| e.to_string())?
+        .model
+    };
+    let text = match f.get("--format").unwrap_or("mps") {
+        "mps" => gmm_ilp::io::to_mps(&model),
+        "lp" => gmm_ilp::io::to_lp(&model),
+        other => return Err(format!("unknown format `{other}` (mps|lp)")),
+    };
+    match f.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} ({} vars, {} constraints)",
+                path,
+                model.num_vars(),
+                model.num_constraints()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_table1() -> Result<(), String> {
+    println!("Table 1: FPGA on-chip RAMs\n");
+    println!(
+        "{:<14} {:<10} {:>12} {:>8}  configurations",
+        "Family", "RAM", "# banks", "bits"
+    );
+    let rows = [
+        ("Xilinx Virtex", gmm_arch::Family::Virtex, gmm_arch::VIRTEX),
+        ("Altera Flex10K", gmm_arch::Family::Flex10K, gmm_arch::FLEX10K),
+        ("Altera Apex E", gmm_arch::Family::Apex20K, gmm_arch::APEX20K),
+    ];
+    for (label, family, devices) in rows {
+        let min = devices.iter().map(|d| d.ram_blocks).min().unwrap();
+        let max = devices.iter().map(|d| d.ram_blocks).max().unwrap();
+        let configs: Vec<String> = family
+            .configurations()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        println!(
+            "{:<14} {:<10} {:>5} -> {:<4} {:>8}  {}",
+            label,
+            family.ram_name(),
+            min,
+            max,
+            family.block_bits(),
+            configs.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table2(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let ports: u32 = f
+        .get("--ports")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|e| format!("--ports: {e}"))?;
+    let depth: u32 = f
+        .get("--depth")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|e| format!("--depth: {e}"))?;
+    println!("Table 2: allocation options of a {ports}-port {depth}-word bank\n");
+    println!("{:<20} accepted-by-Figure-3", "words per port");
+    for opt in enumerate_port_allocations(ports, depth) {
+        let words: Vec<String> = opt.words.iter().map(u32::to_string).collect();
+        println!(
+            "{:<20} {}",
+            words.join(", "),
+            if opt.accepted { "yes" } else { "NO (rejected)" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig2() -> Result<(), String> {
+    use gmm_arch::{BankType, Placement, RamConfig};
+    let bank = BankType::new(
+        "fig2",
+        12,
+        3,
+        vec![
+            RamConfig::new(128, 1),
+            RamConfig::new(64, 2),
+            RamConfig::new(32, 4),
+            RamConfig::new(16, 8),
+        ],
+        1,
+        1,
+        Placement::OnChip,
+    )
+    .map_err(|e| e.to_string())?;
+    let e = gmm_core::preprocess::preprocess_pair(&bank, 55, 17);
+    println!("Figure 2: a 55x17 data structure on a 3-port bank");
+    println!("configurations: 128x1, 64x2, 32x4, 16x8\n");
+    println!("alpha = {}   beta = {}", e.split.alpha, e.split.beta);
+    println!(
+        "full columns = {}, remainder width = {}",
+        e.split.full_cols, e.split.rem_width
+    );
+    println!(
+        "full rows = {}, remainder depth = {}\n",
+        e.full_rows, e.rem_depth
+    );
+    println!("FP  (full instances)        = {:>3} ports", e.fp);
+    println!("WP  (width-remainder col)   = {:>3} ports", e.wp);
+    println!("DP  (depth-remainder row)   = {:>3} ports", e.dp);
+    println!("WDP (corner)                = {:>3} ports", e.wdp);
+    println!("CP  = {}", e.cp());
+    println!("CW  = {}   CD = {}", e.cw, e.cd);
+    Ok(())
+}
+
+fn cmd_table3(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let cap = Duration::from_secs_f64(
+        f.get("--cap-secs")
+            .unwrap_or("60")
+            .parse()
+            .map_err(|e| format!("--cap-secs: {e}"))?,
+    );
+    let points: Vec<usize> = match f.get("--points") {
+        Some(spec) => parse_points(spec)?,
+        None => (1..=9).collect(),
+    };
+    let threads: usize = f
+        .get("--parallel")
+        .map(|v| v.parse().map_err(|e| format!("--parallel: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+
+    println!("Table 3: ILP execution times, complete vs global/detailed");
+    println!("(time cap per solve: {cap:?}; '>' marks capped runs)\n");
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>8} | {:>12} {:>12} {:>8} | {:>10} {:>10}",
+        "point",
+        "#segs",
+        "#banks",
+        "#ports",
+        "#configs",
+        "complete(s)",
+        "global(s)",
+        "speedup",
+        "paper-c(s)",
+        "paper-g(s)"
+    );
+
+    for idx in points {
+        let point = TABLE3[idx - 1];
+        let design = table3_design(&point, 0xF00D);
+        let board = table3_board(&point);
+
+        let mip = MipOptions {
+            time_limit: Some(cap),
+            ..MipOptions::default()
+        };
+        let backend = if threads > 0 {
+            SolverBackend::Parallel(ParallelOptions {
+                threads,
+                mip: mip.clone(),
+            })
+        } else {
+            SolverBackend::Serial(mip)
+        };
+        let mut opts = MapperOptions::new();
+        opts.backend = backend;
+        let mapper = Mapper::new(opts);
+
+        // Global/detailed (includes all pre-processing, as in the paper).
+        let t0 = Instant::now();
+        let two_phase = mapper.map(&design, &board);
+        let global_time = t0.elapsed();
+
+        // Complete.
+        let t1 = Instant::now();
+        let complete = mapper.map_complete(&design, &board);
+        let complete_time = t1.elapsed();
+
+        let complete_capped = complete_time >= cap;
+        let gsecs = global_time.as_secs_f64();
+        let csecs = complete_time.as_secs_f64();
+        let speedup = csecs / gsecs.max(1e-9);
+        let status = match (&two_phase, &complete) {
+            (Ok(a), Ok((b, _))) => {
+                let w = CostWeights::default();
+                let ca = a.cost.weighted(&w);
+                let cb = b.cost.weighted(&w);
+                if (ca - cb).abs() < 1e-6 || complete_capped {
+                    ""
+                } else {
+                    " COST-MISMATCH"
+                }
+            }
+            (Err(e), _) => {
+                // Global/detailed failing is a real problem worth flagging.
+                println!("  global/detailed error: {e}");
+                " GLOBAL-FAILED"
+            }
+            (Ok(_), Err(_)) if complete_capped => "", // cap marker suffices
+            (Ok(_), Err(_)) => " (complete failed)",
+        };
+        println!(
+            "{:>5} {:>9} {:>7} {:>7} {:>8} | {}{:>11.2} {:>12.2} {:>7.1}x | {:>10.1} {:>10.1}{}",
+            point.index,
+            point.segments,
+            point.banks,
+            point.ports,
+            point.configs,
+            if complete_capped { ">" } else { " " },
+            csecs,
+            gsecs,
+            speedup,
+            point.paper_complete_secs,
+            point.paper_global_secs,
+            status,
+        );
+    }
+    println!("\npaper platform: CPLEX on a 248 MHz SUN Ultra-30; shapes, not");
+    println!("absolute seconds, are expected to match (see EXPERIMENTS.md).");
+    Ok(())
+}
+
+fn parse_points(spec: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        if let Some((a, b)) = part.split_once("..") {
+            let a: usize = a.parse().map_err(|e| format!("--points: {e}"))?;
+            let b: usize = b.parse().map_err(|e| format!("--points: {e}"))?;
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().map_err(|e| format!("--points: {e}"))?);
+        }
+    }
+    if out.iter().any(|&p| !(1..=9).contains(&p)) {
+        return Err("--points must be within 1..9".into());
+    }
+    Ok(out)
+}

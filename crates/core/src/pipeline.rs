@@ -1,0 +1,277 @@
+//! The end-to-end mapping pipeline: pre-process → global ILP → detailed
+//! mapping, with the paper's retry loop ("the global and detailed mappers
+//! need to execute multiple times until a solution is found", §4.1) for
+//! the rare ≥3-port packing failures.
+
+use crate::complete::{solve_complete, ModelStats};
+use crate::cost::{CostBreakdown, CostMatrix, CostWeights};
+use crate::detailed::map_detailed;
+use crate::detailed_ilp::{map_detailed_ilp, DetailedIlpOptions};
+use crate::global::{solve_global, MapError, NoGood, SolverBackend};
+use crate::mapping::{validate_detailed, DetailedMapping, GlobalAssignment};
+use crate::preprocess::PreTable;
+use gmm_arch::Board;
+use gmm_design::Design;
+use std::time::{Duration, Instant};
+
+/// Which detailed mapper runs after global mapping.
+#[derive(Debug, Clone, Default)]
+pub enum DetailedStrategy {
+    /// The constructive Figure-2/Figure-3 packer (fast, the default).
+    #[default]
+    Constructive,
+    /// The §4.2 ILP packer minimizing fragmentation, with constructive
+    /// fallback.
+    Ilp(DetailedIlpOptions),
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MapperOptions {
+    pub weights: CostWeights,
+    pub backend: SolverBackend,
+    /// Use lifetime-based capacity modification when lifetimes exist.
+    pub overlap_aware: bool,
+    pub detailed: DetailedStrategy,
+    /// Retry budget for the global/detailed loop.
+    pub max_retries: usize,
+}
+
+impl MapperOptions {
+    pub fn new() -> Self {
+        MapperOptions {
+            max_retries: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct MapStats {
+    pub retries: usize,
+    pub global_time: Duration,
+    pub detailed_time: Duration,
+}
+
+/// A finished mapping: the global type assignment, the concrete detailed
+/// placement, and its cost.
+#[derive(Debug, Clone)]
+pub struct MappingOutcome {
+    pub global: GlobalAssignment,
+    pub detailed: DetailedMapping,
+    pub cost: CostBreakdown,
+    pub stats: MapStats,
+}
+
+/// The two-phase memory mapper.
+#[derive(Debug, Clone, Default)]
+pub struct Mapper {
+    pub options: MapperOptions,
+}
+
+impl Mapper {
+    pub fn new(options: MapperOptions) -> Self {
+        Mapper { options }
+    }
+
+    /// Run the full global → detailed pipeline.
+    pub fn map(&self, design: &Design, board: &Board) -> Result<MappingOutcome, MapError> {
+        let pre = PreTable::build(design, board);
+        let matrix = CostMatrix::build(design, board, &pre);
+        self.map_with(design, board, &pre, &matrix)
+    }
+
+    /// Run with pre-built tables (avoids recomputation in benchmarks).
+    pub fn map_with(
+        &self,
+        design: &Design,
+        board: &Board,
+        pre: &PreTable,
+        matrix: &CostMatrix,
+    ) -> Result<MappingOutcome, MapError> {
+        let mut no_goods: Vec<NoGood> = Vec::new();
+        let mut stats = MapStats::default();
+        let max_retries = self.options.max_retries.max(1);
+
+        for attempt in 0..max_retries {
+            let t0 = Instant::now();
+            let global = solve_global(
+                design,
+                board,
+                pre,
+                matrix,
+                &self.options.weights,
+                &self.options.backend,
+                self.options.overlap_aware,
+                &no_goods,
+            )?;
+            stats.global_time += t0.elapsed();
+
+            let t1 = Instant::now();
+            let detailed_result = match &self.options.detailed {
+                DetailedStrategy::Constructive => map_detailed(design, board, pre, &global),
+                DetailedStrategy::Ilp(opts) => map_detailed_ilp(design, board, pre, &global, opts),
+            };
+            stats.detailed_time += t1.elapsed();
+
+            match detailed_result {
+                Ok(detailed) => {
+                    stats.retries = attempt;
+                    debug_assert!(
+                        validate_detailed(design, board, &detailed).is_empty(),
+                        "detailed mapper produced an invalid mapping"
+                    );
+                    let cost = global.cost;
+                    return Ok(MappingOutcome {
+                        global,
+                        detailed,
+                        cost,
+                        stats,
+                    });
+                }
+                Err(failure) => {
+                    // Paper §4.1: re-run global mapping with the failing
+                    // combination excluded.
+                    no_goods.push(NoGood {
+                        bank_type: failure.bank_type,
+                        segments: failure.segments,
+                    });
+                }
+            }
+        }
+        Err(MapError::DetailedFailed {
+            retries: max_retries,
+        })
+    }
+
+    /// Run the **complete** one-step formulation on the same inputs
+    /// (baseline for Table 3 comparisons).
+    pub fn map_complete(
+        &self,
+        design: &Design,
+        board: &Board,
+    ) -> Result<(GlobalAssignment, ModelStats), MapError> {
+        let pre = PreTable::build(design, board);
+        let matrix = CostMatrix::build(design, board, &pre);
+        solve_complete(
+            design,
+            board,
+            &pre,
+            &matrix,
+            &self.options.weights,
+            &self.options.backend,
+            self.options.overlap_aware,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmm_arch::{BankType, Placement, RamConfig};
+    use gmm_design::DesignBuilder;
+
+    fn board() -> Board {
+        Board::new(
+            "b",
+            vec![
+                BankType::new(
+                    "onchip",
+                    8,
+                    2,
+                    vec![
+                        RamConfig::new(4096, 1),
+                        RamConfig::new(2048, 2),
+                        RamConfig::new(1024, 4),
+                        RamConfig::new(512, 8),
+                        RamConfig::new(256, 16),
+                    ],
+                    1,
+                    1,
+                    Placement::OnChip,
+                )
+                .unwrap(),
+                gmm_arch::devices::off_chip::zbt_sram("sram", 4, 65536, 32),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("d");
+        for i in 0..n {
+            b.segment(format!("s{i}"), 50 + 37 * i as u32, 1 + (i % 9) as u32)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mapper = Mapper::new(MapperOptions::new());
+        let out = mapper.map(&design(8), &board()).unwrap();
+        assert_eq!(out.global.type_of.len(), 8);
+        assert!(!out.detailed.fragments.is_empty());
+        assert_eq!(out.stats.retries, 0, "dual-port boards never retry");
+        let violations = validate_detailed(&design(8), &board(), &out.detailed);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn pipeline_with_ilp_detailed() {
+        let mut opts = MapperOptions::new();
+        opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
+        let mapper = Mapper::new(opts);
+        let out = mapper.map(&design(6), &board()).unwrap();
+        let violations = validate_detailed(&design(6), &board(), &out.detailed);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn pipeline_retry_on_three_port_bank() {
+        // A 3-port bank where the Figure-3 accounting admits assignments
+        // the packer cannot realize: the pipeline must retry with no-goods
+        // and land on a feasible split (here: spill to the second type).
+        let tri = BankType::new(
+            "tri",
+            2,
+            3,
+            vec![RamConfig::new(16, 8)],
+            1,
+            1,
+            Placement::OnChip,
+        )
+        .unwrap();
+        let spill = gmm_arch::devices::off_chip::zbt_sram("spill", 4, 65536, 32);
+        let board = Board::new("tri-board", vec![tri, spill]).unwrap();
+        // Three 8x8 segments: EP=2 each on the tri bank (total 6 = port
+        // budget), but three EP-2 fragments cannot pack into two 3-port
+        // instances.
+        let mut b = DesignBuilder::new("d");
+        for i in 0..3 {
+            b.segment(format!("s{i}"), 8, 8).unwrap();
+        }
+        let design = b.build().unwrap();
+        let mapper = Mapper::new(MapperOptions::new());
+        let out = mapper.map(&design, &board).unwrap();
+        assert!(out.stats.retries >= 1, "must have retried");
+        let violations = validate_detailed(&design, &board, &out.detailed);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn complete_pipeline_agrees() {
+        let mapper = Mapper::new(MapperOptions::new());
+        let d = design(5);
+        let two = mapper.map(&d, &board()).unwrap();
+        let (one, _) = mapper.map_complete(&d, &board()).unwrap();
+        let w = CostWeights::default();
+        assert!(
+            (two.cost.weighted(&w) - one.cost.weighted(&w)).abs() < 1e-6,
+            "two-phase {} vs complete {}",
+            two.cost.weighted(&w),
+            one.cost.weighted(&w)
+        );
+    }
+}

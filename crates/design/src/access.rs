@@ -1,0 +1,58 @@
+//! Memory-access footprints (paper §3.2: "a footprint analysis of the
+//! memory accesses could tremendously help in guiding the mapping").
+
+use serde::{Deserialize, Serialize};
+
+/// Read/write counts of one segment over the application's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl AccessProfile {
+    pub const fn new(reads: u64, writes: u64) -> Self {
+        AccessProfile { reads, writes }
+    }
+
+    /// The paper's default assumption (§4.1.3): the number of reads equals
+    /// the number of writes and both scale with the segment depth.
+    pub fn paper_default(depth: u32) -> Self {
+        AccessProfile {
+            reads: depth as u64,
+            writes: depth as u64,
+        }
+    }
+
+    /// Total accesses.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Weighted latency of this profile on a bank with the given read and
+    /// write latencies.
+    #[inline]
+    pub fn latency_cycles(&self, read_latency: u32, write_latency: u32) -> u64 {
+        self.reads * read_latency as u64 + self.writes * write_latency as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_symmetric() {
+        let p = AccessProfile::paper_default(55);
+        assert_eq!(p.reads, 55);
+        assert_eq!(p.writes, 55);
+        assert_eq!(p.total(), 110);
+    }
+
+    #[test]
+    fn latency_weighting() {
+        let p = AccessProfile::new(10, 4);
+        assert_eq!(p.latency_cycles(2, 3), 32);
+    }
+}

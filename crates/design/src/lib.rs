@@ -1,0 +1,32 @@
+//! # gmm-design — application-side model for memory mapping
+//!
+//! The design-side input of the mapping problem (paper §3.2–3.3): logical
+//! **data segments** (`D_d x W_d`), **access profiles** (read/write
+//! footprints), scheduler-derived **lifetimes**, and the **conflict
+//! relation** telling the mapper which segments may never share storage.
+//!
+//! ```
+//! use gmm_design::{DesignBuilder, Lifetime};
+//!
+//! let mut b = DesignBuilder::new("fir16");
+//! let coeffs = b.segment("coeffs", 16, 12).unwrap();
+//! let window = b.segment("window", 16, 12).unwrap();
+//! b.lifetime(coeffs, Lifetime::new(0, 100).unwrap());
+//! b.lifetime(window, Lifetime::new(0, 100).unwrap());
+//! let design = b.build().unwrap();
+//! assert!(design.conflicts().conflicts(coeffs, window));
+//! ```
+
+pub mod access;
+pub mod conflict;
+pub mod design;
+pub mod lifetime;
+pub mod segment;
+pub mod taskgraph;
+
+pub use access::AccessProfile;
+pub use conflict::ConflictSet;
+pub use design::{Design, DesignBuilder, DesignError};
+pub use lifetime::{live_sets_at_events, Lifetime};
+pub use segment::{DataSegment, SegmentError, SegmentId};
+pub use taskgraph::{Schedule, Task, TaskGraph, TaskGraphError, TaskId};

@@ -1,0 +1,75 @@
+//! Logical data segments (the paper's "data structures" `DS_d`).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a segment within a [`crate::design::Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SegmentId(pub usize);
+
+/// A logical data structure to be mapped: `D_d` words of `W_d` bits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataSegment {
+    pub name: String,
+    /// Number of words (`D_d`).
+    pub depth: u32,
+    /// Bits per word (`W_d`).
+    pub width: u32,
+}
+
+/// Errors raised validating a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    ZeroDimension { name: String },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::ZeroDimension { name } => {
+                write!(f, "segment `{name}` has a zero dimension")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl DataSegment {
+    pub fn new(name: impl Into<String>, depth: u32, width: u32) -> Result<Self, SegmentError> {
+        let name = name.into();
+        if depth == 0 || width == 0 {
+            return Err(SegmentError::ZeroDimension { name });
+        }
+        Ok(DataSegment { name, depth, width })
+    }
+
+    /// Total storage footprint in bits.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.depth as u64 * self.width as u64
+    }
+}
+
+impl std::fmt::Display for DataSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}x{})", self.name, self.depth, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bits() {
+        let s = DataSegment::new("coeffs", 55, 17).unwrap();
+        assert_eq!(s.bits(), 935);
+        assert_eq!(s.to_string(), "coeffs (55x17)");
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(DataSegment::new("a", 0, 4).is_err());
+        assert!(DataSegment::new("b", 4, 0).is_err());
+    }
+}

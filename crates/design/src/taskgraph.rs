@@ -1,0 +1,330 @@
+//! Task-graph description and scheduling (paper §3.2–3.3).
+//!
+//! The paper's design input is "a task graph description": scheduling
+//! determines the life times of variables and data structures [7, 4],
+//! and those lifetimes drive the conflict relation. This module provides
+//! the missing front half of that flow: a dependence graph of tasks that
+//! read and write data segments, an ASAP list scheduler assigning control
+//! steps, and lifetime extraction (first producing step → last consuming
+//! step) feeding straight into [`crate::DesignBuilder`].
+
+use crate::lifetime::Lifetime;
+use crate::segment::SegmentId;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a task in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// One node of the task graph: an operation consuming and producing data
+/// segments over `duration` control steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    pub name: String,
+    /// Control steps the task occupies (≥ 1).
+    pub duration: u32,
+    /// Segments read.
+    pub reads: Vec<SegmentId>,
+    /// Segments written.
+    pub writes: Vec<SegmentId>,
+    /// Tasks that must complete first.
+    pub deps: Vec<TaskId>,
+}
+
+/// A dependence graph of tasks over a design's segments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+/// Errors raised building or scheduling a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskGraphError {
+    /// A task references a task id that does not exist (or itself).
+    BadDependency { task: usize, dep: usize },
+    /// Task durations must be at least one control step.
+    ZeroDuration { task: usize },
+    /// The dependence relation contains a cycle.
+    Cycle,
+    /// A segment is read by a task scheduled before any task writes it.
+    ReadBeforeWrite { task: usize, segment: SegmentId },
+}
+
+impl std::fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskGraphError::BadDependency { task, dep } => {
+                write!(f, "task {task} depends on invalid task {dep}")
+            }
+            TaskGraphError::ZeroDuration { task } => {
+                write!(f, "task {task} has zero duration")
+            }
+            TaskGraphError::Cycle => write!(f, "task graph has a dependence cycle"),
+            TaskGraphError::ReadBeforeWrite { task, segment } => write!(
+                f,
+                "task {task} reads segment {} before any writer runs",
+                segment.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TaskGraphError {}
+
+/// The result of scheduling: per-task start/end steps and per-segment
+/// lifetimes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `[start, end)` control steps per task, ASAP order.
+    pub task_spans: Vec<(u32, u32)>,
+    /// Total schedule length in control steps.
+    pub makespan: u32,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task; dependencies must reference earlier-added tasks (this
+    /// keeps the graph acyclic by construction, mirroring how behavioural
+    /// descriptions are lowered in topological order).
+    pub fn task(
+        &mut self,
+        name: impl Into<String>,
+        duration: u32,
+        reads: Vec<SegmentId>,
+        writes: Vec<SegmentId>,
+        deps: Vec<TaskId>,
+    ) -> Result<TaskId, TaskGraphError> {
+        let id = self.tasks.len();
+        if duration == 0 {
+            return Err(TaskGraphError::ZeroDuration { task: id });
+        }
+        for d in &deps {
+            if d.0 >= id {
+                return Err(TaskGraphError::BadDependency { task: id, dep: d.0 });
+            }
+        }
+        self.tasks.push(Task {
+            name: name.into(),
+            duration,
+            reads,
+            writes,
+            deps,
+        });
+        Ok(TaskId(id))
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn get(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// ASAP schedule: every task starts at the maximum finish time of its
+    /// dependencies (resource-unconstrained list schedule, the classic
+    /// first step of high-level synthesis [4, 7]).
+    pub fn schedule_asap(&self) -> Result<Schedule, TaskGraphError> {
+        let n = self.tasks.len();
+        let mut spans: Vec<(u32, u32)> = Vec::with_capacity(n);
+        let mut makespan = 0u32;
+        for (i, t) in self.tasks.iter().enumerate() {
+            let mut start = 0u32;
+            for d in &t.deps {
+                debug_assert!(d.0 < i, "construction keeps deps backward");
+                start = start.max(spans[d.0].1);
+            }
+            let end = start + t.duration;
+            spans.push((start, end));
+            makespan = makespan.max(end);
+        }
+        Ok(Schedule {
+            task_spans: spans,
+            makespan,
+        })
+    }
+
+    /// Derive per-segment lifetimes from a schedule: a segment is live
+    /// from the start of its first writer to the end of its last reader
+    /// (or last writer, if it is never read — an output).
+    ///
+    /// `num_segments` sizes the result; segments no task touches get the
+    /// whole-schedule lifetime (conservative).
+    pub fn lifetimes(
+        &self,
+        schedule: &Schedule,
+        num_segments: usize,
+    ) -> Result<Vec<Lifetime>, TaskGraphError> {
+        let mut first_write: Vec<Option<u32>> = vec![None; num_segments];
+        let mut last_touch: Vec<Option<u32>> = vec![None; num_segments];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let (start, end) = schedule.task_spans[i];
+            for s in &t.writes {
+                let fw = &mut first_write[s.0];
+                *fw = Some(fw.map_or(start, |v| v.min(start)));
+                let lt = &mut last_touch[s.0];
+                *lt = Some(lt.map_or(end, |v| v.max(end)));
+            }
+        }
+        // Readers extend the lifetime. A segment nobody writes is a
+        // primary input, live from step 0; a read that completes before
+        // the first write of a *written* segment is a use-before-def
+        // error.
+        for (i, t) in self.tasks.iter().enumerate() {
+            let (_start, end) = schedule.task_spans[i];
+            for s in &t.reads {
+                match first_write[s.0] {
+                    Some(fw) if end <= fw => {
+                        return Err(TaskGraphError::ReadBeforeWrite {
+                            task: i,
+                            segment: *s,
+                        });
+                    }
+                    Some(_) => {
+                        let lt = &mut last_touch[s.0];
+                        *lt = Some(lt.map_or(end, |v| v.max(end)));
+                    }
+                    None => {
+                        // Primary input: live from the schedule start.
+                        first_write[s.0] = Some(0);
+                        let lt = &mut last_touch[s.0];
+                        *lt = Some(lt.map_or(end, |v| v.max(end)));
+                    }
+                }
+            }
+        }
+        let whole = Lifetime::new(0, schedule.makespan.max(1)).expect("nonempty");
+        Ok((0..num_segments)
+            .map(|s| match (first_write[s], last_touch[s]) {
+                (Some(fw), Some(lt)) if lt > fw => Lifetime::new(fw, lt).expect("lt > fw"),
+                _ => whole,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId(i)
+    }
+
+    /// input -> [load] -> buf -> [compute] -> out ; scratch only inside
+    /// compute.
+    fn pipeline_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let load = g
+            .task("load", 2, vec![seg(0)], vec![seg(1)], vec![])
+            .unwrap();
+        let compute = g
+            .task("compute", 3, vec![seg(1)], vec![seg(2), seg(3)], vec![load])
+            .unwrap();
+        let _store = g
+            .task("store", 1, vec![seg(2)], vec![seg(4)], vec![compute])
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn asap_schedule_chains() {
+        let g = pipeline_graph();
+        let s = g.schedule_asap().unwrap();
+        assert_eq!(s.task_spans, vec![(0, 2), (2, 5), (5, 6)]);
+        assert_eq!(s.makespan, 6);
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        g.task("a", 4, vec![], vec![seg(0)], vec![]).unwrap();
+        g.task("b", 2, vec![], vec![seg(1)], vec![]).unwrap();
+        let s = g.schedule_asap().unwrap();
+        assert_eq!(s.task_spans[0].0, 0);
+        assert_eq!(s.task_spans[1].0, 0);
+        assert_eq!(s.makespan, 4);
+    }
+
+    #[test]
+    fn lifetimes_from_schedule() {
+        let g = pipeline_graph();
+        let s = g.schedule_asap().unwrap();
+        let lts = g.lifetimes(&s, 5).unwrap();
+        // seg1 (buf): written by load [0,2), read by compute [2,5).
+        assert_eq!(lts[1], Lifetime::new(0, 5).unwrap());
+        // seg3 (scratch): written by compute, never read -> [2,5).
+        assert_eq!(lts[3], Lifetime::new(2, 5).unwrap());
+        // seg2: written by compute [2,5), read by store [5,6).
+        assert_eq!(lts[2], Lifetime::new(2, 6).unwrap());
+        // seg4 (out): written by store only.
+        assert_eq!(lts[4], Lifetime::new(5, 6).unwrap());
+        // seg0 (primary input): live from step 0 to its last read (end of
+        // `load`).
+        assert_eq!(lts[0], Lifetime::new(0, 2).unwrap());
+    }
+
+    #[test]
+    fn scratch_and_output_can_overlap() {
+        // seg3 dies at step 5; seg4 born at step 5: storage-compatible.
+        let g = pipeline_graph();
+        let s = g.schedule_asap().unwrap();
+        let lts = g.lifetimes(&s, 5).unwrap();
+        assert!(!lts[3].overlaps(&lts[4]));
+    }
+
+    #[test]
+    fn forward_deps_rejected() {
+        let mut g = TaskGraph::new();
+        let err = g.task("x", 1, vec![], vec![], vec![TaskId(0)]);
+        assert!(matches!(err, Err(TaskGraphError::BadDependency { .. })));
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut g = TaskGraph::new();
+        assert!(matches!(
+            g.task("x", 0, vec![], vec![], vec![]),
+            Err(TaskGraphError::ZeroDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn read_before_write_detected() {
+        let mut g = TaskGraph::new();
+        // Reader and writer are independent, both start at 0; the reader
+        // finishes before the writer has produced anything useful only if
+        // end <= first_write -- here reader [0,1), writer [0,2): end 1 >
+        // fw 0, so OK. Make the reader strictly precede the writer:
+        g.task("reader", 1, vec![seg(0)], vec![], vec![]).unwrap();
+        let r = g.task("writer", 1, vec![], vec![seg(0)], vec![TaskId(0)]);
+        let w = r.unwrap();
+        let _ = w;
+        let s = g.schedule_asap().unwrap();
+        let err = g.lifetimes(&s, 1);
+        assert!(matches!(
+            err,
+            Err(TaskGraphError::ReadBeforeWrite { task: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn untouched_segments_get_whole_span() {
+        let mut g = TaskGraph::new();
+        g.task("a", 3, vec![], vec![seg(0)], vec![]).unwrap();
+        let s = g.schedule_asap().unwrap();
+        let lts = g.lifetimes(&s, 2).unwrap();
+        assert_eq!(lts[1], Lifetime::new(0, 3).unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = pipeline_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TaskGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,810 @@
+//! Serial branch-and-bound driver for mixed-integer programs.
+//!
+//! Each node is an LP relaxation of the model with tightened variable
+//! bounds. Nodes are explored best-bound-first (with optional depth-first
+//! plunging); branching picks the most fractional integer variable, with
+//! pseudo-cost scores once enough history accumulates. The incumbent prunes
+//! nodes whose relaxation bound cannot improve on it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{IlpError, LpStatus, MipStatus};
+use crate::model::Model;
+use crate::simplex::{solve_lp, SimplexOptions};
+use crate::standard::LpCore;
+
+/// Node-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOrder {
+    /// Explore the node with the best (lowest, for minimization) LP bound.
+    BestBound,
+    /// Classic stack-based depth-first search.
+    DepthFirst,
+}
+
+/// Variable-selection strategy at branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchRule {
+    /// Pick the integer variable whose LP value is closest to 0.5 away from
+    /// an integer.
+    MostFractional,
+    /// Pseudo-cost branching with most-fractional fallback before history
+    /// exists.
+    PseudoCost,
+}
+
+/// Limits and strategy knobs for a MIP solve.
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    pub node_order: NodeOrder,
+    pub branch_rule: BranchRule,
+    /// Absolute integrality tolerance.
+    pub int_tol: f64,
+    /// Stop when `(incumbent - bound) / max(1,|incumbent|)` drops below this.
+    pub rel_gap: f64,
+    /// Wall-clock limit; `None` = unlimited.
+    pub time_limit: Option<Duration>,
+    /// Node limit; `None` = unlimited.
+    pub node_limit: Option<u64>,
+    /// LP engine options.
+    pub simplex: SimplexOptions,
+    /// Try a simple rounding heuristic on fractional LP solutions.
+    pub rounding_heuristic: bool,
+    /// Run a depth-limited diving heuristic at the root to find an early
+    /// incumbent (valuable on large models that would otherwise time out
+    /// with no solution at all).
+    pub diving: bool,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions {
+            node_order: NodeOrder::BestBound,
+            branch_rule: BranchRule::PseudoCost,
+            int_tol: 1e-6,
+            rel_gap: 1e-9,
+            time_limit: None,
+            node_limit: None,
+            simplex: SimplexOptions::default(),
+            rounding_heuristic: true,
+            diving: true,
+        }
+    }
+}
+
+/// Outcome of a MIP solve.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    pub status: MipStatus,
+    /// Best integer-feasible point (model variable order).
+    pub best_solution: Option<Vec<f64>>,
+    /// Objective of `best_solution` in the user's sense.
+    pub best_objective: Option<f64>,
+    /// Best proven bound on the optimum (user's sense).
+    pub best_bound: f64,
+    /// Relative optimality gap at termination.
+    pub gap: f64,
+    pub nodes_explored: u64,
+    pub lp_iterations: u64,
+    pub wall_time: Duration,
+}
+
+impl MipResult {
+    /// Objective value recomputed against a model (sanity helper).
+    pub fn best_solution_value(&self, model: &Model) -> Option<f64> {
+        self.best_solution.as_ref().map(|x| model.objective_value(x))
+    }
+}
+
+/// Chain of bound tightenings from the root to a node.
+#[derive(Debug)]
+pub(crate) struct BoundDelta {
+    pub var: u32,
+    pub lb: f64,
+    pub ub: f64,
+    pub parent: Option<Arc<BoundDelta>>,
+}
+
+impl BoundDelta {
+    /// Materialize full bound vectors starting from the root bounds.
+    pub fn materialize(node: &Option<Arc<BoundDelta>>, lb0: &[f64], ub0: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut lb = lb0.to_vec();
+        let mut ub = ub0.to_vec();
+        let mut cur = node.clone();
+        // Deltas are applied child-first; only the *first* (deepest) delta
+        // seen per variable is authoritative, because each delta stores the
+        // variable's full bounds at that node.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(d) = cur {
+            if seen.insert(d.var) {
+                lb[d.var as usize] = d.lb;
+                ub[d.var as usize] = d.ub;
+            }
+            cur = d.parent.clone();
+        }
+        (lb, ub)
+    }
+}
+
+struct Node {
+    delta: Option<Arc<BoundDelta>>,
+    /// LP bound inherited from the parent (internal minimization sense).
+    bound: f64,
+    depth: u32,
+    /// The branching decision that created this node, for pseudo-cost
+    /// updates: (variable, branched up?, parent fractionality).
+    branched: Option<(u32, bool, f64)>,
+}
+
+struct HeapEntry {
+    node: Node,
+    order_key: f64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.order_key == other.order_key
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest key on top.
+        other
+            .order_key
+            .partial_cmp(&self.order_key)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Per-variable pseudo-cost history.
+pub(crate) struct PseudoCosts {
+    pub down_sum: Vec<f64>,
+    pub down_cnt: Vec<u32>,
+    pub up_sum: Vec<f64>,
+    pub up_cnt: Vec<u32>,
+}
+
+impl PseudoCosts {
+    pub fn new(n: usize) -> Self {
+        PseudoCosts {
+            down_sum: vec![0.0; n],
+            down_cnt: vec![0; n],
+            up_sum: vec![0.0; n],
+            up_cnt: vec![0; n],
+        }
+    }
+
+    pub fn record(&mut self, var: usize, up: bool, degradation: f64, frac: f64) {
+        let unit = if frac > 1e-9 { degradation / frac } else { degradation };
+        if up {
+            self.up_sum[var] += unit;
+            self.up_cnt[var] += 1;
+        } else {
+            self.down_sum[var] += unit;
+            self.down_cnt[var] += 1;
+        }
+    }
+
+    pub fn score(&self, var: usize, frac: f64) -> Option<f64> {
+        if self.down_cnt[var] == 0 || self.up_cnt[var] == 0 {
+            return None;
+        }
+        let down = self.down_sum[var] / self.down_cnt[var] as f64 * frac;
+        let up = self.up_sum[var] / self.up_cnt[var] as f64 * (1.0 - frac);
+        // Product rule (with epsilon) favours variables strong both ways.
+        Some((down.max(1e-6)) * (up.max(1e-6)))
+    }
+}
+
+/// Pick the branching variable among fractional integers.
+pub(crate) fn select_branch_var(
+    int_vars: &[usize],
+    x: &[f64],
+    int_tol: f64,
+    rule: BranchRule,
+    pseudo: &PseudoCosts,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_score = -1.0;
+    for &v in int_vars {
+        let frac = x[v] - x[v].floor();
+        let dist = frac.min(1.0 - frac);
+        if dist <= int_tol {
+            continue;
+        }
+        let score = match rule {
+            BranchRule::MostFractional => dist,
+            BranchRule::PseudoCost => pseudo.score(v, frac).unwrap_or(dist * 1e-3),
+        };
+        if score > best_score {
+            best_score = score;
+            best = Some((v, x[v]));
+        }
+    }
+    best
+}
+
+/// Round a fractional LP point to the nearest integer point and accept it
+/// if it is feasible for the model. Cheap and surprisingly effective on
+/// assignment-style models.
+pub(crate) fn rounding_heuristic(model: &Model, x: &[f64], int_tol: f64) -> Option<Vec<f64>> {
+    let mut cand = x.to_vec();
+    for v in model.integer_vars() {
+        cand[v.index()] = cand[v.index()].round();
+    }
+    match model.check_feasible(&cand, int_tol.max(1e-7) * 10.0) {
+        Ok(()) => Some(cand),
+        Err(_) => None,
+    }
+}
+
+/// Depth-limited diving heuristic: repeatedly fix the fractional integer
+/// variable *closest* to integrality at its rounded value and re-solve the
+/// LP; returns the first integer-feasible point found.
+#[allow(clippy::too_many_arguments)]
+fn dive(
+    core: &LpCore,
+    model: &Model,
+    int_vars: &[usize],
+    lb0: &[f64],
+    ub0: &[f64],
+    start_x: &[f64],
+    sx: &SimplexOptions,
+    int_tol: f64,
+    max_lps: usize,
+) -> Option<Vec<f64>> {
+    let mut lb = lb0.to_vec();
+    let mut ub = ub0.to_vec();
+    let mut x = start_x.to_vec();
+    for _ in 0..max_lps {
+        let mut pick: Option<(usize, f64)> = None;
+        let mut best = f64::INFINITY;
+        for &v in int_vars {
+            let frac = x[v] - x[v].floor();
+            let dist = frac.min(1.0 - frac);
+            if dist > int_tol && dist < best {
+                best = dist;
+                pick = Some((v, x[v]));
+            }
+        }
+        let Some((v, xv)) = pick else {
+            let mut cand = x.clone();
+            for &v in int_vars {
+                cand[v] = cand[v].round();
+            }
+            return model.check_feasible(&cand, 1e-6).ok().map(|()| cand);
+        };
+        let fixed = xv.round().clamp(lb[v], ub[v]);
+        lb[v] = fixed;
+        ub[v] = fixed;
+        match solve_lp(core, &lb, &ub, sx) {
+            Ok(s) if s.status == LpStatus::Optimal => x = s.x,
+            _ => return None, // infeasible dive or deadline: give up
+        }
+    }
+    None
+}
+
+/// Solve a mixed-integer program.
+pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError> {
+    let start = Instant::now();
+    let core = LpCore::from_model(model);
+    let int_vars: Vec<usize> = model.integer_vars().iter().map(|v| v.index()).collect();
+    let n = model.num_vars();
+
+    // Integer variables must have integral bounds for branching to make
+    // sense; tighten fractional bounds up front.
+    let mut lb0 = core.lb.clone();
+    let mut ub0 = core.ub.clone();
+    for &v in &int_vars {
+        lb0[v] = lb0[v].ceil();
+        ub0[v] = ub0[v].floor();
+        if lb0[v] > ub0[v] {
+            return Ok(MipResult {
+                status: MipStatus::Infeasible,
+                best_solution: None,
+                best_objective: None,
+                best_bound: f64::NAN,
+                gap: f64::NAN,
+                nodes_explored: 0,
+                lp_iterations: 0,
+                wall_time: start.elapsed(),
+            });
+        }
+    }
+
+    let mut simplex_opts = opts.simplex.clone();
+    if let Some(tl) = opts.time_limit {
+        let dl = start + tl;
+        simplex_opts.deadline = Some(match simplex_opts.deadline {
+            Some(existing) => existing.min(dl),
+            None => dl,
+        });
+    }
+
+    let mut pseudo = PseudoCosts::new(n);
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut stack: Vec<Node> = Vec::new();
+
+    let mut incumbent: Option<Vec<f64>> = None;
+    // Internal minimization objective of the incumbent.
+    let mut incumbent_obj = f64::INFINITY;
+    let mut nodes: u64 = 0;
+    let mut lp_iters: u64 = 0;
+    let mut status_limit_hit = false;
+
+    let root = Node {
+        delta: None,
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        branched: None,
+    };
+    match opts.node_order {
+        NodeOrder::BestBound => heap.push(HeapEntry {
+            order_key: f64::NEG_INFINITY,
+            node: root,
+        }),
+        NodeOrder::DepthFirst => stack.push(root),
+    }
+
+    // Internal objective of a user-sense value.
+    let to_internal = |user: f64| {
+        let v = user - core.obj_offset;
+        if core.maximize {
+            -v
+        } else {
+            v
+        }
+    };
+    let to_user = |internal: f64| core.user_objective(internal);
+
+    let mut best_bound_internal = f64::NEG_INFINITY;
+    let mut root_infeasible = false;
+    let mut root_unbounded = false;
+
+    loop {
+        // Respect limits.
+        if let Some(tl) = opts.time_limit {
+            if start.elapsed() >= tl {
+                status_limit_hit = true;
+                break;
+            }
+        }
+        if let Some(nl) = opts.node_limit {
+            if nodes >= nl {
+                status_limit_hit = true;
+                break;
+            }
+        }
+
+        let node = match opts.node_order {
+            NodeOrder::BestBound => match heap.pop() {
+                Some(e) => e.node,
+                None => break,
+            },
+            NodeOrder::DepthFirst => match stack.pop() {
+                Some(nd) => nd,
+                None => break,
+            },
+        };
+
+        // Prune against incumbent using the inherited bound.
+        if node.bound >= incumbent_obj - 1e-9 {
+            continue;
+        }
+
+        let (lb, ub) = BoundDelta::materialize(&node.delta, &lb0, &ub0);
+        let sol = match solve_lp(&core, &lb, &ub, &simplex_opts) {
+            Ok(s) => s,
+            Err(crate::error::IlpError::Deadline) => {
+                status_limit_hit = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        nodes += 1;
+        lp_iters += sol.iterations as u64;
+
+        match sol.status {
+            LpStatus::Infeasible => {
+                if nodes == 1 {
+                    root_infeasible = true;
+                }
+                continue;
+            }
+            LpStatus::Unbounded => {
+                if nodes == 1 {
+                    root_unbounded = true;
+                    break;
+                }
+                // An unbounded node with a bounded root relaxation cannot
+                // happen (bounds only tighten); treat as numerical noise.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+
+        let node_bound = to_internal(sol.objective);
+        if nodes == 1 {
+            best_bound_internal = node_bound;
+        }
+        // Pseudo-cost update: the true bound degradation this branching
+        // decision caused, normalized by the fractional distance moved.
+        if let Some((bv, up, frac)) = node.branched {
+            if node.bound.is_finite() {
+                let degradation = (node_bound - node.bound).max(0.0);
+                let dist = if up { 1.0 - frac } else { frac };
+                pseudo.record(bv as usize, up, degradation, dist);
+            }
+        }
+        if node_bound >= incumbent_obj - 1e-9 {
+            continue; // bound-pruned after solving
+        }
+
+        match select_branch_var(&int_vars, &sol.x, opts.int_tol, opts.branch_rule, &pseudo) {
+            None => {
+                // Integer feasible: candidate incumbent.
+                if node_bound < incumbent_obj {
+                    incumbent_obj = node_bound;
+                    let mut x = sol.x.clone();
+                    // Snap integers exactly.
+                    for &v in &int_vars {
+                        x[v] = x[v].round();
+                    }
+                    incumbent = Some(x);
+                }
+            }
+            Some((bv, xv)) => {
+                if opts.diving && nodes == 1 && incumbent.is_none() {
+                    if let Some(cand) = dive(
+                        &core,
+                        model,
+                        &int_vars,
+                        &lb,
+                        &ub,
+                        &sol.x,
+                        &simplex_opts,
+                        opts.int_tol,
+                        40,
+                    ) {
+                        let obj = to_internal(model.objective_value(&cand));
+                        if obj < incumbent_obj {
+                            incumbent_obj = obj;
+                            incumbent = Some(cand);
+                        }
+                    }
+                }
+                if opts.rounding_heuristic {
+                    if let Some(cand) = rounding_heuristic(model, &sol.x, opts.int_tol) {
+                        let obj = to_internal(model.objective_value(&cand));
+                        if obj < incumbent_obj {
+                            incumbent_obj = obj;
+                            incumbent = Some(cand);
+                        }
+                    }
+                }
+                let floor = xv.floor();
+                let frac = xv - floor;
+                // Children: var <= floor, var >= floor + 1.
+                let down = Node {
+                    delta: Some(Arc::new(BoundDelta {
+                        var: bv as u32,
+                        lb: lb[bv],
+                        ub: floor,
+                        parent: node.delta.clone(),
+                    })),
+                    bound: node_bound,
+                    depth: node.depth + 1,
+                    branched: Some((bv as u32, false, frac)),
+                };
+                let up = Node {
+                    delta: Some(Arc::new(BoundDelta {
+                        var: bv as u32,
+                        lb: floor + 1.0,
+                        ub: ub[bv],
+                        parent: node.delta.clone(),
+                    })),
+                    bound: node_bound,
+                    depth: node.depth + 1,
+                    branched: Some((bv as u32, true, frac)),
+                };
+                match opts.node_order {
+                    NodeOrder::BestBound => {
+                        heap.push(HeapEntry {
+                            order_key: node_bound,
+                            node: down,
+                        });
+                        heap.push(HeapEntry {
+                            order_key: node_bound,
+                            node: up,
+                        });
+                    }
+                    NodeOrder::DepthFirst => {
+                        // Explore the side nearest the LP value first.
+                        if frac <= 0.5 {
+                            stack.push(up);
+                            stack.push(down);
+                        } else {
+                            stack.push(down);
+                            stack.push(up);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Gap-based early stop (best-bound order keeps the heap top as the
+        // global bound).
+        if incumbent.is_some() {
+            let bound_now = match opts.node_order {
+                NodeOrder::BestBound => heap
+                    .peek()
+                    .map(|e| e.order_key)
+                    .unwrap_or(incumbent_obj)
+                    .max(best_bound_internal),
+                NodeOrder::DepthFirst => best_bound_internal,
+            };
+            let gap = (incumbent_obj - bound_now).abs() / incumbent_obj.abs().max(1.0);
+            if matches!(opts.node_order, NodeOrder::BestBound) && gap <= opts.rel_gap {
+                break;
+            }
+        }
+    }
+
+    // Final bound: open nodes' best key, else the incumbent itself.
+    let final_bound_internal = if status_limit_hit {
+        match opts.node_order {
+            NodeOrder::BestBound => heap
+                .peek()
+                .map(|e| e.order_key.max(best_bound_internal))
+                .unwrap_or(incumbent_obj.min(best_bound_internal)),
+            NodeOrder::DepthFirst => best_bound_internal,
+        }
+    } else {
+        incumbent_obj
+    };
+
+    let wall = start.elapsed();
+    if root_unbounded {
+        return Ok(MipResult {
+            status: MipStatus::Unbounded,
+            best_solution: None,
+            best_objective: None,
+            best_bound: f64::NAN,
+            gap: f64::NAN,
+            nodes_explored: nodes,
+            lp_iterations: lp_iters,
+            wall_time: wall,
+        });
+    }
+    match incumbent {
+        Some(x) => {
+            let gap = if status_limit_hit {
+                (incumbent_obj - final_bound_internal).abs() / incumbent_obj.abs().max(1.0)
+            } else {
+                0.0
+            };
+            Ok(MipResult {
+                status: if status_limit_hit && gap > opts.rel_gap {
+                    MipStatus::Feasible
+                } else {
+                    MipStatus::Optimal
+                },
+                best_objective: Some(to_user(incumbent_obj)),
+                best_bound: to_user(final_bound_internal),
+                best_solution: Some(x),
+                gap,
+                nodes_explored: nodes,
+                lp_iterations: lp_iters,
+                wall_time: wall,
+            })
+        }
+        None => Ok(MipResult {
+            status: if status_limit_hit {
+                MipStatus::Unknown
+            } else if root_infeasible || !root_unbounded {
+                MipStatus::Infeasible
+            } else {
+                MipStatus::Unknown
+            },
+            best_solution: None,
+            best_objective: None,
+            best_bound: if status_limit_hit {
+                to_user(final_bound_internal)
+            } else {
+                f64::NAN
+            },
+            gap: f64::NAN,
+            nodes_explored: nodes,
+            lp_iterations: lp_iters,
+            wall_time: wall,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin, Model, Objective, Sense};
+
+    fn default_solve(model: &Model) -> MipResult {
+        solve_mip(model, &MipOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6 -> a=0? brute: items
+        // (10,3),(13,4),(7,2): best is 13+7=20 (4+2=6).
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_objective.unwrap() - 20.0).abs() < 1e-6);
+        let x = r.best_solution.unwrap();
+        assert_eq!(x[0].round() as i64, 0);
+        assert_eq!(x[1].round() as i64, 1);
+        assert_eq!(x[2].round() as i64, 1);
+    }
+
+    #[test]
+    fn integer_rounding_not_lp_rounding() {
+        // max x st 2x <= 5, x integer -> x = 2 (LP gives 2.5).
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 100.0, 1.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 2.0)]), Sense::Le, 5.0).unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_objective.unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 3.0)
+            .unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn integrality_gap_forces_branching() {
+        // max x + y st x + y <= 1.5 binary: LP opt 1.5 fractional, MIP 1.
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.5)
+            .unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_objective.unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_assignment() {
+        // Assign 2 items to 2 slots, each slot once, minimize cost.
+        let mut m = Model::new();
+        let c = [[4.0, 1.0], [2.0, 6.0]];
+        let mut v = vec![];
+        for i in 0..2 {
+            for j in 0..2 {
+                v.push(m.add_binary(c[i][j]));
+            }
+        }
+        for i in 0..2 {
+            m.add_constraint(
+                lin(&[(v[2 * i], 1.0), (v[2 * i + 1], 1.0)]),
+                Sense::Eq,
+                1.0,
+            )
+            .unwrap();
+        }
+        for j in 0..2 {
+            m.add_constraint(lin(&[(v[j], 1.0), (v[2 + j], 1.0)]), Sense::Eq, 1.0)
+                .unwrap();
+        }
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_objective.unwrap() - 3.0).abs() < 1e-6); // 1 + 2
+    }
+
+    #[test]
+    fn depth_first_matches_best_bound() {
+        let mut m = Model::new();
+        let vals = [9.0, 14.0, 5.0, 7.0, 11.0];
+        let wts = [3.0, 5.0, 2.0, 3.0, 4.0];
+        let xs: Vec<_> = vals.iter().map(|&v| m.add_binary(v)).collect();
+        m.set_objective_direction(Objective::Maximize);
+        let mut e = crate::model::LinExpr::new();
+        for (x, &w) in xs.iter().zip(&wts) {
+            e.push(*x, w);
+        }
+        m.add_constraint(e, Sense::Le, 9.0).unwrap();
+        let best = default_solve(&m);
+        let dfs = solve_mip(
+            &m,
+            &MipOptions {
+                node_order: NodeOrder::DepthFirst,
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(best.status, MipStatus::Optimal);
+        assert_eq!(dfs.status, MipStatus::Optimal);
+        assert!(
+            (best.best_objective.unwrap() - dfs.best_objective.unwrap()).abs() < 1e-6,
+            "bb={:?} dfs={:?}",
+            best.best_objective,
+            dfs.best_objective
+        );
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_unknown() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..12).map(|i| m.add_binary(1.0 + (i % 3) as f64)).collect();
+        m.set_objective_direction(Objective::Maximize);
+        let mut e = crate::model::LinExpr::new();
+        for (i, x) in xs.iter().enumerate() {
+            e.push(*x, 1.0 + (i % 4) as f64);
+        }
+        m.add_constraint(e, Sense::Le, 11.3).unwrap();
+        let r = solve_mip(
+            &m,
+            &MipOptions {
+                node_limit: Some(1),
+                rounding_heuristic: false,
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            r.status,
+            MipStatus::Feasible | MipStatus::Unknown | MipStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 3x + 2y, x integer, y continuous; x + y <= 4.5; x <= 3.2
+        // -> x = 3, y = 1.5, obj = 12.
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 10.0, 3.0).unwrap();
+        let y = m.add_continuous(0.0, 10.0, 2.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 4.5)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 3.2).unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_objective.unwrap() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_integer_bounds_tightened() {
+        // x integer in [0.4, 2.7] -> effectively [1, 2].
+        let mut m = Model::new();
+        let x = m.add_integer(0.4, 2.7, -1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 10.0).unwrap();
+        let r = default_solve(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.best_solution.unwrap()[0] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Exhaustive reference solver for *pure-integer* programs with few
+//! variables. Exists solely to validate the branch-and-bound engines in
+//! tests and property checks.
+
+use crate::error::MipStatus;
+use crate::model::{Model, VarKind};
+
+/// Result of a brute-force enumeration.
+#[derive(Debug, Clone)]
+pub struct BruteResult {
+    pub status: MipStatus,
+    pub best_solution: Option<Vec<f64>>,
+    pub best_objective: Option<f64>,
+    /// Number of points enumerated.
+    pub points: u64,
+}
+
+/// Hard cap on the enumeration size to keep tests bounded.
+const MAX_POINTS: u64 = 50_000_000;
+
+/// Enumerate every integer point of a pure-integer model's box and keep the
+/// best feasible one. Panics if any variable is continuous or unbounded, or
+/// if the box exceeds an internal size cap — this is a test oracle, not a
+/// solver.
+pub fn solve_brute(model: &Model) -> BruteResult {
+    let n = model.num_vars();
+    let mut lo = Vec::with_capacity(n);
+    let mut hi = Vec::with_capacity(n);
+    let mut total: u64 = 1;
+    for i in 0..n {
+        let id = crate::model::VarId(i as u32);
+        assert!(
+            !matches!(model.var_kind(id), VarKind::Continuous),
+            "brute solver requires pure-integer models"
+        );
+        let (l, u) = model.var_bounds(id);
+        assert!(
+            l.is_finite() && u.is_finite(),
+            "brute solver requires finite bounds"
+        );
+        let l = l.ceil() as i64;
+        let u = u.floor() as i64;
+        lo.push(l);
+        hi.push(u);
+        let width = (u - l + 1).max(0) as u64;
+        total = total.saturating_mul(width);
+        assert!(total <= MAX_POINTS, "brute enumeration too large: {total}");
+    }
+    if total == 0 {
+        return BruteResult {
+            status: MipStatus::Infeasible,
+            best_solution: None,
+            best_objective: None,
+            points: 0,
+        };
+    }
+
+    let maximize = matches!(
+        model.objective_direction(),
+        crate::model::Objective::Maximize
+    );
+    let mut cur: Vec<i64> = lo.clone();
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut points = 0u64;
+    loop {
+        points += 1;
+        let xf: Vec<f64> = cur.iter().map(|&v| v as f64).collect();
+        if model.check_feasible(&xf, 1e-9).is_ok() {
+            let obj = model.objective_value(&xf);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => {
+                    if maximize {
+                        obj > *b + 1e-12
+                    } else {
+                        obj < *b - 1e-12
+                    }
+                }
+            };
+            if better {
+                best = Some((obj, xf));
+            }
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                let (status, best_solution, best_objective) = match best {
+                    Some((obj, x)) => (MipStatus::Optimal, Some(x), Some(obj)),
+                    None => (MipStatus::Infeasible, None, None),
+                };
+                return BruteResult {
+                    status,
+                    best_solution,
+                    best_objective,
+                    points,
+                };
+            }
+            if cur[k] < hi[k] {
+                cur[k] += 1;
+                break;
+            }
+            cur[k] = lo[k];
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin, Model, Objective, Sense};
+
+    #[test]
+    fn enumerates_binary_knapsack() {
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let r = solve_brute(&m);
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert_eq!(r.best_objective, Some(20.0));
+        assert_eq!(r.points, 8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Ge, 2.0).unwrap();
+        let r = solve_brute(&m);
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn general_integer_ranges() {
+        // min x + y st x + y >= 3, x in [0,2], y in [0,2]
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 2.0, 1.0).unwrap();
+        let y = m.add_integer(0.0, 2.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 3.0)
+            .unwrap();
+        let r = solve_brute(&m);
+        assert_eq!(r.best_objective, Some(3.0));
+        assert_eq!(r.points, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pure-integer")]
+    fn rejects_continuous() {
+        let mut m = Model::new();
+        let _ = m.add_continuous(0.0, 1.0, 1.0).unwrap();
+        solve_brute(&m);
+    }
+}

@@ -1,0 +1,501 @@
+//! Cutting planes: knapsack cover cuts and Gomory fractional cuts.
+//!
+//! Cuts are generated at the root relaxation and appended to the model as
+//! ordinary constraints before branch-and-bound starts. Every generator is
+//! *conservative*: a cut is only emitted when its validity premises are
+//! certain (pure-integer tableau rows for Gomory, binary rows for covers),
+//! so adding cuts can never change the set of integer-feasible points —
+//! a property the test-suite checks by exhaustive enumeration.
+
+use crate::error::LpStatus;
+use crate::linalg::sparse_dot;
+use crate::model::{LinExpr, Model, Sense, VarId, VarKind};
+use crate::simplex::{solve_lp_default, SimplexOptions, VarStatus};
+use crate::standard::LpCore;
+
+/// Options for the root cut loop.
+#[derive(Debug, Clone)]
+pub struct CutOptions {
+    /// Maximum separation rounds.
+    pub max_rounds: usize,
+    /// Cap on cuts kept per round.
+    pub max_cuts_per_round: usize,
+    /// Generate knapsack cover cuts.
+    pub covers: bool,
+    /// Generate Gomory fractional cuts.
+    pub gomory: bool,
+    /// Minimum violation for a cut to be kept.
+    pub min_violation: f64,
+}
+
+impl Default for CutOptions {
+    fn default() -> Self {
+        CutOptions {
+            max_rounds: 4,
+            max_cuts_per_round: 32,
+            covers: true,
+            gomory: true,
+            min_violation: 1e-4,
+        }
+    }
+}
+
+/// A generated cut: `terms (sense) rhs` over model variables.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    pub terms: Vec<(VarId, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+    pub violation: f64,
+    pub kind: &'static str,
+}
+
+impl Cut {
+    /// Whether point `x` satisfies the cut within `tol`.
+    pub fn satisfied_by(&self, x: &[f64], tol: f64) -> bool {
+        let lhs: f64 = self.terms.iter().map(|&(v, c)| c * x[v.index()]).sum();
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + tol,
+            Sense::Ge => lhs >= self.rhs - tol,
+            Sense::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// Generate violated minimal-cover cuts for binary knapsack rows.
+///
+/// For a row `sum a_j x_j <= b` over binaries (after complementing negative
+/// coefficients), a *cover* is a set `C` with `sum_{C} a_j > b`; then
+/// `sum_{C} x_j <= |C| - 1` is valid. The greedy picks literals by LP value.
+pub fn cover_cuts(model: &Model, x: &[f64], min_violation: f64) -> Vec<Cut> {
+    let mut cuts = Vec::new();
+    'rows: for con in &model.cons {
+        if con.sense != Sense::Le || con.terms.len() < 2 {
+            continue;
+        }
+        // Complement so every coefficient is positive; literal value is the
+        // LP value of the (possibly complemented) binary.
+        let mut b = con.rhs;
+        let mut lits: Vec<(VarId, f64, f64, bool)> = Vec::new(); // (var, a, lp, complemented)
+        for &(v, a) in &con.terms {
+            if !matches!(model.var_kind(v), VarKind::Binary) {
+                continue 'rows;
+            }
+            if a > 0.0 {
+                lits.push((v, a, x[v.index()], false));
+            } else if a < 0.0 {
+                // a*x = a - a*(1-x): substitute y = 1-x.
+                b -= a;
+                lits.push((v, -a, 1.0 - x[v.index()], true));
+            }
+        }
+        if b < 0.0 || lits.is_empty() {
+            continue;
+        }
+        // Greedy cover: take literals with the largest LP value first
+        // (those are the ones the cut will bite on).
+        lits.sort_by(|p, q| q.2.partial_cmp(&p.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut weight = 0.0;
+        let mut cover_end = 0;
+        for (i, &(_, a, _, _)) in lits.iter().enumerate() {
+            weight += a;
+            if weight > b + 1e-9 {
+                cover_end = i + 1;
+                break;
+            }
+        }
+        if cover_end == 0 {
+            continue; // no cover exists: row can never be tight
+        }
+        let cover = &lits[..cover_end];
+        // Violation check: sum lp > |C| - 1 ?
+        let lp_sum: f64 = cover.iter().map(|&(_, _, lp, _)| lp).sum();
+        let k = cover.len() as f64 - 1.0;
+        if lp_sum <= k + min_violation {
+            continue;
+        }
+        // Build the cut over original variables:
+        // sum_{not complemented} x + sum_{complemented} (1 - x) <= k
+        let mut terms = Vec::with_capacity(cover.len());
+        let mut rhs = k;
+        for &(v, _, _, complemented) in cover {
+            if complemented {
+                terms.push((v, -1.0));
+                rhs -= 1.0;
+            } else {
+                terms.push((v, 1.0));
+            }
+        }
+        cuts.push(Cut {
+            terms,
+            sense: Sense::Le,
+            rhs,
+            violation: lp_sum - k,
+            kind: "cover",
+        });
+    }
+    cuts
+}
+
+/// Generate Gomory fractional cuts from the optimal root basis.
+///
+/// Only rows whose every participating column is integer-valued (integer
+/// structural variables and slacks of all-integer rows) are used, which
+/// keeps the classical fractional cut valid without the mixed-integer
+/// machinery.
+pub fn gomory_cuts(model: &Model, min_violation: f64) -> Vec<Cut> {
+    let core = LpCore::from_model(model);
+    let sol = match solve_lp_default(&core, &SimplexOptions::default()) {
+        Ok(s) => s,
+        Err(_) => return Vec::new(),
+    };
+    if sol.status != LpStatus::Optimal {
+        return Vec::new();
+    }
+    let snap = match &sol.snapshot {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    let m = core.num_rows();
+    let n = snap.n_struct;
+
+    // Which structural columns are integer.
+    let int_col: Vec<bool> = (0..n)
+        .map(|j| !matches!(model.var_kind(VarId(j as u32)), VarKind::Continuous))
+        .collect();
+    // Which slacks are integer: all-integer row coefficients & rhs.
+    let int_slack: Vec<bool> = model
+        .cons
+        .iter()
+        .map(|con| {
+            con.rhs.fract() == 0.0
+                && con.terms.iter().all(|&(v, c)| {
+                    c.fract() == 0.0 && !matches!(model.var_kind(v), VarKind::Continuous)
+                })
+        })
+        .collect();
+
+    let is_integral_col = |j: usize| -> bool {
+        if j < n {
+            int_col[j]
+        } else {
+            int_slack[j - n]
+        }
+    };
+
+    let frac = |v: f64| v - v.floor();
+    let mut cuts = Vec::new();
+
+    for (row, &bv) in snap.basis.iter().enumerate() {
+        let bv = bv as usize;
+        if bv >= n + m {
+            continue; // residual artificial
+        }
+        if bv >= n || !int_col[bv] {
+            continue; // only structural integer basics produce cuts
+        }
+        let beta = snap.x_all[bv];
+        let f0 = frac(beta);
+        if f0 < 0.01 || f0 > 0.99 {
+            continue;
+        }
+        let binv_row = snap.binv.row(row);
+
+        // Tableau coefficients for every nonbasic column; abort the row if
+        // any participating column is non-integer or free.
+        let mut shifted: Vec<(usize, f64, bool)> = Vec::new(); // (col, alpha~, at_upper)
+        let mut ok = true;
+        for j in 0..n + m {
+            if matches!(snap.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            let alpha = if j < n {
+                let (idx, val) = core.a.column(j);
+                sparse_dot(idx, val, binv_row)
+            } else {
+                binv_row[j - n]
+            };
+            if alpha.abs() < 1e-9 {
+                continue;
+            }
+            // Fixed columns contribute nothing (their shifted value is 0
+            // in every feasible point).
+            let (l, u) = column_bounds(&core, j, n);
+            if u - l <= 0.0 {
+                continue;
+            }
+            match snap.status[j] {
+                VarStatus::Lower => shifted.push((j, alpha, false)),
+                VarStatus::Upper => shifted.push((j, -alpha, true)),
+                VarStatus::Free => {
+                    ok = false;
+                    break;
+                }
+                VarStatus::Basic(_) => unreachable!(),
+            }
+            if !is_integral_col(j) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        // Cut in shifted space: sum frac(alpha~) * x~ >= f0.
+        // Substitute back to structural space.
+        let mut acc: Vec<f64> = vec![0.0; n];
+        let mut rhs = f0;
+        let mut degenerate = true;
+        for (j, a, at_upper) in shifted {
+            let fj = frac(a);
+            if fj < 1e-9 || fj > 1.0 - 1e-9 {
+                continue;
+            }
+            degenerate = false;
+            let (l, u) = column_bounds(&core, j, n);
+            if j < n {
+                // x~ = x - l  or  u - x
+                if at_upper {
+                    acc[j] -= fj;
+                    rhs -= fj * u;
+                } else {
+                    acc[j] += fj;
+                    rhs += fj * l;
+                }
+            } else {
+                // Slack: s = rhs_row - a_row . x with s in [l, u].
+                let ri = j - n;
+                let (sl, su) = (l, u);
+                let row_terms = &model.cons[ri].terms;
+                let row_rhs = model.cons[ri].rhs;
+                if at_upper {
+                    // x~ = su - s = su - row_rhs + a.x
+                    for &(v, c) in row_terms {
+                        acc[v.index()] += fj * c;
+                    }
+                    rhs -= fj * (su - row_rhs);
+                } else {
+                    // x~ = s - sl = row_rhs - a.x - sl
+                    for &(v, c) in row_terms {
+                        acc[v.index()] -= fj * c;
+                    }
+                    rhs -= fj * (row_rhs - sl);
+                }
+            }
+        }
+        if degenerate {
+            continue;
+        }
+        let terms: Vec<(VarId, f64)> = acc
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.abs() > 1e-9)
+            .map(|(j, &c)| (VarId(j as u32), c))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        // Violation at the LP point.
+        let lhs: f64 = terms.iter().map(|&(v, c)| c * sol.x[v.index()]).sum();
+        let violation = rhs - lhs;
+        if violation < min_violation {
+            continue;
+        }
+        cuts.push(Cut {
+            terms,
+            sense: Sense::Ge,
+            rhs,
+            violation,
+            kind: "gomory",
+        });
+    }
+    cuts
+}
+
+fn column_bounds(core: &LpCore, j: usize, n: usize) -> (f64, f64) {
+    if j < n {
+        (core.lb[j], core.ub[j])
+    } else {
+        match core.senses[j - n] {
+            Sense::Le => (0.0, f64::INFINITY),
+            Sense::Ge => (f64::NEG_INFINITY, 0.0),
+            Sense::Eq => (0.0, 0.0),
+        }
+    }
+}
+
+/// Run the root separation loop: returns a strengthened copy of the model
+/// and the cuts added.
+pub fn strengthen_root(model: &Model, opts: &CutOptions) -> (Model, Vec<Cut>) {
+    let mut work = model.clone();
+    let mut all_cuts: Vec<Cut> = Vec::new();
+    for _round in 0..opts.max_rounds {
+        let core = LpCore::from_model(&work);
+        let sol = match solve_lp_default(&core, &SimplexOptions::default()) {
+            Ok(s) if s.status == LpStatus::Optimal => s,
+            _ => break,
+        };
+        // Already integral? Nothing to separate.
+        let fractional = work.integer_vars().iter().any(|v| {
+            let xv = sol.x[v.index()];
+            (xv - xv.round()).abs() > 1e-6
+        });
+        if !fractional {
+            break;
+        }
+        let mut round_cuts: Vec<Cut> = Vec::new();
+        if opts.covers {
+            round_cuts.extend(cover_cuts(&work, &sol.x, opts.min_violation));
+        }
+        if opts.gomory {
+            round_cuts.extend(gomory_cuts(&work, opts.min_violation));
+        }
+        if round_cuts.is_empty() {
+            break;
+        }
+        round_cuts.sort_by(|a, b| {
+            b.violation
+                .partial_cmp(&a.violation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        round_cuts.truncate(opts.max_cuts_per_round);
+        for cut in &round_cuts {
+            let mut expr = LinExpr::new();
+            for &(v, c) in &cut.terms {
+                expr.push(v, c);
+            }
+            work.add_constraint(expr, cut.sense, cut.rhs)
+                .expect("cut terms reference model variables");
+        }
+        all_cuts.extend(round_cuts);
+    }
+    (work, all_cuts)
+}
+
+/// Convenience: strengthen at the root, then run serial branch-and-bound.
+pub fn solve_mip_with_cuts(
+    model: &Model,
+    mip: &crate::branch::MipOptions,
+    cuts: &CutOptions,
+) -> Result<crate::branch::MipResult, crate::error::IlpError> {
+    let (strengthened, _added) = strengthen_root(model, cuts);
+    crate::branch::solve_mip(&strengthened, mip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{solve_mip, MipOptions};
+    use crate::brute::solve_brute;
+    use crate::model::{lin, Model, Objective};
+
+    fn lp_point(model: &Model) -> Vec<f64> {
+        let core = LpCore::from_model(model);
+        solve_lp_default(&core, &SimplexOptions::default())
+            .unwrap()
+            .x
+    }
+
+    fn assert_cuts_preserve_integer_points(model: &Model, cuts: &[Cut]) {
+        // Enumerate all binary points; any feasible one must satisfy every
+        // cut.
+        let n = model.num_vars();
+        assert!(n <= 16);
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+            if model.check_feasible(&x, 1e-9).is_ok() {
+                for cut in cuts {
+                    assert!(
+                        cut.satisfied_by(&x, 1e-7),
+                        "cut {:?} removes feasible point {:?}",
+                        cut,
+                        x
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_cut_on_fractional_knapsack() {
+        // max 10a+13b+7c st 3a+4b+2c <= 6: LP is fractional.
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let x = lp_point(&m);
+        let cuts = cover_cuts(&m, &x, 1e-6);
+        assert_cuts_preserve_integer_points(&m, &cuts);
+    }
+
+    #[test]
+    fn cover_cut_handles_negative_coefficients() {
+        // 3a - 4b + 2c <= 1 over binaries.
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(-1.0);
+        let c = m.add_binary(4.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, -4.0), (c, 2.0)]), Sense::Le, 1.0)
+            .unwrap();
+        let x = lp_point(&m);
+        let cuts = cover_cuts(&m, &x, 1e-6);
+        assert_cuts_preserve_integer_points(&m, &cuts);
+    }
+
+    #[test]
+    fn gomory_cuts_are_valid() {
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let cuts = gomory_cuts(&m, 1e-6);
+        assert_cuts_preserve_integer_points(&m, &cuts);
+    }
+
+    #[test]
+    fn strengthened_model_keeps_optimum() {
+        for (w, cap) in [(vec![3.0, 4.0, 2.0, 5.0], 7.0), (vec![2.0, 3.0, 4.0, 5.0], 8.0)] {
+            let mut m = Model::new();
+            let vals = [9.0, 13.0, 6.0, 11.0];
+            let mut e = LinExpr::new();
+            for (i, &wi) in w.iter().enumerate() {
+                let x = m.add_binary(vals[i]);
+                e.push(x, wi);
+            }
+            m.set_objective_direction(Objective::Maximize);
+            m.add_constraint(e, Sense::Le, cap).unwrap();
+
+            let plain = solve_mip(&m, &MipOptions::default()).unwrap();
+            let with_cuts =
+                solve_mip_with_cuts(&m, &MipOptions::default(), &CutOptions::default()).unwrap();
+            let brute = solve_brute(&m);
+            let expect = brute.best_objective.unwrap();
+            assert!((plain.best_objective.unwrap() - expect).abs() < 1e-6);
+            assert!(
+                (with_cuts.best_objective.unwrap() - expect).abs() < 1e-6,
+                "cuts changed the optimum: {} vs {}",
+                with_cuts.best_objective.unwrap(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn integral_lp_produces_no_work() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 1.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        let (strengthened, cuts) = strengthen_root(&m, &CutOptions::default());
+        assert!(cuts.is_empty());
+        assert_eq!(strengthened.num_constraints(), m.num_constraints());
+    }
+}

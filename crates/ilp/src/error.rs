@@ -1,0 +1,78 @@
+//! Error and status types shared across the solver.
+
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// A variable index was out of range for the model.
+    BadVariable(usize),
+    /// A constraint index was out of range for the model.
+    BadConstraint(usize),
+    /// A bound pair with `lb > ub` was supplied.
+    EmptyBound { var: usize, lb: f64, ub: f64 },
+    /// A coefficient, bound, or right-hand side was NaN or infinite where
+    /// a finite value is required.
+    NonFinite(&'static str),
+    /// The model has no variables or no objective to optimize.
+    EmptyModel,
+    /// The simplex engine exceeded its iteration budget.
+    IterationLimit,
+    /// The simplex engine hit its wall-clock deadline mid-solve.
+    Deadline,
+    /// Numerical trouble the engine could not recover from.
+    Numerical(String),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::BadVariable(v) => write!(f, "variable index {v} out of range"),
+            IlpError::BadConstraint(c) => write!(f, "constraint index {c} out of range"),
+            IlpError::EmptyBound { var, lb, ub } => {
+                write!(f, "variable {var} has empty bound interval [{lb}, {ub}]")
+            }
+            IlpError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+            IlpError::EmptyModel => write!(f, "model has no variables"),
+            IlpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            IlpError::Deadline => write!(f, "simplex wall-clock deadline exceeded"),
+            IlpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+/// Outcome classification of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+}
+
+/// Outcome classification of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Proven optimal integer solution.
+    Optimal,
+    /// A feasible integer solution was found but optimality was not proven
+    /// before a limit (time, nodes, gap) was reached.
+    Feasible,
+    /// Proven that no integer feasible point exists.
+    Infeasible,
+    /// The relaxation (and hence the MIP) is unbounded.
+    Unbounded,
+    /// A limit was reached before any integer solution was found.
+    Unknown,
+}
+
+impl MipStatus {
+    /// Whether a usable solution vector is attached to the result.
+    pub fn has_solution(self) -> bool {
+        matches!(self, MipStatus::Optimal | MipStatus::Feasible)
+    }
+}

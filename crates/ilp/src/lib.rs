@@ -1,0 +1,31 @@
+//! # gmm-ilp — a self-contained mixed-integer linear programming solver
+//!
+//! This crate replaces the commercial CPLEX solver used by the paper
+//! *"Global Memory Mapping for FPGA-Based Reconfigurable Systems"*
+//! (Ouaiss & Vemuri, IPPS 2001). It provides:
+//!
+//! * a [`model::Model`] building API (continuous / integer / binary
+//!   variables, linear constraints, min/max objectives),
+//! * a bounded-variable two-phase primal [`simplex`] engine,
+//! * a [`presolve`] pass (fixings, singleton rows, redundancy),
+//! * serial ([`branch`]) and work-stealing parallel ([`parallel`])
+//!   branch-and-bound MIP drivers,
+//! * optional cutting planes ([`cuts`]): knapsack covers and Gomory
+//!   fractional cuts,
+//! * a brute-force reference solver ([`brute`]) used to validate the
+//!   engines on small instances.
+
+pub mod branch;
+pub mod brute;
+pub mod cuts;
+pub mod error;
+pub mod io;
+pub mod linalg;
+pub mod model;
+pub mod parallel;
+pub mod presolve;
+pub mod simplex;
+pub mod standard;
+
+pub use error::{IlpError, LpStatus, MipStatus};
+pub use model::{lin, LinExpr, Model, Objective, Sense, VarId, VarKind};

@@ -1,0 +1,14 @@
+//! Minimal dense/sparse linear algebra used by the simplex engine.
+//!
+//! The solver needs exactly three structures: a dense row-major matrix for
+//! the explicit basis inverse, a compressed sparse column matrix for the
+//! constraint matrix (pricing and column extraction are column operations),
+//! and a handful of dense vector kernels. Everything is `f64`.
+
+mod dense;
+mod sparse;
+mod vector;
+
+pub use dense::DenseMatrix;
+pub use sparse::{CscMatrix, Triplet};
+pub use vector::{axpy, dot, infinity_norm, scale, sparse_dot};

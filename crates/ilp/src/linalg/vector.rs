@@ -1,0 +1,90 @@
+//! Dense vector kernels.
+
+/// Dense dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dot product between a sparse column (parallel index/value slices) and a
+/// dense vector.
+#[inline]
+pub fn sparse_dot(idx: &[u32], val: &[f64], dense: &[f64]) -> f64 {
+    debug_assert_eq!(idx.len(), val.len());
+    let mut acc = 0.0;
+    for (&i, &v) in idx.iter().zip(val) {
+        acc += v * dense[i as usize];
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Maximum absolute entry, 0 for the empty vector.
+#[inline]
+pub fn infinity_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sparse_dot_skips_zeros() {
+        let dense = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(sparse_dot(&[1, 3], &[2.0, 0.5], &dense), 60.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let mut y = [1.0, 2.0];
+        axpy(0.0, &[f64::NAN, f64::NAN], &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, -2.0]);
+    }
+
+    #[test]
+    fn infinity_norm_handles_sign() {
+        assert_eq!(infinity_norm(&[1.0, -5.0, 3.0]), 5.0);
+        assert_eq!(infinity_norm(&[]), 0.0);
+    }
+}

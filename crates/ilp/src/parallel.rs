@@ -1,0 +1,497 @@
+//! Work-stealing parallel branch-and-bound.
+//!
+//! The tree search of [`crate::branch`] parallelizes naturally: every node
+//! is an independent LP solve, and the only shared state is the incumbent.
+//! Workers keep private LIFO deques (depth-first plunging, good for finding
+//! incumbents early) and steal breadth-first from each other when idle —
+//! the classic work-stealing arrangement. The incumbent objective is
+//! published through an atomic so pruning reads never take a lock; the
+//! solution vector itself is guarded by a `parking_lot::Mutex` that is only
+//! touched on improvement, which is rare.
+//!
+//! Determinism note: the *optimal objective* is deterministic; the tie-set
+//! of optimal solutions explored may differ run to run.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+
+use crate::branch::{rounding_heuristic, select_branch_var, BranchRule, MipOptions, MipResult, PseudoCosts};
+use crate::error::{IlpError, LpStatus, MipStatus};
+use crate::model::Model;
+use crate::simplex::solve_lp;
+use crate::standard::LpCore;
+
+/// Options specific to the parallel driver.
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Worker thread count; 0 picks the available parallelism.
+    pub threads: usize,
+    /// Base MIP options (node order is ignored: workers are depth-first
+    /// with stealing).
+    pub mip: MipOptions,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 0,
+            mip: MipOptions::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Delta {
+    var: u32,
+    lb: f64,
+    ub: f64,
+    parent: Option<Arc<Delta>>,
+}
+
+struct PNode {
+    delta: Option<Arc<Delta>>,
+    bound: f64,
+}
+
+fn materialize(delta: &Option<Arc<Delta>>, lb0: &[f64], ub0: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut lb = lb0.to_vec();
+    let mut ub = ub0.to_vec();
+    let mut seen = std::collections::HashSet::new();
+    let mut cur = delta.clone();
+    while let Some(d) = cur {
+        if seen.insert(d.var) {
+            lb[d.var as usize] = d.lb;
+            ub[d.var as usize] = d.ub;
+        }
+        cur = d.parent.clone();
+    }
+    (lb, ub)
+}
+
+/// Monotonically-decreasing shared f64 encoded in an atomic (minimization).
+struct AtomicObj(AtomicU64);
+
+impl AtomicObj {
+    fn new(v: f64) -> Self {
+        AtomicObj(AtomicU64::new(v.to_bits()))
+    }
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+    /// Set to `v` if `v` is smaller; returns whether the store won.
+    fn fetch_min(&self, v: f64) -> bool {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            if v >= f64::from_bits(cur) {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+struct Shared {
+    core: LpCore,
+    model: Model,
+    int_vars: Vec<usize>,
+    lb0: Vec<f64>,
+    ub0: Vec<f64>,
+    opts: MipOptions,
+    incumbent_obj: AtomicObj,
+    incumbent: Mutex<Option<Vec<f64>>>,
+    /// Nodes pushed but not yet fully processed; 0 means the tree is done.
+    outstanding: AtomicI64,
+    nodes: AtomicU64,
+    lp_iters: AtomicU64,
+    abort: AtomicBool,
+    limit_hit: AtomicBool,
+    error: Mutex<Option<IlpError>>,
+    injector: Injector<PNode>,
+    start: Instant,
+    deadline: Option<Instant>,
+}
+
+impl Shared {
+    fn to_internal(&self, user: f64) -> f64 {
+        let v = user - self.core.obj_offset;
+        if self.core.maximize {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+fn find_task(local: &Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>]) -> Option<PNode> {
+    if let Some(n) = local.pop() {
+        return Some(n);
+    }
+    // Steal: injector first (fresh roots), then siblings.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(n) => return Some(n),
+            crossbeam::deque::Steal::Empty => break,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+    for s in stealers {
+        loop {
+            match s.steal() {
+                crossbeam::deque::Steal::Success(n) => return Some(n),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>]) {
+    let mut pseudo = PseudoCosts::new(shared.model.num_vars());
+    loop {
+        if shared.abort.load(Ordering::Acquire) {
+            // Drain whatever we own so `outstanding` reaches zero.
+            while let Some(_n) = local.pop() {
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+            return;
+        }
+        let node = match find_task(&local, shared, stealers) {
+            Some(n) => n,
+            None => {
+                if shared.outstanding.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+        };
+
+        // Deadline / node limits.
+        if let Some(dl) = shared.deadline {
+            if Instant::now() >= dl {
+                shared.limit_hit.store(true, Ordering::Release);
+                shared.abort.store(true, Ordering::Release);
+            }
+        }
+        if let Some(nl) = shared.opts.node_limit {
+            if shared.nodes.load(Ordering::Acquire) >= nl {
+                shared.limit_hit.store(true, Ordering::Release);
+                shared.abort.store(true, Ordering::Release);
+            }
+        }
+        if shared.abort.load(Ordering::Acquire) {
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+
+        let incumbent_now = shared.incumbent_obj.load();
+        if node.bound >= incumbent_now - 1e-9 {
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+
+        let (lb, ub) = materialize(&node.delta, &shared.lb0, &shared.ub0);
+        let sol = match solve_lp(&shared.core, &lb, &ub, &shared.opts.simplex) {
+            Ok(s) => s,
+            Err(IlpError::Deadline) => {
+                shared.limit_hit.store(true, Ordering::Release);
+                shared.abort.store(true, Ordering::Release);
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            Err(e) => {
+                *shared.error.lock() = Some(e);
+                shared.abort.store(true, Ordering::Release);
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+        };
+        shared.nodes.fetch_add(1, Ordering::AcqRel);
+        shared
+            .lp_iters
+            .fetch_add(sol.iterations as u64, Ordering::AcqRel);
+
+        if sol.status != LpStatus::Optimal {
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let node_bound = shared.to_internal(sol.objective);
+        if node_bound >= shared.incumbent_obj.load() - 1e-9 {
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+
+        match select_branch_var(
+            &shared.int_vars,
+            &sol.x,
+            shared.opts.int_tol,
+            BranchRule::MostFractional,
+            &pseudo,
+        ) {
+            None => {
+                let mut x = sol.x.clone();
+                for &v in &shared.int_vars {
+                    x[v] = x[v].round();
+                }
+                if shared.incumbent_obj.fetch_min(node_bound) {
+                    *shared.incumbent.lock() = Some(x);
+                }
+            }
+            Some((bv, xv)) => {
+                if shared.opts.rounding_heuristic {
+                    if let Some(cand) = rounding_heuristic(&shared.model, &sol.x, shared.opts.int_tol)
+                    {
+                        let obj = shared.to_internal(shared.model.objective_value(&cand));
+                        if shared.incumbent_obj.fetch_min(obj) {
+                            *shared.incumbent.lock() = Some(cand);
+                        }
+                    }
+                }
+                let floor = xv.floor();
+                let frac = xv - floor;
+                pseudo.record(bv, true, 0.0, 1.0 - frac);
+                pseudo.record(bv, false, 0.0, frac);
+                let down = PNode {
+                    delta: Some(Arc::new(Delta {
+                        var: bv as u32,
+                        lb: lb[bv],
+                        ub: floor,
+                        parent: node.delta.clone(),
+                    })),
+                    bound: node_bound,
+                };
+                let up = PNode {
+                    delta: Some(Arc::new(Delta {
+                        var: bv as u32,
+                        lb: floor + 1.0,
+                        ub: ub[bv],
+                        parent: node.delta.clone(),
+                    })),
+                    bound: node_bound,
+                };
+                shared.outstanding.fetch_add(2, Ordering::AcqRel);
+                // Push the more promising child last so it pops first
+                // (LIFO): plunge toward the LP value.
+                if frac <= 0.5 {
+                    local.push(up);
+                    local.push(down);
+                } else {
+                    local.push(down);
+                    local.push(up);
+                }
+            }
+        }
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Solve a MIP with work-stealing parallel branch-and-bound.
+pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipResult, IlpError> {
+    let start = Instant::now();
+    let threads = if popts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    } else {
+        popts.threads
+    };
+
+    let core = LpCore::from_model(model);
+    let int_vars: Vec<usize> = model.integer_vars().iter().map(|v| v.index()).collect();
+    let mut lb0 = core.lb.clone();
+    let mut ub0 = core.ub.clone();
+    for &v in &int_vars {
+        lb0[v] = lb0[v].ceil();
+        ub0[v] = ub0[v].floor();
+        if lb0[v] > ub0[v] {
+            return Ok(MipResult {
+                status: MipStatus::Infeasible,
+                best_solution: None,
+                best_objective: None,
+                best_bound: f64::NAN,
+                gap: f64::NAN,
+                nodes_explored: 0,
+                lp_iterations: 0,
+                wall_time: start.elapsed(),
+            });
+        }
+    }
+
+    let mut mip_opts = popts.mip.clone();
+    if let Some(tl) = mip_opts.time_limit {
+        let dl = start + tl;
+        mip_opts.simplex.deadline = Some(match mip_opts.simplex.deadline {
+            Some(existing) => existing.min(dl),
+            None => dl,
+        });
+    }
+    let shared = Shared {
+        core,
+        model: model.clone(),
+        int_vars,
+        lb0,
+        ub0,
+        opts: mip_opts,
+        incumbent_obj: AtomicObj::new(f64::INFINITY),
+        incumbent: Mutex::new(None),
+        outstanding: AtomicI64::new(1),
+        nodes: AtomicU64::new(0),
+        lp_iters: AtomicU64::new(0),
+        abort: AtomicBool::new(false),
+        limit_hit: AtomicBool::new(false),
+        error: Mutex::new(None),
+        injector: Injector::new(),
+        start,
+        deadline: popts.mip.time_limit.map(|tl| start + tl),
+    };
+    shared.injector.push(PNode {
+        delta: None,
+        bound: f64::NEG_INFINITY,
+    });
+
+    let workers: Vec<Worker<PNode>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<PNode>> = workers.iter().map(Worker::stealer).collect();
+
+    std::thread::scope(|s| {
+        for w in workers {
+            let shared_ref = &shared;
+            let stealers_ref = &stealers;
+            s.spawn(move || worker_loop(w, shared_ref, stealers_ref));
+        }
+    });
+
+    if let Some(e) = shared.error.lock().take() {
+        return Err(e);
+    }
+
+    let limit_hit = shared.limit_hit.load(Ordering::Acquire);
+    let incumbent = shared.incumbent.lock().take();
+    let incumbent_obj = shared.incumbent_obj.load();
+    let to_user = |internal: f64| shared.core.user_objective(internal);
+    let wall = shared.start.elapsed();
+    let _ = Duration::ZERO;
+
+    match incumbent {
+        Some(x) => Ok(MipResult {
+            status: if limit_hit {
+                MipStatus::Feasible
+            } else {
+                MipStatus::Optimal
+            },
+            best_objective: Some(to_user(incumbent_obj)),
+            // Parallel driver does not track a global open-node bound; on a
+            // clean finish the incumbent is the bound.
+            best_bound: if limit_hit { f64::NAN } else { to_user(incumbent_obj) },
+            best_solution: Some(x),
+            gap: if limit_hit { f64::NAN } else { 0.0 },
+            nodes_explored: shared.nodes.load(Ordering::Acquire),
+            lp_iterations: shared.lp_iters.load(Ordering::Acquire),
+            wall_time: wall,
+        }),
+        None => Ok(MipResult {
+            status: if limit_hit {
+                MipStatus::Unknown
+            } else {
+                MipStatus::Infeasible
+            },
+            best_solution: None,
+            best_objective: None,
+            best_bound: f64::NAN,
+            gap: f64::NAN,
+            nodes_explored: shared.nodes.load(Ordering::Acquire),
+            lp_iterations: shared.lp_iters.load(Ordering::Acquire),
+            wall_time: wall,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::solve_mip;
+    use crate::model::{lin, LinExpr, Model, Objective, Sense};
+
+    fn knapsack(n: usize, seed: u64) -> Model {
+        // Deterministic pseudo-random knapsack.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut m = Model::new();
+        let mut expr = LinExpr::new();
+        let mut total = 0.0;
+        for _ in 0..n {
+            let value = (next() % 50 + 1) as f64;
+            let weight = (next() % 40 + 1) as f64;
+            let x = m.add_binary(value);
+            expr.push(x, weight);
+            total += weight;
+        }
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(expr, Sense::Le, (total / 3.0).floor()).unwrap();
+        m
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_knapsacks() {
+        for seed in 1..5 {
+            let m = knapsack(14, seed);
+            let serial = solve_mip(&m, &MipOptions::default()).unwrap();
+            let par = solve_mip_parallel(
+                &m,
+                &ParallelOptions {
+                    threads: 4,
+                    ..ParallelOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.status, MipStatus::Optimal);
+            assert_eq!(par.status, MipStatus::Optimal, "seed {seed}");
+            let a = serial.best_objective.unwrap();
+            let b = par.best_objective.unwrap();
+            assert!((a - b).abs() < 1e-6, "seed {seed}: serial {a} vs parallel {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 3.0)
+            .unwrap();
+        let r = solve_mip_parallel(&m, &ParallelOptions::default()).unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn single_thread_parallel_works() {
+        let m = knapsack(10, 42);
+        let r = solve_mip_parallel(
+            &m,
+            &ParallelOptions {
+                threads: 1,
+                ..ParallelOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+    }
+}

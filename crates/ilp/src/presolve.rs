@@ -1,0 +1,337 @@
+//! Presolve reductions applied to a [`Model`] before branch-and-bound.
+//!
+//! The pass is deliberately conservative: every reduction is exactly
+//! reversible via [`Presolved::postsolve`], and nothing changes the optimal
+//! objective. Implemented reductions:
+//!
+//! 1. **Fixed-variable substitution** — variables with `lb == ub` are
+//!    removed and folded into constraint right-hand sides and the objective
+//!    offset.
+//! 2. **Singleton rows** — a row with a single variable is converted into a
+//!    bound tightening and dropped.
+//! 3. **Redundant rows** — rows whose activity bounds already imply the
+//!    constraint are dropped.
+//! 4. **Infeasibility detection** — empty rows with impossible right-hand
+//!    sides, or bound tightenings that cross, short-circuit to infeasible.
+
+use crate::model::{Model, Sense, VarId, VarKind};
+
+/// Result of presolving a model.
+#[derive(Debug)]
+pub enum PresolveOutcome {
+    /// Reduced model plus the mapping needed to reconstruct full solutions.
+    Reduced(Presolved),
+    /// The model is infeasible; no solve is needed.
+    Infeasible(String),
+}
+
+/// A reduced model together with its solution-reconstruction data.
+#[derive(Debug)]
+pub struct Presolved {
+    pub model: Model,
+    /// For each variable of the reduced model, its index in the original.
+    kept: Vec<usize>,
+    /// Fixed values of removed variables, indexed by original position.
+    fixed: Vec<Option<f64>>,
+    /// Original variable count.
+    n_orig: usize,
+    /// Rows dropped by the pass (indices into the original model), kept for
+    /// diagnostics.
+    pub dropped_rows: Vec<usize>,
+}
+
+impl Presolved {
+    /// Expand a reduced-space solution to the original variable order.
+    pub fn postsolve(&self, x_reduced: &[f64]) -> Vec<f64> {
+        let mut full = vec![0.0; self.n_orig];
+        for (orig, fv) in self.fixed.iter().enumerate() {
+            if let Some(v) = fv {
+                full[orig] = *v;
+            }
+        }
+        for (red, &orig) in self.kept.iter().enumerate() {
+            full[orig] = x_reduced[red];
+        }
+        full
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.n_orig - self.kept.len()
+    }
+}
+
+/// Run the presolve pass.
+pub fn presolve(model: &Model) -> PresolveOutcome {
+    let n = model.num_vars();
+    // Working copies of bounds, updated by singleton rows.
+    let mut lb: Vec<f64> = Vec::with_capacity(n);
+    let mut ub: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (l, u) = model.var_bounds(VarId(i as u32));
+        lb.push(l);
+        ub.push(u);
+    }
+
+    let mut dropped_rows: Vec<usize> = Vec::new();
+    let mut keep_row = vec![true; model.num_constraints()];
+
+    // Iterate singleton/redundancy to a fixed point (bounded sweeps).
+    for _sweep in 0..4 {
+        let mut changed = false;
+        for (ri, con) in model.cons.iter().enumerate() {
+            if !keep_row[ri] {
+                continue;
+            }
+            // Active terms = terms over not-yet-fixed variables. Terms over
+            // fixed variables contribute constants.
+            let mut constant = 0.0;
+            let mut active: Vec<(usize, f64)> = Vec::new();
+            for &(v, c) in &con.terms {
+                let vi = v.index();
+                if lb[vi] == ub[vi] {
+                    constant += c * lb[vi];
+                } else {
+                    active.push((vi, c));
+                }
+            }
+            let rhs = con.rhs - constant;
+            match active.len() {
+                0 => {
+                    let ok = match con.sense {
+                        Sense::Le => 0.0 <= rhs + 1e-9,
+                        Sense::Ge => 0.0 >= rhs - 1e-9,
+                        Sense::Eq => rhs.abs() <= 1e-9,
+                    };
+                    if !ok {
+                        return PresolveOutcome::Infeasible(format!(
+                            "row {ri} reduces to 0 {:?} {rhs}",
+                            con.sense
+                        ));
+                    }
+                    keep_row[ri] = false;
+                    dropped_rows.push(ri);
+                    changed = true;
+                }
+                1 => {
+                    // Singleton: convert to a bound.
+                    let (vi, c) = active[0];
+                    let bound = rhs / c;
+                    let integral = !matches!(model.var_kind(VarId(vi as u32)), VarKind::Continuous);
+                    let (mut nl, mut nu) = (lb[vi], ub[vi]);
+                    match (con.sense, c > 0.0) {
+                        (Sense::Le, true) | (Sense::Ge, false) => nu = nu.min(bound),
+                        (Sense::Le, false) | (Sense::Ge, true) => nl = nl.max(bound),
+                        (Sense::Eq, _) => {
+                            nl = nl.max(bound);
+                            nu = nu.min(bound);
+                        }
+                    }
+                    if integral {
+                        nl = nl.ceil();
+                        nu = nu.floor();
+                    }
+                    if nl > nu + 1e-9 {
+                        return PresolveOutcome::Infeasible(format!(
+                            "singleton row {ri} empties variable {vi}'s domain"
+                        ));
+                    }
+                    lb[vi] = nl.max(lb[vi]);
+                    ub[vi] = nu.min(ub[vi]);
+                    keep_row[ri] = false;
+                    dropped_rows.push(ri);
+                    changed = true;
+                }
+                _ => {
+                    // Redundancy via activity bounds.
+                    let mut min_act = 0.0;
+                    let mut max_act = 0.0;
+                    let mut finite = true;
+                    for &(vi, c) in &active {
+                        let (l, u) = (lb[vi], ub[vi]);
+                        if !l.is_finite() || !u.is_finite() {
+                            finite = false;
+                            break;
+                        }
+                        if c > 0.0 {
+                            min_act += c * l;
+                            max_act += c * u;
+                        } else {
+                            min_act += c * u;
+                            max_act += c * l;
+                        }
+                    }
+                    if finite {
+                        let redundant = match con.sense {
+                            Sense::Le => max_act <= rhs + 1e-9,
+                            Sense::Ge => min_act >= rhs - 1e-9,
+                            Sense::Eq => false,
+                        };
+                        let impossible = match con.sense {
+                            Sense::Le => min_act > rhs + 1e-9,
+                            Sense::Ge => max_act < rhs - 1e-9,
+                            Sense::Eq => min_act > rhs + 1e-9 || max_act < rhs - 1e-9,
+                        };
+                        if impossible {
+                            return PresolveOutcome::Infeasible(format!(
+                                "row {ri} activity range [{min_act}, {max_act}] excludes rhs {rhs}"
+                            ));
+                        }
+                        if redundant {
+                            keep_row[ri] = false;
+                            dropped_rows.push(ri);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Rebuild the reduced model over surviving variables/rows.
+    let mut reduced = Model::new();
+    reduced.set_objective_direction(model.objective_direction());
+    let mut kept: Vec<usize> = Vec::new();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut map: Vec<Option<VarId>> = vec![None; n];
+    let mut obj_offset = model.obj_offset;
+    for i in 0..n {
+        let id = VarId(i as u32);
+        if lb[i] == ub[i] {
+            fixed[i] = Some(lb[i]);
+            obj_offset += model.obj_coeff(id) * lb[i];
+        } else {
+            let nid = reduced
+                .add_var(model.var_kind(id), lb[i], ub[i], model.obj_coeff(id))
+                .expect("bounds validated during presolve");
+            if let Some(name) = model.var_name(id) {
+                reduced.set_var_name(nid, name);
+            }
+            map[i] = Some(nid);
+            kept.push(i);
+        }
+    }
+    reduced.set_objective_offset(obj_offset);
+    for (ri, con) in model.cons.iter().enumerate() {
+        if !keep_row[ri] {
+            continue;
+        }
+        let mut constant = 0.0;
+        let mut expr = crate::model::LinExpr::new();
+        for &(v, c) in &con.terms {
+            let vi = v.index();
+            match map[vi] {
+                Some(nid) => expr.push(nid, c),
+                None => constant += c * fixed[vi].unwrap(),
+            }
+        }
+        reduced
+            .add_constraint(expr, con.sense, con.rhs - constant)
+            .expect("terms map to valid reduced variables");
+    }
+
+    PresolveOutcome::Reduced(Presolved {
+        model: reduced,
+        kept,
+        fixed,
+        n_orig: n,
+        dropped_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin, Model, Objective};
+
+    #[test]
+    fn fixed_variables_substituted() {
+        let mut m = Model::new();
+        let x = m.add_continuous(3.0, 3.0, 2.0).unwrap(); // fixed at 3
+        let y = m.add_continuous(0.0, 10.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 8.0)
+            .unwrap();
+        match presolve(&m) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.model.num_vars(), 1);
+                assert_eq!(p.vars_removed(), 1);
+                // Row becomes y <= 5, a singleton, so it is absorbed into
+                // the bound and dropped.
+                assert_eq!(p.model.num_constraints(), 0);
+                assert_eq!(p.model.var_bounds(VarId(0)), (0.0, 5.0));
+                let full = p.postsolve(&[4.0]);
+                assert_eq!(full, vec![3.0, 4.0]);
+                // Objective offset carries the fixed part.
+                assert_eq!(p.model.objective_value(&[4.0]), 2.0 * 3.0 + 4.0);
+            }
+            PresolveOutcome::Infeasible(why) => panic!("unexpected infeasible: {why}"),
+        }
+    }
+
+    #[test]
+    fn singleton_row_tightens_integer_bound() {
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 100.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 2.0)]), Sense::Le, 5.0).unwrap();
+        match presolve(&m) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.model.num_constraints(), 0);
+                assert_eq!(p.model.var_bounds(VarId(0)), (0.0, 2.0)); // floor(2.5)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 5.0)
+            .unwrap(); // max activity 2 <= 5: redundant
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.0)
+            .unwrap(); // binding, kept
+        match presolve(&m) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.model.num_constraints(), 1);
+                assert_eq!(p.dropped_rows, vec![0]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn infeasible_by_activity() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 3.0)
+            .unwrap();
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn crossing_singleton_bounds_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Ge, 6.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 4.0).unwrap();
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn objective_direction_preserved() {
+        let mut m = Model::new();
+        let _ = m.add_binary(1.0);
+        m.set_objective_direction(Objective::Maximize);
+        match presolve(&m) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.model.objective_direction(), Objective::Maximize);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,846 @@
+//! Two-phase primal simplex for linear programs with bounded variables.
+//!
+//! The implementation is a revised simplex with an **explicit dense basis
+//! inverse** that is rank-1 updated on every pivot and rebuilt from scratch
+//! every [`SimplexOptions::refactor_every`] pivots for numerical hygiene.
+//! The constraint matrix stays sparse (CSC); slack and artificial columns
+//! are represented implicitly as unit columns.
+//!
+//! Feasibility (phase 1) is obtained by adding one artificial variable per
+//! row whose slack cannot absorb the initial residual, then minimizing the
+//! artificial sum. Phase 2 fixes artificials to zero and optimizes the real
+//! objective. Degenerate cycling is broken by switching to Bland's rule
+//! after a stall is detected.
+
+use crate::error::{IlpError, LpStatus};
+use crate::linalg::{sparse_dot, DenseMatrix};
+use crate::model::Sense;
+use crate::standard::LpCore;
+
+/// Nonbasic/basic classification of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// Basic in the given row.
+    Basic(u32),
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+    /// Nonbasic free variable resting at zero.
+    Free,
+}
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases (0 = automatic).
+    pub max_iters: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Pivots between basis re-inversions.
+    pub refactor_every: usize,
+    /// Iterations without objective progress before Bland's rule engages.
+    pub stall_limit: usize,
+    /// Abort with [`IlpError::Deadline`] past this instant (checked every
+    /// few pivots, so a single long LP cannot overshoot a MIP time limit).
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iters: 0,
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-9,
+            refactor_every: 64,
+            stall_limit: 256,
+            deadline: None,
+        }
+    }
+}
+
+/// Snapshot of the final basis, sufficient to derive tableau rows for
+/// cutting planes.
+#[derive(Debug, Clone)]
+pub struct BasisSnapshot {
+    /// Basis inverse at termination (`m x m`).
+    pub binv: DenseMatrix,
+    /// Variable occupying each basis row.
+    pub basis: Vec<u32>,
+    /// Status of every internal column (structural, then slacks).
+    pub status: Vec<VarStatus>,
+    /// Value of every internal column.
+    pub x_all: Vec<f64>,
+    /// Number of structural columns.
+    pub n_struct: usize,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// Structural variable values (meaningful when `status == Optimal`).
+    pub x: Vec<f64>,
+    /// Objective in the user's sense, including any offset.
+    pub objective: f64,
+    /// Total simplex pivots across both phases.
+    pub iterations: usize,
+    /// Final basis data for cut generation (only on `Optimal`).
+    pub snapshot: Option<BasisSnapshot>,
+}
+
+/// Solve the LP defined by `core` with per-variable bounds `lb`/`ub`
+/// (overriding the core's defaults; slices must have structural length).
+pub fn solve_lp(
+    core: &LpCore,
+    lb: &[f64],
+    ub: &[f64],
+    opts: &SimplexOptions,
+) -> Result<LpSolution, IlpError> {
+    Solver::new(core, lb, ub, opts.clone())?.run()
+}
+
+/// Solve with the core's own bounds.
+pub fn solve_lp_default(core: &LpCore, opts: &SimplexOptions) -> Result<LpSolution, IlpError> {
+    solve_lp(core, &core.lb, &core.ub, opts)
+}
+
+const INF: f64 = f64::INFINITY;
+
+struct Solver<'a> {
+    core: &'a LpCore,
+    opts: SimplexOptions,
+    m: usize,
+    n_struct: usize,
+    /// Total columns: structural + m slacks + artificials.
+    n_total: usize,
+    /// Artificial column descriptors: (row, sign).
+    artificials: Vec<(u32, f64)>,
+    /// First artificial column index (== n_struct + m).
+    art_base: usize,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Phase-2 costs for every column (artificials cost 0).
+    costs: Vec<f64>,
+    status: Vec<VarStatus>,
+    basis: Vec<u32>,
+    x: Vec<f64>,
+    binv: DenseMatrix,
+    /// Scratch: y = c_B' B^-1.
+    y: Vec<f64>,
+    /// Scratch: w = B^-1 A_j.
+    w: Vec<f64>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+}
+
+enum Phase {
+    One,
+    Two,
+}
+
+impl<'a> Solver<'a> {
+    fn new(
+        core: &'a LpCore,
+        lb_in: &[f64],
+        ub_in: &[f64],
+        opts: SimplexOptions,
+    ) -> Result<Self, IlpError> {
+        let m = core.num_rows();
+        let n_struct = core.num_structural();
+        if n_struct == 0 {
+            return Err(IlpError::EmptyModel);
+        }
+        debug_assert_eq!(lb_in.len(), n_struct);
+        debug_assert_eq!(ub_in.len(), n_struct);
+
+        // Bounds: structural, then slack bounds by row sense.
+        let mut lb = Vec::with_capacity(n_struct + m);
+        let mut ub = Vec::with_capacity(n_struct + m);
+        lb.extend_from_slice(lb_in);
+        ub.extend_from_slice(ub_in);
+        for s in &core.senses {
+            match s {
+                Sense::Le => {
+                    lb.push(0.0);
+                    ub.push(INF);
+                }
+                Sense::Ge => {
+                    lb.push(-INF);
+                    ub.push(0.0);
+                }
+                Sense::Eq => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+        }
+        for j in 0..n_struct {
+            if lb[j] > ub[j] {
+                return Err(IlpError::EmptyBound {
+                    var: j,
+                    lb: lb[j],
+                    ub: ub[j],
+                });
+            }
+        }
+
+        let mut costs = Vec::with_capacity(n_struct + m);
+        costs.extend_from_slice(&core.costs);
+        costs.extend(std::iter::repeat(0.0).take(m));
+
+        Ok(Solver {
+            core,
+            opts,
+            m,
+            n_struct,
+            n_total: n_struct + m,
+            artificials: Vec::new(),
+            art_base: n_struct + m,
+            lb,
+            ub,
+            costs,
+            status: Vec::new(),
+            basis: Vec::new(),
+            x: Vec::new(),
+            binv: DenseMatrix::identity(m),
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+            iterations: 0,
+            pivots_since_refactor: 0,
+        })
+    }
+
+    /// Column `j` as sparse (rows, values); slacks and artificials are unit
+    /// columns handled via the returned small buffers.
+    #[inline]
+    fn column(&self, j: usize) -> ColRef<'a> {
+        if j < self.n_struct {
+            let (idx, val) = self.core.a.column(j);
+            ColRef::Struct(idx, val)
+        } else if j < self.art_base {
+            ColRef::Unit((j - self.n_struct) as u32, 1.0)
+        } else {
+            let (row, sign) = self.artificials[j - self.art_base];
+            ColRef::Unit(row, sign)
+        }
+    }
+
+    /// Reduced cost of column `j` given `y`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, cost_j: f64) -> f64 {
+        match self.column(j) {
+            ColRef::Struct(idx, val) => cost_j - sparse_dot(idx, val, &self.y),
+            ColRef::Unit(row, sign) => cost_j - sign * self.y[row as usize],
+        }
+    }
+
+    /// `w = B^-1 A_j`.
+    fn compute_w(&mut self, j: usize) {
+        self.w.fill(0.0);
+        if j < self.n_struct {
+            let (idx, val) = self.core.a.column(j);
+            for (&r, &v) in idx.iter().zip(val) {
+                let r = r as usize;
+                // w += v * binv[:, r]
+                for i in 0..self.m {
+                    self.w[i] += v * self.binv.get(i, r);
+                }
+            }
+        } else {
+            let (row, sign) = if j < self.art_base {
+                ((j - self.n_struct) as u32, 1.0)
+            } else {
+                self.artificials[j - self.art_base]
+            };
+            let r = row as usize;
+            for i in 0..self.m {
+                self.w[i] = sign * self.binv.get(i, r);
+            }
+        }
+    }
+
+    /// Initialize statuses, the starting basis (slacks where possible,
+    /// artificials elsewhere), and the value vector.
+    fn initialize(&mut self) {
+        let m = self.m;
+        let n_struct = self.n_struct;
+        self.status = Vec::with_capacity(self.n_total);
+        self.x = Vec::with_capacity(self.n_total);
+
+        // Structural variables start at the finite bound closest to zero.
+        for j in 0..n_struct {
+            let (l, u) = (self.lb[j], self.ub[j]);
+            let (st, v) = if l.is_finite() && u.is_finite() {
+                if l.abs() <= u.abs() {
+                    (VarStatus::Lower, l)
+                } else {
+                    (VarStatus::Upper, u)
+                }
+            } else if l.is_finite() {
+                (VarStatus::Lower, l)
+            } else if u.is_finite() {
+                (VarStatus::Upper, u)
+            } else {
+                (VarStatus::Free, 0.0)
+            };
+            self.status.push(st);
+            self.x.push(v);
+        }
+
+        // Row residuals with all structural variables at their start value.
+        let mut resid: Vec<f64> = self.core.rhs.clone();
+        for j in 0..n_struct {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                let (idx, val) = self.core.a.column(j);
+                for (&r, &v) in idx.iter().zip(val) {
+                    resid[r as usize] -= v * xj;
+                }
+            }
+        }
+
+        // Slack columns: basic when the residual fits their bounds,
+        // otherwise clamped nonbasic. Rows whose slack cannot absorb the
+        // residual get an artificial in a second pass so that column
+        // indices stay contiguous (structural, slacks, artificials).
+        self.basis = vec![0; m];
+        self.artificials.clear();
+        let mut need_art: Vec<(usize, f64)> = Vec::new();
+        for i in 0..m {
+            let j = n_struct + i;
+            let (l, u) = (self.lb[j], self.ub[j]);
+            let want = resid[i];
+            if want >= l - self.opts.feas_tol && want <= u + self.opts.feas_tol {
+                self.status.push(VarStatus::Basic(i as u32));
+                self.x.push(want.clamp(l.min(u), u.max(l)));
+                self.basis[i] = j as u32;
+            } else {
+                let clamped = if want < l { l } else { u };
+                self.status.push(if clamped == l {
+                    VarStatus::Lower
+                } else {
+                    VarStatus::Upper
+                });
+                self.x.push(clamped);
+                need_art.push((i, want - clamped));
+            }
+        }
+        for (i, leftover) in need_art {
+            let sign = if leftover >= 0.0 { 1.0 } else { -1.0 };
+            let aj = n_struct + m + self.artificials.len();
+            self.artificials.push((i as u32, sign));
+            self.basis[i] = aj as u32;
+            self.lb.push(0.0);
+            self.ub.push(INF);
+            self.costs.push(0.0);
+            self.status.push(VarStatus::Basic(i as u32));
+            self.x.push(leftover.abs());
+        }
+        self.n_total = n_struct + m + self.artificials.len();
+        self.binv = DenseMatrix::identity(m);
+        // Basis may contain artificials with sign -1: B is then not exactly
+        // I. Rebuild the inverse to be safe.
+        if self.artificials.iter().any(|&(_, s)| s < 0.0) {
+            self.refactorize().expect("starting basis is diagonal");
+        }
+        self.pivots_since_refactor = 0;
+    }
+
+    /// Rebuild `binv` from the basis columns; also refresh basic values.
+    fn refactorize(&mut self) -> Result<(), IlpError> {
+        let m = self.m;
+        if m == 0 {
+            return Ok(());
+        }
+        let mut b = DenseMatrix::zeros(m, m);
+        for (col, &bj) in self.basis.iter().enumerate() {
+            match self.column(bj as usize) {
+                ColRef::Struct(idx, val) => {
+                    for (&r, &v) in idx.iter().zip(val) {
+                        b.set(r as usize, col, v);
+                    }
+                }
+                ColRef::Unit(row, sign) => b.set(row as usize, col, sign),
+            }
+        }
+        self.binv = b
+            .inverse(self.opts.pivot_tol)
+            .ok_or_else(|| IlpError::Numerical("singular basis at refactorization".into()))?;
+        self.recompute_basics();
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+
+    /// Recompute basic variable values from nonbasic values.
+    fn recompute_basics(&mut self) {
+        let m = self.m;
+        let mut rhs_eff: Vec<f64> = self.core.rhs.clone();
+        for j in 0..self.n_total {
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            match self.column(j) {
+                ColRef::Struct(idx, val) => {
+                    for (&r, &v) in idx.iter().zip(val) {
+                        rhs_eff[r as usize] -= v * xj;
+                    }
+                }
+                ColRef::Unit(row, sign) => rhs_eff[row as usize] -= sign * xj,
+            }
+        }
+        let mut xb = vec![0.0; m];
+        self.binv.mul_vec(&rhs_eff, &mut xb);
+        for (i, &bj) in self.basis.iter().enumerate() {
+            self.x[bj as usize] = xb[i];
+        }
+    }
+
+    fn run(mut self) -> Result<LpSolution, IlpError> {
+        self.initialize();
+        let max_iters = if self.opts.max_iters > 0 {
+            self.opts.max_iters
+        } else {
+            20_000 + 50 * (self.m + self.n_total)
+        };
+
+        if !self.artificials.is_empty() {
+            // Phase 1: minimize sum of artificials.
+            let mut p1_costs = vec![0.0; self.n_total];
+            for k in 0..self.artificials.len() {
+                p1_costs[self.art_base + k] = 1.0;
+            }
+            let status = self.optimize(&p1_costs, max_iters, Phase::One)?;
+            if status == LpStatus::Unbounded {
+                return Err(IlpError::Numerical(
+                    "phase-1 objective unbounded below zero".into(),
+                ));
+            }
+            let infeas: f64 = (0..self.artificials.len())
+                .map(|k| self.x[self.art_base + k])
+                .sum();
+            if infeas > self.opts.feas_tol * 10.0 * (1.0 + self.m as f64).sqrt() {
+                return Ok(LpSolution {
+                    status: LpStatus::Infeasible,
+                    x: Vec::new(),
+                    objective: f64::NAN,
+                    iterations: self.iterations,
+                    snapshot: None,
+                });
+            }
+            // Fix artificials at zero for phase 2.
+            for k in 0..self.artificials.len() {
+                let j = self.art_base + k;
+                self.ub[j] = 0.0;
+                if !matches!(self.status[j], VarStatus::Basic(_)) {
+                    self.status[j] = VarStatus::Lower;
+                    self.x[j] = 0.0;
+                }
+            }
+        }
+
+        // Phase 2: the real objective.
+        let costs = self.costs.clone();
+        let status = self.optimize(&costs, max_iters, Phase::Two)?;
+        if status == LpStatus::Unbounded {
+            return Ok(LpSolution {
+                status: LpStatus::Unbounded,
+                x: Vec::new(),
+                objective: f64::NAN,
+                iterations: self.iterations,
+                snapshot: None,
+            });
+        }
+
+        let internal_obj: f64 = (0..self.n_struct).map(|j| self.costs[j] * self.x[j]).sum();
+        let x_struct = self.x[..self.n_struct].to_vec();
+        let snapshot = BasisSnapshot {
+            binv: self.binv.clone(),
+            basis: self.basis.clone(),
+            status: self.status[..self.n_struct + self.m].to_vec(),
+            x_all: self.x[..self.n_struct + self.m].to_vec(),
+            n_struct: self.n_struct,
+        };
+        Ok(LpSolution {
+            status: LpStatus::Optimal,
+            x: x_struct,
+            objective: self.core.user_objective(internal_obj),
+            iterations: self.iterations,
+            snapshot: Some(snapshot),
+        })
+    }
+
+    /// Core pivoting loop minimizing `costs`. Returns `Optimal` (no
+    /// improving column) or `Unbounded`.
+    fn optimize(
+        &mut self,
+        costs: &[f64],
+        max_iters: usize,
+        phase: Phase,
+    ) -> Result<LpStatus, IlpError> {
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            if self.iterations >= max_iters {
+                return Err(IlpError::IterationLimit);
+            }
+            if self.iterations % 32 == 0 {
+                if let Some(dl) = self.opts.deadline {
+                    if std::time::Instant::now() >= dl {
+                        return Err(IlpError::Deadline);
+                    }
+                }
+            }
+            // y = c_B' B^-1
+            let cb: Vec<f64> = self.basis.iter().map(|&b| costs[b as usize]).collect();
+            self.binv.vec_mul(&cb, &mut self.y);
+
+            // Pricing: pick entering column.
+            let mut best_j = usize::MAX;
+            let mut best_score = self.opts.opt_tol;
+            let mut best_dir = 1.0;
+            for j in 0..self.n_total {
+                if matches!(self.status[j], VarStatus::Basic(_)) {
+                    continue;
+                }
+                if self.ub[j] - self.lb[j] <= 0.0 {
+                    continue; // fixed: never enters
+                }
+                let d = self.reduced_cost(j, costs[j]);
+                let (eligible, dir) = match self.status[j] {
+                    VarStatus::Lower => (d < -self.opts.opt_tol, 1.0),
+                    VarStatus::Upper => (d > self.opts.opt_tol, -1.0),
+                    VarStatus::Free => (d.abs() > self.opts.opt_tol, if d < 0.0 { 1.0 } else { -1.0 }),
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                if bland {
+                    best_j = j;
+                    best_dir = dir;
+                    break;
+                }
+                let score = d.abs();
+                if score > best_score {
+                    best_score = score;
+                    best_j = j;
+                    best_dir = dir;
+                }
+            }
+            if best_j == usize::MAX {
+                return Ok(LpStatus::Optimal); // no improving column
+            }
+
+            let entering = best_j;
+            let dir = best_dir;
+            self.compute_w(entering);
+
+            // Ratio test.
+            let span = self.ub[entering] - self.lb[entering];
+            let mut t_min = if span.is_finite() { span } else { INF };
+            let mut leave_row: Option<usize> = None;
+            let mut leave_to_upper = false;
+            let mut best_pivot = 0.0_f64;
+            for i in 0..self.m {
+                let wi = self.w[i];
+                if wi.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let bj = self.basis[i] as usize;
+                let xb = self.x[bj];
+                // x_B[i] moves at rate -dir*wi per unit of t.
+                let rate = -dir * wi;
+                let (limit, to_upper) = if rate < 0.0 {
+                    if self.lb[bj].is_finite() {
+                        (((xb - self.lb[bj]).max(0.0)) / (-rate), false)
+                    } else {
+                        continue;
+                    }
+                } else if self.ub[bj].is_finite() {
+                    (((self.ub[bj] - xb).max(0.0)) / rate, true)
+                } else {
+                    continue;
+                };
+                let better = if bland {
+                    limit < t_min - 1e-12
+                        || (limit <= t_min + 1e-12
+                            && leave_row.map_or(true, |r| bj < self.basis[r] as usize))
+                } else {
+                    limit < t_min - 1e-12
+                        || (limit <= t_min + 1e-12 && wi.abs() > best_pivot)
+                };
+                if better {
+                    t_min = limit.min(t_min);
+                    leave_row = Some(i);
+                    leave_to_upper = to_upper;
+                    best_pivot = wi.abs();
+                }
+            }
+
+            if t_min.is_infinite() {
+                return match phase {
+                    Phase::One => Err(IlpError::Numerical(
+                        "unbounded phase-1 subproblem".into(),
+                    )),
+                    Phase::Two => Ok(LpStatus::Unbounded),
+                };
+            }
+
+            self.iterations += 1;
+            let t = t_min.max(0.0);
+
+            // Move entering variable and update basics.
+            let new_xe = self.x[entering] + dir * t;
+            if t > 0.0 {
+                for i in 0..self.m {
+                    let bj = self.basis[i] as usize;
+                    self.x[bj] -= dir * t * self.w[i];
+                }
+            }
+            self.x[entering] = new_xe;
+
+            let bound_flip = match leave_row {
+                None => true,
+                Some(_) if span.is_finite() && t >= span - 1e-12 => {
+                    // The entering variable reached its opposite bound at
+                    // (numerically) the same step: prefer the flip, it keeps
+                    // the basis unchanged.
+                    true
+                }
+                Some(_) => false,
+            };
+
+            if bound_flip {
+                self.status[entering] = if dir > 0.0 {
+                    VarStatus::Upper
+                } else {
+                    VarStatus::Lower
+                };
+                // Snap exactly onto the bound.
+                self.x[entering] = if dir > 0.0 {
+                    self.ub[entering]
+                } else {
+                    self.lb[entering]
+                };
+            } else {
+                let r = leave_row.expect("pivot row exists when not flipping");
+                let leaving = self.basis[r] as usize;
+                self.status[leaving] = if leave_to_upper {
+                    self.x[leaving] = self.ub[leaving];
+                    VarStatus::Upper
+                } else {
+                    self.x[leaving] = self.lb[leaving];
+                    VarStatus::Lower
+                };
+                self.status[entering] = VarStatus::Basic(r as u32);
+                self.basis[r] = entering as u32;
+
+                // Rank-1 update of binv: row r scaled by 1/w_r, others
+                // reduced by w_i * new row r.
+                let wr = self.w[r];
+                if wr.abs() <= self.opts.pivot_tol {
+                    return Err(IlpError::Numerical("vanishing pivot".into()));
+                }
+                let inv_wr = 1.0 / wr;
+                crate::linalg::scale(inv_wr, self.binv.row_mut(r));
+                for i in 0..self.m {
+                    if i == r {
+                        continue;
+                    }
+                    let wi = self.w[i];
+                    if wi == 0.0 {
+                        continue;
+                    }
+                    let (dst, src) = self.binv.two_rows_mut(i, r);
+                    crate::linalg::axpy(-wi, src, dst);
+                }
+                self.pivots_since_refactor += 1;
+                if self.pivots_since_refactor >= self.opts.refactor_every {
+                    self.refactorize()?;
+                }
+            }
+
+            // Stall / cycling detection.
+            let obj: f64 = self
+                .basis
+                .iter()
+                .map(|&b| costs[b as usize] * self.x[b as usize])
+                .sum::<f64>()
+                + (0..self.n_total)
+                    .filter(|&j| !matches!(self.status[j], VarStatus::Basic(_)))
+                    .map(|j| costs[j] * self.x[j])
+                    .sum::<f64>();
+            if obj < last_obj - 1e-12 {
+                last_obj = obj;
+                stall = 0;
+                bland = false;
+            } else {
+                stall += 1;
+                if stall >= self.opts.stall_limit {
+                    bland = true;
+                }
+            }
+        }
+    }
+}
+
+enum ColRef<'core> {
+    Struct(&'core [u32], &'core [f64]),
+    Unit(u32, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin, Model, Objective, Sense};
+
+    fn solve(model: &Model) -> LpSolution {
+        let core = LpCore::from_model(model);
+        solve_lp_default(&core, &SimplexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 : classic, opt=36 at (2,6)
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, 3.0).unwrap();
+        let y = m.add_continuous(0.0, INF, 5.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 4.0).unwrap();
+        m.add_constraint(lin(&[(y, 2.0)]), Sense::Le, 12.0).unwrap();
+        m.add_constraint(lin(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + y = 10, x - y = 4 -> (7,3), obj 10
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, 1.0).unwrap();
+        let y = m.add_continuous(0.0, INF, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Eq, 10.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, -1.0)]), Sense::Eq, 4.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.x[0] - 7.0).abs() < 1e-6);
+        assert!((s.x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Ge, 5.0).unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, -1.0).unwrap();
+        let y = m.add_continuous(0.0, INF, 0.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, -1.0)]), Sense::Le, 3.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // max x + y with x<=2.5, y<=1.5 via variable bounds, one row.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 2.5, 1.0).unwrap();
+        let y = m.add_continuous(0.0, 1.5, 1.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 100.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x >= -5 (bound), x >= -3 (row) -> x = -3
+        let mut m = Model::new();
+        let x = m.add_continuous(-5.0, INF, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Ge, -3.0).unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min y st y >= x - 4, y >= -x + 2, x free -> min at x=3, y=-1
+        let mut m = Model::new();
+        let x = m.add_continuous(-INF, INF, 0.0).unwrap();
+        let y = m.add_continuous(-INF, INF, 1.0).unwrap();
+        m.add_constraint(lin(&[(y, 1.0), (x, -1.0)]), Sense::Ge, -4.0)
+            .unwrap();
+        m.add_constraint(lin(&[(y, 1.0), (x, 1.0)]), Sense::Ge, 2.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 1.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the optimum.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, -1.0).unwrap();
+        let y = m.add_continuous(0.0, INF, -1.0).unwrap();
+        for k in 1..8 {
+            let kf = k as f64;
+            m.add_constraint(lin(&[(x, kf), (y, kf)]), Sense::Le, 2.0 * kf)
+                .unwrap();
+        }
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variables_stay_fixed() {
+        let mut m = Model::new();
+        let x = m.add_continuous(2.0, 2.0, -10.0).unwrap();
+        let y = m.add_continuous(0.0, 5.0, -1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 4.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 2.0).abs() < 1e-9);
+        assert!((s.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_override_changes_solution() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, -1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 100.0).unwrap();
+        let core = LpCore::from_model(&m);
+        let s = solve_lp(&core, &[0.0], &[3.0], &SimplexOptions::default()).unwrap();
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+    }
+}

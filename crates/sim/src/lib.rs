@@ -1,0 +1,32 @@
+//! # gmm-sim — cycle-level memory simulator for mapped designs
+//!
+//! Replays access traces against a detailed mapping on a board model:
+//! in-order issue, dedicated ports, per-bank read/write latencies, and a
+//! pin-traversal penalty for off-chip banks. Used to *validate* mappings
+//! (a cost-optimal assignment must also simulate faster) and to check the
+//! adder-free address-decode guarantee of the Figure-3 rounding scheme.
+//!
+//! ```
+//! use gmm_core::pipeline::{Mapper, MapperOptions};
+//! use gmm_design::DesignBuilder;
+//! use gmm_sim::{simulate_mapping, Trace};
+//!
+//! let mut b = DesignBuilder::new("demo");
+//! b.segment("buf", 128, 8).unwrap();
+//! let design = b.build().unwrap();
+//! let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
+//! let out = Mapper::new(MapperOptions::new()).map(&design, &board).unwrap();
+//! let trace = Trace::from_profiles(&design);
+//! let report = simulate_mapping(&design, &board, &out.detailed, &trace).unwrap();
+//! assert!(report.makespan > 0);
+//! ```
+
+pub mod address;
+pub mod machine;
+pub mod report;
+pub mod trace;
+
+pub use address::{address_decoder, check_adder_free, physical_word, DecodeError, DecodeInfo};
+pub use machine::{simulate_mapping, Machine, SegmentStats, SimError, SimReport};
+pub use report::render_report;
+pub use trace::{Access, AccessKind, Trace};

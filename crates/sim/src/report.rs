@@ -1,0 +1,89 @@
+//! Human-readable rendering of simulation reports.
+
+use crate::machine::SimReport;
+use gmm_design::Design;
+
+/// Render a report as an aligned text table (one row per segment plus a
+/// totals row).
+pub fn render_report(design: &Design, report: &SimReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12} {:>10}\n",
+        "segment", "accesses", "latency(cy)", "stalls(cy)"
+    ));
+    for (i, stats) in report.per_segment.iter().enumerate() {
+        let name = &design.segment(gmm_design::SegmentId(i)).name;
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>10}\n",
+            truncate(name, 16),
+            stats.accesses,
+            stats.latency_cycles,
+            stats.stall_cycles
+        ));
+    }
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12} {:>10}\n",
+        "TOTAL",
+        report.per_segment.iter().map(|s| s.accesses).sum::<u64>(),
+        report.total_latency,
+        report.total_stalls
+    ));
+    out.push_str(&format!(
+        "makespan: {} cycles, pin crossings: {}\n",
+        report.makespan, report.pin_crossings
+    ));
+    out.push_str(&format!(
+        "active-port utilization: {:.1}%, hottest port busy {} cycles\n",
+        report.active_port_utilization() * 100.0,
+        report.hottest_port_busy()
+    ));
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SegmentStats;
+    use gmm_design::DesignBuilder;
+
+    #[test]
+    fn renders_all_segments() {
+        let mut b = DesignBuilder::new("d");
+        b.segment("alpha", 4, 8).unwrap();
+        b.segment("a-very-long-segment-name", 4, 8).unwrap();
+        let d = b.build().unwrap();
+        let report = SimReport {
+            makespan: 10,
+            total_latency: 8,
+            total_stalls: 1,
+            per_segment: vec![
+                SegmentStats {
+                    accesses: 4,
+                    latency_cycles: 4,
+                    stall_cycles: 0,
+                },
+                SegmentStats {
+                    accesses: 4,
+                    latency_cycles: 4,
+                    stall_cycles: 1,
+                },
+            ],
+            pin_crossings: 0,
+            port_busy: vec![4, 4],
+            traffic_by_type: vec![8],
+        };
+        let text = render_report(&d, &report);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("makespan: 10"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,19 @@
+//! # gmm-workloads — workload generators for the mapping experiments
+//!
+//! Three families:
+//!
+//! * [`table3`] — seeded synthetic instances reproducing the exact four
+//!   complexity parameters of each of the paper's nine Table 3 design
+//!   points, with the paper's reported CPLEX times attached;
+//! * [`kernels`] — realistic DSP designs (FIR, 2-D convolution, FFT,
+//!   blocked matmul, histogram equalization) with access profiles and
+//!   phase lifetimes;
+//! * [`random`] — parameterised random designs and boards for property
+//!   tests and stress runs.
+
+pub mod kernels;
+pub mod random;
+pub mod table3;
+
+pub use random::{board_from_specs, random_design, RandomDesignSpec, TypeSpec};
+pub use table3::{table3_board, table3_design, table3_instance, Table3Point, TABLE3};

@@ -1,0 +1,153 @@
+//! End-to-end property tests: random designs on random boards, through
+//! the full global → detailed pipeline, checked against every structural
+//! invariant and replayed on the simulator.
+
+use fpga_memmap::prelude::*;
+use fpga_memmap::workloads::{board_from_specs, random_design, RandomDesignSpec, TypeSpec};
+use gmm_sim::check_adder_free;
+use proptest::prelude::*;
+
+/// A random two-or-three-type board with 1- and 2-port banks only (the
+/// regime where the paper's pre-processing guarantees detailed success).
+fn board_strategy() -> impl Strategy<Value = Board> {
+    (2u32..10, 1u32..6, 0u32..4, any::<bool>()).prop_map(|(onchip, sram, bus, dual_sram)| {
+        let mut specs = vec![TypeSpec {
+            name: "OnChip".into(),
+            instances: onchip,
+            ports: 2,
+            capacity_bits: 4096,
+            multi_config: true,
+            read_latency: 1,
+            write_latency: 1,
+            placement: Placement::OnChip,
+        }];
+        if sram > 0 {
+            specs.push(TypeSpec {
+                name: "SRAM".into(),
+                instances: sram,
+                ports: if dual_sram { 2 } else { 1 },
+                capacity_bits: 262_144,
+                multi_config: false,
+                read_latency: 2,
+                write_latency: 2,
+                placement: Placement::DirectOffChip,
+            });
+        }
+        if bus > 0 {
+            specs.push(TypeSpec {
+                name: "BusRAM".into(),
+                instances: bus,
+                ports: 1,
+                capacity_bits: 524_288,
+                multi_config: false,
+                read_latency: 3,
+                write_latency: 3,
+                placement: Placement::IndirectOffChip { hops: 1 },
+            });
+        }
+        board_from_specs("random", &specs)
+    })
+}
+
+fn design_strategy() -> impl Strategy<Value = Design> {
+    (1usize..14, any::<u64>(), prop::option::of(1u32..4)).prop_map(|(segments, seed, phases)| {
+        random_design(&RandomDesignSpec {
+            segments,
+            depth: (4, 900),
+            width: (1, 40),
+            phases,
+            skewed_profiles: seed % 2 == 0,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline guarantee: whenever the global mapper finds an
+    /// assignment on a 1/2-ported board, detailed mapping succeeds with
+    /// zero retries and yields a violation-free, adder-free placement.
+    #[test]
+    fn pipeline_invariants(design in design_strategy(), board in board_strategy()) {
+        let mapper = Mapper::new(MapperOptions::new());
+        let out = match mapper.map(&design, &board) {
+            Ok(out) => out,
+            // Small boards may genuinely not fit the design.
+            Err(MapError::Infeasible) | Err(MapError::Unmappable(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+
+        // Paper §4.1: pre-processing guarantees detailed success for
+        // <=2-ported banks, so no retries ever happen.
+        prop_assert_eq!(out.stats.retries, 0, "retry on a <=2-port board");
+
+        // Structural invariants.
+        let violations = validate_detailed(&design, &board, &out.detailed);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+
+        // Figure 3's no-adder guarantee.
+        let adders = check_adder_free(&out.detailed);
+        prop_assert!(adders.is_empty(), "adders needed: {:?}", adders);
+
+        // Every fragment lives on the globally-assigned type.
+        for f in &out.detailed.fragments {
+            prop_assert_eq!(f.bank_type, out.global.type_of[f.segment.0]);
+        }
+
+        // The mapping must replay every access of the canonical trace.
+        let trace = Trace::from_profiles(&design);
+        // Cap the replay cost for huge profiles.
+        if trace.len() <= 200_000 {
+            let report = simulate_mapping(&design, &board, &out.detailed, &trace).unwrap();
+            prop_assert_eq!(
+                report.per_segment.iter().map(|s| s.accesses).sum::<u64>(),
+                trace.len() as u64
+            );
+        }
+    }
+
+    /// Overlap-aware mapping is never worse than overlap-blind mapping
+    /// (it only removes constraints).
+    #[test]
+    fn overlap_awareness_monotone(design in design_strategy(), board in board_strategy()) {
+        let blind = Mapper::new(MapperOptions::new()).map(&design, &board);
+        let mut opts = MapperOptions::new();
+        opts.overlap_aware = true;
+        let aware = Mapper::new(opts).map(&design, &board);
+        match (blind, aware) {
+            (Ok(b), Ok(a)) => {
+                let w = CostWeights::default();
+                prop_assert!(
+                    a.cost.weighted(&w) <= b.cost.weighted(&w) + 1e-6,
+                    "overlap-aware cost {} worse than blind {}",
+                    a.cost.weighted(&w), b.cost.weighted(&w)
+                );
+            }
+            (Err(_), Ok(_)) => {} // relaxation made it feasible: fine
+            (Ok(_), Err(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "overlap-awareness broke feasibility: {e}"
+                )));
+            }
+            (Err(_), Err(_)) => {}
+        }
+    }
+}
+
+/// Deterministic regression: the same inputs give the same mapping cost
+/// across runs (serial backend).
+#[test]
+fn pipeline_is_deterministic() {
+    let design = random_design(&RandomDesignSpec {
+        segments: 12,
+        seed: 99,
+        ..RandomDesignSpec::default()
+    });
+    let board = Board::prototyping("XCV400", 3).unwrap();
+    let mapper = Mapper::new(MapperOptions::new());
+    let a = mapper.map(&design, &board).unwrap();
+    let b = mapper.map(&design, &board).unwrap();
+    assert_eq!(a.global.type_of, b.global.type_of);
+    assert_eq!(a.detailed.fragments.len(), b.detailed.fragments.len());
+}

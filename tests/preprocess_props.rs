@@ -1,0 +1,128 @@
+//! Property tests for the §4.1.1 pre-processing step: `consumed_ports`
+//! (Figure 3) and the CP/CW/CD coefficients against the actual fragment
+//! decomposition.
+
+use gmm_arch::{geometric_ladder, BankType, Placement};
+use gmm_core::detailed::fragment_segment;
+use gmm_core::preprocess::{consumed_ports, preprocess_pair, round_pow2};
+use gmm_design::SegmentId;
+use proptest::prelude::*;
+
+fn pow2_bank_strategy() -> impl Strategy<Value = BankType> {
+    (1u32..3, 8u32..14, any::<bool>()).prop_map(|(ports, cap_log2, multi)| {
+        let capacity = 1u64 << cap_log2;
+        let configs = if multi {
+            geometric_ladder(capacity, (capacity >> 4).max(1) as u32)
+        } else {
+            geometric_ladder(capacity, (capacity >> 1).max(1) as u32)
+        };
+        BankType::new("b", 16, ports, configs, 1, 1, Placement::OnChip).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Figure 3 invariants.
+    #[test]
+    fn consumed_ports_bounds(
+        frag in 0u32..100_000,
+        bank_log2 in 3u32..20,
+        ports in 1u32..6,
+    ) {
+        let bank_depth = 1u32 << bank_log2;
+        let ep = consumed_ports(frag, bank_depth, ports);
+        // Never exceeds the port count; zero iff the fragment is empty.
+        prop_assert!(ep <= ports);
+        prop_assert_eq!(ep == 0, frag == 0);
+        // A full (or over-full) fragment takes every port.
+        if frag >= bank_depth {
+            prop_assert_eq!(ep, ports);
+        }
+        // The port share always covers the space share:
+        // ep/ports >= rounded_depth/bank_depth (the detailed-mapping
+        // guarantee that port feasibility implies space feasibility).
+        let rounded = round_pow2(frag).min(bank_depth) as u64;
+        prop_assert!(
+            ep as u64 * bank_depth as u64 >= rounded * ports as u64,
+            "ep {} too small for fraction {}/{}",
+            ep, rounded, bank_depth
+        );
+    }
+
+    /// Monotonicity in the fragment depth.
+    #[test]
+    fn consumed_ports_monotone(
+        a in 0u32..5000,
+        b in 0u32..5000,
+        bank_log2 in 3u32..16,
+        ports in 1u32..5,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let depth = 1u32 << bank_log2;
+        prop_assert!(consumed_ports(lo, depth, ports) <= consumed_ports(hi, depth, ports));
+    }
+
+    /// CP equals the sum of fragment port demands; CW*CD equals the sum of
+    /// fragment reserved areas; the fragments exactly tile the segment.
+    #[test]
+    fn preprocessing_matches_fragments(
+        bank in pow2_bank_strategy(),
+        depth in 1u32..3000,
+        width in 1u32..64,
+    ) {
+        let entry = preprocess_pair(&bank, depth, width);
+        let frags = fragment_segment(&bank, SegmentId(0), depth, width);
+
+        let ep_sum: u32 = frags.iter().map(|f| f.ep).sum();
+        prop_assert_eq!(ep_sum, entry.cp(), "CP mismatch for {}x{}", depth, width);
+
+        let reserved: u64 = frags.iter().map(|f| f.reserved_bits()).sum();
+        prop_assert_eq!(
+            reserved, entry.area_bits(),
+            "CW*CD must equal total reserved bits for {}x{}", depth, width
+        );
+
+        // Exact tiling of the segment's used words/bits.
+        let used_area: u64 = frags
+            .iter()
+            .map(|f| {
+                let w = f.config.width.min(width.saturating_sub(f.bit_offset));
+                f.used_depth as u64 * w as u64
+            })
+            .sum();
+        prop_assert_eq!(used_area, depth as u64 * width as u64);
+
+        // Reserved depths are powers of two (adder-free decode).
+        for f in &frags {
+            prop_assert!(f.reserved_depth.is_power_of_two());
+            prop_assert!(f.used_depth <= f.reserved_depth);
+        }
+
+        // CW never smaller than the segment width; CD never smaller than
+        // the depth (ceilings).
+        prop_assert!(entry.cw >= width.min(entry.cw)); // cw covers width via configs
+        prop_assert!(entry.cd >= depth as u64);
+    }
+
+    /// The width split honours the α rule: the α configuration is the
+    /// narrowest one at least as wide as the segment, or the widest
+    /// available.
+    #[test]
+    fn alpha_selection_rule(bank in pow2_bank_strategy(), width in 1u32..64) {
+        let split = gmm_core::preprocess::width_split(&bank, width);
+        let widths: Vec<u32> = bank.configs.iter().map(|c| c.width).collect();
+        let max_w = *widths.iter().max().unwrap();
+        if width <= max_w {
+            prop_assert!(split.alpha.width >= width || split.full_cols > 0);
+            // alpha is the *smallest* config width >= width.
+            for &w in &widths {
+                if w >= width {
+                    prop_assert!(split.alpha.width <= w);
+                }
+            }
+        } else {
+            prop_assert_eq!(split.alpha.width, max_w);
+        }
+    }
+}
