@@ -1,0 +1,76 @@
+//! Ablation: dense-inverse vs sparse-LU basis factorization in the LP
+//! engine, across the Table 3 workload sizes.
+//!
+//! The simplex engine behind every global/detailed mapping solves its
+//! FTRAN/BTRAN systems through a pluggable `BasisFactorization`; this
+//! target times the full global/detailed pipeline per Table 3 point under
+//! each backend, emitting per-benchmark `estimates.json` files of the
+//! same shape as every other target (`target/criterion/<id>/new/`).
+//! A one-shot sanity pass asserts both backends reach identical optimal
+//! mapping costs before anything is timed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmm_core::pipeline::{Mapper, MapperOptions};
+use gmm_core::CostWeights;
+use gmm_ilp::BasisBackend;
+use gmm_workloads::{table3_board, table3_design, TABLE3};
+
+const BACKENDS: [(&str, BasisBackend); 2] = [
+    ("dense", BasisBackend::Dense),
+    ("lu", BasisBackend::SparseLu),
+];
+
+fn mapper_with(basis: BasisBackend) -> Mapper {
+    let mut opts = MapperOptions::new();
+    opts.backend.set_lp_basis(basis);
+    Mapper::new(opts)
+}
+
+fn bench(c: &mut Criterion) {
+    // Sanity first: the backend is an implementation detail — optimal
+    // mapping costs must not depend on it.
+    let w = CostWeights::default();
+    for point in &TABLE3 {
+        let design = table3_design(point, 0xF00D);
+        let board = table3_board(point);
+        let costs: Vec<f64> = BACKENDS
+            .iter()
+            .map(|&(_, basis)| {
+                mapper_with(basis)
+                    .map(&design, &board)
+                    .expect("table3 points are mappable")
+                    .cost
+                    .weighted(&w)
+            })
+            .collect();
+        assert!(
+            (costs[0] - costs[1]).abs() < 1e-6,
+            "point {}: dense cost {} != lu cost {}",
+            point.index,
+            costs[0],
+            costs[1]
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation/basis_factorization");
+    g.sample_size(10);
+    for point in &TABLE3 {
+        let design = table3_design(point, 0xF00D);
+        let board = table3_board(point);
+        for &(name, basis) in &BACKENDS {
+            let mapper = mapper_with(basis);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!(
+                    "point{}_{}segs_{}banks/{name}",
+                    point.index, point.segments, point.banks
+                )),
+                point,
+                |b, _| b.iter(|| black_box(mapper.map(&design, &board).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

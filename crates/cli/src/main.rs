@@ -61,7 +61,8 @@ gmm — global/detailed memory mapping for FPGA-based reconfigurable systems
 
 USAGE:
   gmm map --design <d.json> --board <b.json> [--complete] [--parallel N]
-          [--overlap] [--ilp-detailed] [--out <mapping.json>]
+          [--overlap] [--ilp-detailed] [--lp-basis dense|lu]
+          [--out <mapping.json>]
   gmm gen design --segments N [--seed S] [--out <f.json>]
   gmm gen board (--device XCV1000 [--srams N] | --table3-point I) [--out f]
   gmm gen kernel <fir|conv2d|fft|matmul|histogram> [--out <f.json>]
@@ -74,6 +75,11 @@ USAGE:
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
   gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
+             [--lp-basis dense|lu]
+
+The LP engine factorizes the simplex basis; `--lp-basis` picks the
+backend: `lu` (sparse LU + eta updates, default) or `dense` (explicit
+inverse, reference).
 ";
 
 /// Tiny flag parser: `--key value` and boolean `--key`.
@@ -119,14 +125,27 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> 
     std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
 }
 
-fn backend_from_flags(f: &Flags) -> SolverBackend {
-    match f.get("--parallel") {
+fn lp_basis_from_flags(f: &Flags) -> Result<Option<gmm_ilp::BasisBackend>, String> {
+    match f.get("--lp-basis") {
+        None => Ok(None),
+        Some("lu") | Some("sparse-lu") => Ok(Some(gmm_ilp::BasisBackend::SparseLu)),
+        Some("dense") => Ok(Some(gmm_ilp::BasisBackend::Dense)),
+        Some(other) => Err(format!("--lp-basis must be `dense` or `lu`, got `{other}`")),
+    }
+}
+
+fn backend_from_flags(f: &Flags) -> Result<SolverBackend, String> {
+    let mut backend = match f.get("--parallel") {
         Some(n) => SolverBackend::Parallel(ParallelOptions {
             threads: n.parse().unwrap_or(0),
             ..ParallelOptions::default()
         }),
         None => SolverBackend::Serial(MipOptions::default()),
+    };
+    if let Some(basis) = lp_basis_from_flags(f)? {
+        backend.set_lp_basis(basis);
     }
+    Ok(backend)
 }
 
 fn cmd_map(args: &[String]) -> Result<(), String> {
@@ -135,7 +154,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
     let board = load_board(f.get("--board").ok_or("--board required")?)?;
 
     let mut opts = MapperOptions::new();
-    opts.backend = backend_from_flags(&f);
+    opts.backend = backend_from_flags(&f)?;
     opts.overlap_aware = f.has("--overlap");
     if f.has("--ilp-detailed") {
         opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
@@ -506,7 +525,7 @@ fn cmd_table3(args: &[String]) -> Result<(), String> {
             time_limit: Some(cap),
             ..MipOptions::default()
         };
-        let backend = if threads > 0 {
+        let mut backend = if threads > 0 {
             SolverBackend::Parallel(ParallelOptions {
                 threads,
                 mip: mip.clone(),
@@ -514,6 +533,9 @@ fn cmd_table3(args: &[String]) -> Result<(), String> {
         } else {
             SolverBackend::Serial(mip)
         };
+        if let Some(basis) = lp_basis_from_flags(&f)? {
+            backend.set_lp_basis(basis);
+        }
         let mut opts = MapperOptions::new();
         opts.backend = backend;
         let mapper = Mapper::new(opts);

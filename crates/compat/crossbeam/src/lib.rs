@@ -1,0 +1,176 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::deque`'s `Worker`/`Stealer`/`Injector` API over
+//! mutex-protected `VecDeque`s. Semantics match the lock-free original —
+//! LIFO owner pops, FIFO steals from the opposite end — with coarser
+//! contention behavior, which is acceptable at this workspace's worker
+//! counts (LP solves dwarf queue operations by orders of magnitude).
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring crossbeam's enum.
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        /// Never produced by this implementation (locks don't race), but
+        /// kept so caller retry loops compile unchanged.
+        Retry,
+    }
+
+    /// Owner side of a work-stealing deque (LIFO pops).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: self.inner.clone() }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Thief side of a worker's deque (steals oldest-first).
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Global FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch into `worker`'s queue and pop one task, like
+        /// crossbeam's `steal_batch_and_pop`.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut q = self.lock();
+            let first = match q.pop_front() {
+                Some(task) => task,
+                None => return Steal::Empty,
+            };
+            // Take up to half the remainder, capped like crossbeam.
+            let batch = (q.len() / 2).min(32);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(task) => worker.push(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_owner_fifo_thief() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn injector_batches_into_worker() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            let Steal::Success(first) = inj.steal_batch_and_pop(&w) else {
+                panic!("expected a task");
+            };
+            assert_eq!(first, 0);
+            assert!(!w.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            let w = std::sync::Arc::new(Worker::new_lifo());
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = w.stealer();
+                    let total = total.clone();
+                    scope.spawn(move || {
+                        while let Steal::Success(_) = s.steal() {
+                            total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro` token trees (no `syn`/`quote` in the
+//! offline container). Supports exactly the shapes this workspace
+//! serializes:
+//!
+//! * structs with named fields        → JSON object, declaration order
+//! * newtype structs `S(T)`           → the inner value, transparent
+//! * tuple structs `S(A, B, …)`       → JSON array
+//! * unit enum variants               → `"Variant"`
+//! * tuple enum variants `V(T)` / `V(A, B)` → `{"Variant": …}` /
+//!   `{"Variant": […]}`
+//!
+//! Generics, struct enum variants, and `#[serde(...)]` attributes are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut pairs = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(pairs)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{}::{} => ::serde::Value::Str(\"{}\".to_string()),\n",
+                        item.name, v.name, v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{n}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n",
+                        n = item.name,
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{n}::{v}({b}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{vl}]))]),\n",
+                            n = item.name,
+                            v = v.name,
+                            b = binds.join(", "),
+                            vl = vals.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{p}]))]),\n",
+                            n = item.name,
+                            v = v.name,
+                            p = pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(obj.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::missing(\"{f}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = match v {{\n\
+                     ::serde::Value::Object(_) => v,\n\
+                     _ => return Err(::serde::DeError::new(\"expected object for {name}\")),\n\
+                 }};\n\
+                 Ok({name} {{\n{reads}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()\
+                 .ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => unreachable!(),
+                    VariantKind::Tuple(1) => format!(
+                        "\"{0}\" => return Ok({name}::{0}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v.name
+                    ),
+                    VariantKind::Tuple(k) => {
+                        let reads: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{0}\" => {{\n\
+                                 let items = inner.as_array()\
+                                 .ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{0}\"))?;\n\
+                                 if items.len() != {k} {{\n\
+                                     return Err(::serde::DeError::new(\"wrong arity for {name}::{0}\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{0}({1}));\n\
+                             }}\n",
+                            v.name,
+                            reads.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let reads: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::DeError::missing(\"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{0}\" => return Ok({name}::{0} {{ {1} }}),\n",
+                            v.name,
+                            reads.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::new(\"expected string or 1-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// Field count.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple-variant field count (>= 1).
+    Tuple(usize),
+    /// Struct-variant field names.
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Split a brace-group stream at top-level commas (outside any `<...>`).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    out.retain(|part| !part.is_empty());
+    out
+}
+
+/// Strip leading `#[...]` attributes (doc comments arrive as attributes).
+fn strip_attrs(part: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while matches!(part.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    &part[i..]
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .iter()
+        .map(|part| {
+            let part = strip_attrs(part);
+            let part = match part {
+                [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => {
+                    match rest {
+                        [TokenTree::Group(g), tail @ ..]
+                            if g.delimiter() == Delimiter::Parenthesis =>
+                        {
+                            tail
+                        }
+                        _ => rest,
+                    }
+                }
+                _ => part,
+            };
+            match part {
+                [TokenTree::Ident(id), ..] => id.to_string(),
+                other => panic!("serde_derive: cannot parse field: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    split_commas(stream)
+        .iter()
+        .map(|part| {
+            let part = strip_attrs(part);
+            match part {
+                [TokenTree::Ident(id)] => {
+                    Variant { name: id.to_string(), kind: VariantKind::Unit }
+                }
+                [TokenTree::Ident(id), TokenTree::Group(g)]
+                    if g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    Variant {
+                        name: id.to_string(),
+                        kind: VariantKind::Tuple(count_top_level_fields(g.stream())),
+                    }
+                }
+                [TokenTree::Ident(id), TokenTree::Group(g)]
+                    if g.delimiter() == Delimiter::Brace =>
+                {
+                    Variant {
+                        name: id.to_string(),
+                        kind: VariantKind::Struct(named_fields(g.stream())),
+                    }
+                }
+                other => panic!(
+                    "serde_derive: unsupported variant shape in `{enum_name}` \
+                     (discriminants are not supported): {other:?}"
+                ),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde_json`: JSON text to and from the `serde`
+//! stand-in's [`Value`] tree.
+//!
+//! One deliberate deviation from strict JSON: non-finite floats are
+//! written as the bare tokens `Infinity`, `-Infinity`, and `NaN` (strict
+//! JSON has no spelling for them, and solver models legitimately contain
+//! infinite bounds), and the parser accepts those tokens back.
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serialization/deserialization failure with a short message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_nan() {
+                out.push_str("NaN");
+            } else if f.is_infinite() {
+                out.push_str(if *f > 0.0 { "Infinity" } else { "-Infinity" });
+            } else if *f == f.trunc() && f.abs() < 1e15 {
+                // Keep integral floats distinguishable from integers.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, it, d| {
+            write_value(o, it, indent, d)
+        }),
+        Value::Object(pairs) => {
+            write_seq(out, pairs.iter(), indent, depth, ('{', '}'), |o, (k, it), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, it, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_word("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_word("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_word("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+                Some(_) => unreachable!("scan stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in number"))?;
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| self.err("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(parse("Infinity").unwrap(), Value::Float(f64::INFINITY));
+        assert_eq!(parse("-Infinity").unwrap(), Value::Float(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, f64::INFINITY)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let x = 0.1 + 0.2;
+        let text = to_string(&x).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(x, back);
+    }
+}

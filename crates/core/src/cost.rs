@@ -70,7 +70,7 @@ impl PairCost {
 #[inline]
 pub fn ceil_log2(x: u64) -> u32 {
     debug_assert!(x >= 1);
-    64 - (x - 1).leading_zeros().max(0) as u32
+    64 - (x - 1).leading_zeros()
     // For x = 1 this yields 0 (one word needs no address bits).
 }
 

@@ -257,7 +257,7 @@ mod tests {
     fn ilp_detailed_validates_and_minimizes_fragmentation() {
         let mut b = DesignBuilder::new("d");
         for i in 0..6 {
-            b.segment(format!("s{i}"), 100 + 50 * i, 4 + (i % 3) as u32)
+            b.segment(format!("s{i}"), 100 + 50 * i, 4 + (i % 3))
                 .unwrap();
         }
         let design = b.build().unwrap();

@@ -48,6 +48,27 @@ impl SolverBackend {
             SolverBackend::Parallel(opts) => solve_mip_parallel(model, opts),
         }
     }
+
+    /// Select the simplex basis-factorization backend on whichever engine
+    /// is configured (CLI `--lp-basis` plumbing).
+    pub fn set_lp_basis(&mut self, basis: gmm_ilp::BasisBackend) {
+        match self {
+            SolverBackend::Serial(opts) | SolverBackend::SerialWithCuts(opts, _) => {
+                opts.simplex.basis = basis;
+            }
+            SolverBackend::Parallel(popts) => popts.mip.simplex.basis = basis,
+        }
+    }
+
+    /// The configured basis-factorization backend.
+    pub fn lp_basis(&self) -> gmm_ilp::BasisBackend {
+        match self {
+            SolverBackend::Serial(opts) | SolverBackend::SerialWithCuts(opts, _) => {
+                opts.simplex.basis
+            }
+            SolverBackend::Parallel(popts) => popts.mip.simplex.basis,
+        }
+    }
 }
 
 /// Errors of the mapping pipeline.

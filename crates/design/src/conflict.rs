@@ -12,19 +12,16 @@ use std::collections::BTreeSet;
 /// information must be treated conservatively, so the default is
 /// [`ConflictSet::AllConflict`] (no storage sharing anywhere).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum ConflictSet {
     /// Every pair of segments conflicts (the safe default).
+    #[default]
     AllConflict,
     /// Exactly the listed pairs conflict; all other pairs may overlap in
     /// storage. Pairs are stored normalized with `a < b`.
     Pairs(BTreeSet<(SegmentId, SegmentId)>),
 }
 
-impl Default for ConflictSet {
-    fn default() -> Self {
-        ConflictSet::AllConflict
-    }
-}
 
 impl ConflictSet {
     /// Build from explicit pairs.

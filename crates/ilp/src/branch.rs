@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{IlpError, LpStatus, MipStatus};
 use crate::model::Model;
-use crate::simplex::{solve_lp, SimplexOptions};
+use crate::simplex::{solve_lp_warm, SimplexOptions, WarmStart};
 use crate::standard::LpCore;
 
 /// Node-selection strategy.
@@ -57,6 +57,10 @@ pub struct MipOptions {
     /// incumbent (valuable on large models that would otherwise time out
     /// with no solution at all).
     pub diving: bool,
+    /// Warm-start each node's LP from its parent's optimal basis
+    /// (skipping phase 1 via a short dual-simplex repair). Disable to
+    /// cold-start every node, e.g. for ablation runs.
+    pub warm_start: bool,
 }
 
 impl Default for MipOptions {
@@ -71,6 +75,7 @@ impl Default for MipOptions {
             simplex: SimplexOptions::default(),
             rounding_heuristic: true,
             diving: true,
+            warm_start: true,
         }
     }
 }
@@ -89,6 +94,9 @@ pub struct MipResult {
     pub gap: f64,
     pub nodes_explored: u64,
     pub lp_iterations: u64,
+    /// Nodes whose LP accepted a parent warm-start basis and skipped
+    /// phase 1 entirely.
+    pub warm_started_nodes: u64,
     pub wall_time: Duration,
 }
 
@@ -137,6 +145,8 @@ struct Node {
     /// The branching decision that created this node, for pseudo-cost
     /// updates: (variable, branched up?, parent fractionality).
     branched: Option<(u32, bool, f64)>,
+    /// Parent's optimal basis, shared by both children.
+    warm: Option<Arc<WarmStart>>,
 }
 
 struct HeapEntry {
@@ -265,6 +275,9 @@ fn dive(
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
     let mut x = start_x.to_vec();
+    // Each dive step tightens one bound: warm-start from the previous
+    // step's basis, exactly like a branch-and-bound edge.
+    let mut warm: Option<WarmStart> = None;
     for _ in 0..max_lps {
         let mut pick: Option<(usize, f64)> = None;
         let mut best = f64::INFINITY;
@@ -286,8 +299,11 @@ fn dive(
         let fixed = xv.round().clamp(lb[v], ub[v]);
         lb[v] = fixed;
         ub[v] = fixed;
-        match solve_lp(core, &lb, &ub, sx) {
-            Ok(s) if s.status == LpStatus::Optimal => x = s.x,
+        match solve_lp_warm(core, &lb, &ub, sx, warm.as_ref()) {
+            Ok(s) if s.status == LpStatus::Optimal => {
+                x = s.x;
+                warm = s.snapshot.as_ref().and_then(|snap| snap.warm_start());
+            }
             _ => return None, // infeasible dive or deadline: give up
         }
     }
@@ -317,6 +333,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 gap: f64::NAN,
                 nodes_explored: 0,
                 lp_iterations: 0,
+                warm_started_nodes: 0,
                 wall_time: start.elapsed(),
             });
         }
@@ -340,6 +357,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
     let mut incumbent_obj = f64::INFINITY;
     let mut nodes: u64 = 0;
     let mut lp_iters: u64 = 0;
+    let mut warm_nodes: u64 = 0;
     let mut status_limit_hit = false;
 
     let root = Node {
@@ -347,6 +365,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         bound: f64::NEG_INFINITY,
         depth: 0,
         branched: None,
+        warm: None,
     };
     match opts.node_order {
         NodeOrder::BestBound => heap.push(HeapEntry {
@@ -403,7 +422,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         }
 
         let (lb, ub) = BoundDelta::materialize(&node.delta, &lb0, &ub0);
-        let sol = match solve_lp(&core, &lb, &ub, &simplex_opts) {
+        let warm_basis = if opts.warm_start { node.warm.as_deref() } else { None };
+        let sol = match solve_lp_warm(&core, &lb, &ub, &simplex_opts, warm_basis) {
             Ok(s) => s,
             Err(crate::error::IlpError::Deadline) => {
                 status_limit_hit = true;
@@ -413,6 +433,9 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         };
         nodes += 1;
         lp_iters += sol.iterations as u64;
+        if sol.warm_started {
+            warm_nodes += 1;
+        }
 
         match sol.status {
             LpStatus::Infeasible => {
@@ -494,6 +517,15 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 }
                 let floor = xv.floor();
                 let frac = xv - floor;
+                // Both children warm-start from this node's optimal basis.
+                let child_warm = if opts.warm_start {
+                    sol.snapshot
+                        .as_ref()
+                        .and_then(|s| s.warm_start())
+                        .map(Arc::new)
+                } else {
+                    None
+                };
                 // Children: var <= floor, var >= floor + 1.
                 let down = Node {
                     delta: Some(Arc::new(BoundDelta {
@@ -505,6 +537,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                     bound: node_bound,
                     depth: node.depth + 1,
                     branched: Some((bv as u32, false, frac)),
+                    warm: child_warm.clone(),
                 };
                 let up = Node {
                     delta: Some(Arc::new(BoundDelta {
@@ -516,6 +549,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                     bound: node_bound,
                     depth: node.depth + 1,
                     branched: Some((bv as u32, true, frac)),
+                    warm: child_warm,
                 };
                 match opts.node_order {
                     NodeOrder::BestBound => {
@@ -583,6 +617,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             gap: f64::NAN,
             nodes_explored: nodes,
             lp_iterations: lp_iters,
+            warm_started_nodes: warm_nodes,
             wall_time: wall,
         });
     }
@@ -605,6 +640,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 gap,
                 nodes_explored: nodes,
                 lp_iterations: lp_iters,
+                warm_started_nodes: warm_nodes,
                 wall_time: wall,
             })
         }
@@ -626,6 +662,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             gap: f64::NAN,
             nodes_explored: nodes,
             lp_iterations: lp_iters,
+            warm_started_nodes: warm_nodes,
             wall_time: wall,
         }),
     }
@@ -795,6 +832,63 @@ mod tests {
         let r = default_solve(&m);
         assert_eq!(r.status, MipStatus::Optimal);
         assert!((r.best_objective.unwrap() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_started_nodes_skip_phase_one() {
+        // A knapsack that needs real branching: most non-root nodes must
+        // accept the parent basis and skip phase 1, and the answer must
+        // match a cold-started run exactly.
+        let m = {
+            let mut m = Model::new();
+            let vals = [9.0, 14.0, 5.0, 7.0, 11.0, 6.0, 13.0, 8.0];
+            let wts = [3.0, 5.0, 2.0, 3.0, 4.0, 2.0, 5.0, 3.0];
+            let xs: Vec<_> = vals.iter().map(|&v| m.add_binary(v)).collect();
+            m.set_objective_direction(Objective::Maximize);
+            let mut e = crate::model::LinExpr::new();
+            for (x, &w) in xs.iter().zip(&wts) {
+                e.push(*x, w);
+            }
+            m.add_constraint(e, Sense::Le, 13.0).unwrap();
+            m
+        };
+        let no_heuristics = MipOptions {
+            rounding_heuristic: false,
+            diving: false,
+            ..MipOptions::default()
+        };
+        let warm = solve_mip(&m, &no_heuristics).unwrap();
+        let cold = solve_mip(
+            &m,
+            &MipOptions {
+                warm_start: false,
+                ..no_heuristics
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.status, MipStatus::Optimal);
+        assert!(
+            (warm.best_objective.unwrap() - cold.best_objective.unwrap()).abs() < 1e-6,
+            "warm {:?} vs cold {:?}",
+            warm.best_objective,
+            cold.best_objective
+        );
+        assert_eq!(cold.warm_started_nodes, 0);
+        assert!(warm.nodes_explored > 1, "instance must branch");
+        // Every non-root node has a parent basis; nearly all must accept it.
+        assert!(
+            warm.warm_started_nodes >= (warm.nodes_explored - 1) / 2,
+            "only {} of {} nodes warm-started",
+            warm.warm_started_nodes,
+            warm.nodes_explored
+        );
+        // Warm starts must not cost pivots overall.
+        assert!(
+            warm.lp_iterations <= cold.lp_iterations,
+            "warm {} pivots vs cold {}",
+            warm.lp_iterations,
+            cold.lp_iterations
+        );
     }
 
     #[test]

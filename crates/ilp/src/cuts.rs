@@ -152,7 +152,9 @@ pub fn gomory_cuts(model: &Model, min_violation: f64) -> Vec<Cut> {
     if sol.status != LpStatus::Optimal {
         return Vec::new();
     }
-    let snap = match &sol.snapshot {
+    // Mutable: B⁻¹ rows are solved on demand from the snapshot's
+    // factorization instead of read from an explicit inverse.
+    let mut snap = match sol.snapshot {
         Some(s) => s,
         None => return Vec::new(),
     };
@@ -186,8 +188,8 @@ pub fn gomory_cuts(model: &Model, min_violation: f64) -> Vec<Cut> {
     let frac = |v: f64| v - v.floor();
     let mut cuts = Vec::new();
 
-    for (row, &bv) in snap.basis.iter().enumerate() {
-        let bv = bv as usize;
+    for row in 0..snap.basis.len() {
+        let bv = snap.basis[row] as usize;
         if bv >= n + m {
             continue; // residual artificial
         }
@@ -196,10 +198,11 @@ pub fn gomory_cuts(model: &Model, min_violation: f64) -> Vec<Cut> {
         }
         let beta = snap.x_all[bv];
         let f0 = frac(beta);
-        if f0 < 0.01 || f0 > 0.99 {
+        if !(0.01..=0.99).contains(&f0) {
             continue;
         }
-        let binv_row = snap.binv.row(row);
+        let binv_row = snap.binv_row(row);
+        let binv_row = binv_row.as_slice();
 
         // Tableau coefficients for every nonbasic column; abort the row if
         // any participating column is non-integer or free.
@@ -249,7 +252,7 @@ pub fn gomory_cuts(model: &Model, min_violation: f64) -> Vec<Cut> {
         let mut degenerate = true;
         for (j, a, at_upper) in shifted {
             let fj = frac(a);
-            if fj < 1e-9 || fj > 1.0 - 1e-9 {
+            if !(1e-9..=1.0 - 1e-9).contains(&fj) {
                 continue;
             }
             degenerate = false;

@@ -6,10 +6,18 @@
 //!
 //! * a [`model::Model`] building API (continuous / integer / binary
 //!   variables, linear constraints, min/max objectives),
-//! * a bounded-variable two-phase primal [`simplex`] engine,
+//! * a bounded-variable two-phase primal [`simplex`] engine that solves
+//!   FTRAN/BTRAN systems through a pluggable
+//!   [`linalg::BasisFactorization`] — sparse LU with Markowitz-style
+//!   pivoting and product-form eta updates by default
+//!   ([`BasisBackend::SparseLu`]), with the explicit dense inverse
+//!   ([`BasisBackend::Dense`]) retained as a reference/fallback for tiny
+//!   or pathologically dense bases,
 //! * a [`presolve`] pass (fixings, singleton rows, redundancy),
 //! * serial ([`branch`]) and work-stealing parallel ([`parallel`])
-//!   branch-and-bound MIP drivers,
+//!   branch-and-bound MIP drivers, both of which **warm-start** each
+//!   child node's LP from the parent's optimal basis (a short dual
+//!   simplex repairs primal feasibility, skipping phase 1),
 //! * optional cutting planes ([`cuts`]): knapsack covers and Gomory
 //!   fractional cuts,
 //! * a brute-force reference solver ([`brute`]) used to validate the
@@ -28,4 +36,5 @@ pub mod simplex;
 pub mod standard;
 
 pub use error::{IlpError, LpStatus, MipStatus};
+pub use linalg::BasisBackend;
 pub use model::{lin, LinExpr, Model, Objective, Sense, VarId, VarKind};

@@ -33,7 +33,7 @@ impl CscMatrix {
             assert!((e.row as usize) < rows, "row {} out of range", e.row);
             assert!((e.col as usize) < cols, "col {} out of range", e.col);
         }
-        t.sort_unstable_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+        t.sort_unstable_by_key(|a| (a.col, a.row));
         let mut col_ptr = vec![0usize; cols + 1];
         let mut row_idx: Vec<u32> = Vec::with_capacity(t.len());
         let mut values: Vec<f64> = Vec::with_capacity(t.len());

@@ -22,26 +22,17 @@ use parking_lot::Mutex;
 use crate::branch::{rounding_heuristic, select_branch_var, BranchRule, MipOptions, MipResult, PseudoCosts};
 use crate::error::{IlpError, LpStatus, MipStatus};
 use crate::model::Model;
-use crate::simplex::solve_lp;
+use crate::simplex::{solve_lp_warm, WarmStart};
 use crate::standard::LpCore;
 
 /// Options specific to the parallel driver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ParallelOptions {
     /// Worker thread count; 0 picks the available parallelism.
     pub threads: usize,
     /// Base MIP options (node order is ignored: workers are depth-first
     /// with stealing).
     pub mip: MipOptions,
-}
-
-impl Default for ParallelOptions {
-    fn default() -> Self {
-        ParallelOptions {
-            threads: 0,
-            mip: MipOptions::default(),
-        }
-    }
 }
 
 #[derive(Debug)]
@@ -55,6 +46,9 @@ struct Delta {
 struct PNode {
     delta: Option<Arc<Delta>>,
     bound: f64,
+    /// Parent's optimal basis; crosses worker threads with the node when
+    /// stolen, so warm starting composes with work stealing.
+    warm: Option<Arc<WarmStart>>,
 }
 
 fn materialize(delta: &Option<Arc<Delta>>, lb0: &[f64], ub0: &[f64]) -> (Vec<f64>, Vec<f64>) {
@@ -115,6 +109,7 @@ struct Shared {
     outstanding: AtomicI64,
     nodes: AtomicU64,
     lp_iters: AtomicU64,
+    warm_nodes: AtomicU64,
     abort: AtomicBool,
     limit_hit: AtomicBool,
     error: Mutex<Option<IlpError>>,
@@ -204,7 +199,8 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
         }
 
         let (lb, ub) = materialize(&node.delta, &shared.lb0, &shared.ub0);
-        let sol = match solve_lp(&shared.core, &lb, &ub, &shared.opts.simplex) {
+        let warm_basis = if shared.opts.warm_start { node.warm.as_deref() } else { None };
+        let sol = match solve_lp_warm(&shared.core, &lb, &ub, &shared.opts.simplex, warm_basis) {
             Ok(s) => s,
             Err(IlpError::Deadline) => {
                 shared.limit_hit.store(true, Ordering::Release);
@@ -223,6 +219,9 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
         shared
             .lp_iters
             .fetch_add(sol.iterations as u64, Ordering::AcqRel);
+        if sol.warm_started {
+            shared.warm_nodes.fetch_add(1, Ordering::AcqRel);
+        }
 
         if sol.status != LpStatus::Optimal {
             shared.outstanding.fetch_sub(1, Ordering::AcqRel);
@@ -264,6 +263,14 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                 let frac = xv - floor;
                 pseudo.record(bv, true, 0.0, 1.0 - frac);
                 pseudo.record(bv, false, 0.0, frac);
+                let child_warm = if shared.opts.warm_start {
+                    sol.snapshot
+                        .as_ref()
+                        .and_then(|s| s.warm_start())
+                        .map(Arc::new)
+                } else {
+                    None
+                };
                 let down = PNode {
                     delta: Some(Arc::new(Delta {
                         var: bv as u32,
@@ -272,6 +279,7 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                         parent: node.delta.clone(),
                     })),
                     bound: node_bound,
+                    warm: child_warm.clone(),
                 };
                 let up = PNode {
                     delta: Some(Arc::new(Delta {
@@ -281,6 +289,7 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                         parent: node.delta.clone(),
                     })),
                     bound: node_bound,
+                    warm: child_warm,
                 };
                 shared.outstanding.fetch_add(2, Ordering::AcqRel);
                 // Push the more promising child last so it pops first
@@ -326,6 +335,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
                 gap: f64::NAN,
                 nodes_explored: 0,
                 lp_iterations: 0,
+                warm_started_nodes: 0,
                 wall_time: start.elapsed(),
             });
         }
@@ -351,6 +361,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         outstanding: AtomicI64::new(1),
         nodes: AtomicU64::new(0),
         lp_iters: AtomicU64::new(0),
+        warm_nodes: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
         error: Mutex::new(None),
@@ -361,6 +372,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
     shared.injector.push(PNode {
         delta: None,
         bound: f64::NEG_INFINITY,
+        warm: None,
     });
 
     let workers: Vec<Worker<PNode>> = (0..threads).map(|_| Worker::new_lifo()).collect();
@@ -400,6 +412,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             gap: if limit_hit { f64::NAN } else { 0.0 },
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
+            warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
             wall_time: wall,
         }),
         None => Ok(MipResult {
@@ -414,6 +427,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             gap: f64::NAN,
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
+            warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
             wall_time: wall,
         }),
     }

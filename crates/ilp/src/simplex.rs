@@ -1,8 +1,20 @@
 //! Two-phase primal simplex for linear programs with bounded variables.
 //!
-//! The implementation is a revised simplex with an **explicit dense basis
-//! inverse** that is rank-1 updated on every pivot and rebuilt from scratch
-//! every [`SimplexOptions::refactor_every`] pivots for numerical hygiene.
+//! The engine is a revised simplex that never forms a basis inverse:
+//! pricing and ratio tests solve the FTRAN/BTRAN systems `B w = aⱼ` and
+//! `Bᵀ y = c_B` through a pluggable [`BasisFactorization`] backend
+//! (selected by [`SimplexOptions::basis`]):
+//!
+//! * [`BasisBackend::SparseLu`] (default) — sparse LU with
+//!   Markowitz-style pivoting plus a product-form eta file, rebuilt every
+//!   [`SimplexOptions::refactor_every`] pivots (or earlier when the eta
+//!   file grows fat). Per-pivot work tracks the factor/eta nonzeros, which
+//!   on the slack-heavy bases of branch-and-bound node LPs is far below
+//!   the dense inverse's O(m²).
+//! * [`BasisBackend::Dense`] — the explicit dense inverse, rank-1 updated
+//!   per pivot; the original strategy, retained as a reference/fallback
+//!   that wins only on tiny or pathologically dense bases.
+//!
 //! The constraint matrix stays sparse (CSC); slack and artificial columns
 //! are represented implicitly as unit columns.
 //!
@@ -11,9 +23,20 @@
 //! artificial sum. Phase 2 fixes artificials to zero and optimizes the real
 //! objective. Degenerate cycling is broken by switching to Bland's rule
 //! after a stall is detected.
+//!
+//! **Warm starts.** [`solve_lp_warm`] accepts the final basis of a
+//! previous solve over the same matrix (typically the parent node in
+//! branch-and-bound, via [`BasisSnapshot::warm_start`]). Because bound
+//! changes leave reduced costs intact, the parent basis stays dual
+//! feasible: a short bounded-variable **dual simplex** loop restores
+//! primal feasibility and phase 1 is skipped entirely. Any numerical
+//! doubt falls back to the cold two-phase path, so warm starting is a
+//! pure optimization, never a correctness risk.
 
 use crate::error::{IlpError, LpStatus};
-use crate::linalg::{sparse_dot, DenseMatrix};
+use crate::linalg::{
+    sparse_dot, BasisBackend, BasisFactorization, Factorizer,
+};
 use crate::model::Sense;
 use crate::standard::LpCore;
 
@@ -41,10 +64,12 @@ pub struct SimplexOptions {
     pub opt_tol: f64,
     /// Minimum acceptable pivot magnitude.
     pub pivot_tol: f64,
-    /// Pivots between basis re-inversions.
+    /// Pivots between basis refactorizations.
     pub refactor_every: usize,
     /// Iterations without objective progress before Bland's rule engages.
     pub stall_limit: usize,
+    /// Basis factorization backend.
+    pub basis: BasisBackend,
     /// Abort with [`IlpError::Deadline`] past this instant (checked every
     /// few pivots, so a single long LP cannot overshoot a MIP time limit).
     pub deadline: Option<std::time::Instant>,
@@ -59,17 +84,18 @@ impl Default for SimplexOptions {
             pivot_tol: 1e-9,
             refactor_every: 64,
             stall_limit: 256,
+            basis: BasisBackend::default(),
             deadline: None,
         }
     }
 }
 
-/// Snapshot of the final basis, sufficient to derive tableau rows for
-/// cutting planes.
+/// Snapshot of the final basis: statuses and values for cut generation,
+/// plus the factorization itself so `B⁻¹` rows can be recovered on demand
+/// (without ever materializing the full inverse), and enough structure to
+/// warm-start a sibling solve.
 #[derive(Debug, Clone)]
 pub struct BasisSnapshot {
-    /// Basis inverse at termination (`m x m`).
-    pub binv: DenseMatrix,
     /// Variable occupying each basis row.
     pub basis: Vec<u32>,
     /// Status of every internal column (structural, then slacks).
@@ -78,6 +104,44 @@ pub struct BasisSnapshot {
     pub x_all: Vec<f64>,
     /// Number of structural columns.
     pub n_struct: usize,
+    /// Basis factorization at termination.
+    factor: Factorizer,
+}
+
+impl BasisSnapshot {
+    /// Row `row` of `B⁻¹`, solved on demand from the stored factorization
+    /// (used by Gomory cut generation).
+    pub fn binv_row(&mut self, row: usize) -> Vec<f64> {
+        let m = self.basis.len();
+        self.factor.binv_row(row, m)
+    }
+
+    /// Extract a warm-start basis for a re-solve over the same matrix
+    /// with different bounds. `None` when an artificial variable is still
+    /// basic (rare degenerate phase-1 leftover) — such a basis does not
+    /// exist in the artificial-free warm solve.
+    pub fn warm_start(&self) -> Option<WarmStart> {
+        let n_internal = self.status.len();
+        if self.basis.iter().any(|&b| (b as usize) >= n_internal) {
+            return None;
+        }
+        Some(WarmStart {
+            basis: self.basis.clone(),
+            status: self.status.clone(),
+        })
+    }
+}
+
+/// A basis (row occupants + column statuses) from a previous solve of the
+/// same `LpCore`, used to skip phase 1. Build via
+/// [`BasisSnapshot::warm_start`].
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Variable basic in each row (length `m`).
+    pub basis: Vec<u32>,
+    /// Status per internal column, structural then slacks (length
+    /// `n_struct + m`).
+    pub status: Vec<VarStatus>,
 }
 
 /// Result of an LP solve.
@@ -88,9 +152,13 @@ pub struct LpSolution {
     pub x: Vec<f64>,
     /// Objective in the user's sense, including any offset.
     pub objective: f64,
-    /// Total simplex pivots across both phases.
+    /// Total simplex pivots across both phases (including dual
+    /// feasibility-restoration pivots on warm starts).
     pub iterations: usize,
-    /// Final basis data for cut generation (only on `Optimal`).
+    /// Whether a warm-start basis was accepted and phase 1 skipped.
+    pub warm_started: bool,
+    /// Final basis data for cut generation and child warm starts (only on
+    /// `Optimal`).
     pub snapshot: Option<BasisSnapshot>,
 }
 
@@ -102,7 +170,21 @@ pub fn solve_lp(
     ub: &[f64],
     opts: &SimplexOptions,
 ) -> Result<LpSolution, IlpError> {
-    Solver::new(core, lb, ub, opts.clone())?.run()
+    solve_lp_warm(core, lb, ub, opts, None)
+}
+
+/// Like [`solve_lp`], seeded with a warm-start basis from a previous
+/// solve over the same matrix. Falls back to the cold two-phase path
+/// whenever the warm basis cannot be validated or dual feasibility
+/// restoration stalls.
+pub fn solve_lp_warm(
+    core: &LpCore,
+    lb: &[f64],
+    ub: &[f64],
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<LpSolution, IlpError> {
+    Solver::new(core, lb, ub, opts.clone())?.run(warm)
 }
 
 /// Solve with the core's own bounds.
@@ -130,10 +212,10 @@ struct Solver<'a> {
     status: Vec<VarStatus>,
     basis: Vec<u32>,
     x: Vec<f64>,
-    binv: DenseMatrix,
-    /// Scratch: y = c_B' B^-1.
+    factor: Factorizer,
+    /// Scratch: simplex multipliers y = B⁻ᵀ c_B.
     y: Vec<f64>,
-    /// Scratch: w = B^-1 A_j.
+    /// Scratch: FTRAN image w = B⁻¹ aⱼ.
     w: Vec<f64>,
     iterations: usize,
     pivots_since_refactor: usize,
@@ -192,8 +274,9 @@ impl<'a> Solver<'a> {
 
         let mut costs = Vec::with_capacity(n_struct + m);
         costs.extend_from_slice(&core.costs);
-        costs.extend(std::iter::repeat(0.0).take(m));
+        costs.extend(std::iter::repeat_n(0.0, m));
 
+        let factor = Factorizer::new(opts.basis);
         Ok(Solver {
             core,
             opts,
@@ -208,7 +291,7 @@ impl<'a> Solver<'a> {
             status: Vec::new(),
             basis: Vec::new(),
             x: Vec::new(),
-            binv: DenseMatrix::identity(m),
+            factor,
             y: vec![0.0; m],
             w: vec![0.0; m],
             iterations: 0,
@@ -231,43 +314,38 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Reduced cost of column `j` given `y`.
+    /// Dot product of column `j` with a dense row-space vector.
     #[inline]
-    fn reduced_cost(&self, j: usize, cost_j: f64) -> f64 {
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
         match self.column(j) {
-            ColRef::Struct(idx, val) => cost_j - sparse_dot(idx, val, &self.y),
-            ColRef::Unit(row, sign) => cost_j - sign * self.y[row as usize],
+            ColRef::Struct(idx, val) => sparse_dot(idx, val, v),
+            ColRef::Unit(row, sign) => sign * v[row as usize],
         }
     }
 
-    /// `w = B^-1 A_j`.
+    /// Reduced cost of column `j` given the current `y`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, cost_j: f64) -> f64 {
+        cost_j - self.col_dot(j, &self.y)
+    }
+
+    /// FTRAN: `w = B⁻¹ A_j`.
     fn compute_w(&mut self, j: usize) {
         self.w.fill(0.0);
-        if j < self.n_struct {
-            let (idx, val) = self.core.a.column(j);
-            for (&r, &v) in idx.iter().zip(val) {
-                let r = r as usize;
-                // w += v * binv[:, r]
-                for i in 0..self.m {
-                    self.w[i] += v * self.binv.get(i, r);
+        match self.column(j) {
+            ColRef::Struct(idx, val) => {
+                for (&r, &v) in idx.iter().zip(val) {
+                    self.w[r as usize] = v;
                 }
             }
-        } else {
-            let (row, sign) = if j < self.art_base {
-                ((j - self.n_struct) as u32, 1.0)
-            } else {
-                self.artificials[j - self.art_base]
-            };
-            let r = row as usize;
-            for i in 0..self.m {
-                self.w[i] = sign * self.binv.get(i, r);
-            }
+            ColRef::Unit(row, sign) => self.w[row as usize] = sign,
         }
+        self.factor.ftran(&mut self.w);
     }
 
     /// Initialize statuses, the starting basis (slacks where possible,
     /// artificials elsewhere), and the value vector.
-    fn initialize(&mut self) {
+    fn initialize(&mut self) -> Result<(), IlpError> {
         let m = self.m;
         let n_struct = self.n_struct;
         self.status = Vec::with_capacity(self.n_total);
@@ -343,35 +421,30 @@ impl<'a> Solver<'a> {
             self.x.push(leftover.abs());
         }
         self.n_total = n_struct + m + self.artificials.len();
-        self.binv = DenseMatrix::identity(m);
-        // Basis may contain artificials with sign -1: B is then not exactly
-        // I. Rebuild the inverse to be safe.
-        if self.artificials.iter().any(|&(_, s)| s < 0.0) {
-            self.refactorize().expect("starting basis is diagonal");
-        }
-        self.pivots_since_refactor = 0;
+        // The starting basis is diagonal (±1 entries): factor it so the
+        // backend is ready for FTRAN/BTRAN immediately.
+        self.refactorize()
     }
 
-    /// Rebuild `binv` from the basis columns; also refresh basic values.
+    /// Rebuild the factorization from the basis columns; also refresh
+    /// basic values.
     fn refactorize(&mut self) -> Result<(), IlpError> {
         let m = self.m;
         if m == 0 {
+            self.pivots_since_refactor = 0;
             return Ok(());
         }
-        let mut b = DenseMatrix::zeros(m, m);
-        for (col, &bj) in self.basis.iter().enumerate() {
-            match self.column(bj as usize) {
-                ColRef::Struct(idx, val) => {
-                    for (&r, &v) in idx.iter().zip(val) {
-                        b.set(r as usize, col, v);
-                    }
-                }
-                ColRef::Unit(row, sign) => b.set(row as usize, col, sign),
-            }
-        }
-        self.binv = b
-            .inverse(self.opts.pivot_tol)
-            .ok_or_else(|| IlpError::Numerical("singular basis at refactorization".into()))?;
+        let cols: Vec<Vec<(u32, f64)>> = self
+            .basis
+            .iter()
+            .map(|&bj| match self.column(bj as usize) {
+                ColRef::Struct(idx, val) => idx.iter().copied().zip(val.iter().copied()).collect(),
+                ColRef::Unit(row, sign) => vec![(row, sign)],
+            })
+            .collect();
+        self.factor
+            .refactor(m, &cols, self.opts.pivot_tol)
+            .map_err(|_| IlpError::Numerical("singular basis at refactorization".into()))?;
         self.recompute_basics();
         self.pivots_since_refactor = 0;
         Ok(())
@@ -398,15 +471,248 @@ impl<'a> Solver<'a> {
                 ColRef::Unit(row, sign) => rhs_eff[row as usize] -= sign * xj,
             }
         }
-        let mut xb = vec![0.0; m];
-        self.binv.mul_vec(&rhs_eff, &mut xb);
+        self.factor.ftran(&mut rhs_eff);
         for (i, &bj) in self.basis.iter().enumerate() {
-            self.x[bj as usize] = xb[i];
+            self.x[bj as usize] = rhs_eff[i];
+        }
+        debug_assert_eq!(rhs_eff.len(), m);
+    }
+
+    /// Pivot bookkeeping shared by the primal and dual loops: absorb the
+    /// basis change into the factorization, refactorizing on schedule or
+    /// when the update file outgrows its budget.
+    fn absorb_pivot(&mut self, r: usize) -> Result<(), IlpError> {
+        if self.factor.update(r, &self.w, self.opts.pivot_tol).is_err() {
+            return Err(IlpError::Numerical("vanishing pivot in basis update".into()));
+        }
+        self.pivots_since_refactor += 1;
+        let eta_budget = (8 * self.m).max(512);
+        if self.pivots_since_refactor >= self.opts.refactor_every
+            || self.factor.update_nnz() > eta_budget
+        {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    /// Install a warm-start basis. Errors (returning `false`) leave the
+    /// solver ready for a cold start instead.
+    fn install_warm(&mut self, warm: &WarmStart) -> bool {
+        let base = self.n_struct + self.m;
+        if warm.basis.len() != self.m || warm.status.len() != base {
+            return false;
+        }
+        // Validate the basis/status cross-references before trusting them:
+        // every basis row must point at a column marked basic in that row,
+        // and no *other* column may claim basic status (it would silently
+        // be frozen out of pricing).
+        for (i, &bj) in warm.basis.iter().enumerate() {
+            if bj as usize >= base
+                || !matches!(warm.status[bj as usize], VarStatus::Basic(r) if r as usize == i)
+            {
+                return false;
+            }
+        }
+        let basic_count = warm
+            .status
+            .iter()
+            .filter(|s| matches!(s, VarStatus::Basic(_)))
+            .count();
+        if basic_count != self.m {
+            return false;
+        }
+        self.artificials.clear();
+        self.n_total = base;
+        self.status = warm.status.clone();
+        self.basis = warm.basis.clone();
+        self.x = vec![0.0; base];
+        for j in 0..base {
+            match self.status[j] {
+                VarStatus::Basic(_) => {}
+                VarStatus::Lower => {
+                    if !self.lb[j].is_finite() {
+                        return false;
+                    }
+                    self.x[j] = self.lb[j];
+                }
+                VarStatus::Upper => {
+                    if !self.ub[j].is_finite() {
+                        return false;
+                    }
+                    self.x[j] = self.ub[j];
+                }
+                VarStatus::Free => self.x[j] = 0.0,
+            }
+        }
+        // Factor the warm basis; `refactorize` also computes basic values.
+        self.refactorize().is_ok()
+    }
+
+    /// Bounded-variable dual simplex: starting from a (near) dual-feasible
+    /// warm basis, drive out primal bound violations. Returns `Ok(true)`
+    /// on primal feasibility, `Ok(false)` when the caller should fall back
+    /// to a cold start (stall, vanished pivots, no entering column).
+    fn restore_primal_feasibility(&mut self) -> Result<bool, IlpError> {
+        let costs = self.costs.clone();
+        let feas_tol = self.opts.feas_tol;
+        // Warm bases are one bound-change away from feasible: a handful of
+        // pivots suffices, so a small budget keeps pathological cases from
+        // costing more than the cold start they fall back to.
+        let mut budget = 2 * self.m + 64;
+        let mut rho = vec![0.0; self.m];
+        loop {
+            if let Some(dl) = self.opts.deadline {
+                if std::time::Instant::now() >= dl {
+                    return Err(IlpError::Deadline);
+                }
+            }
+            // Leaving choice: the basic variable with the worst violation.
+            let mut leave: Option<(usize, bool)> = None;
+            let mut worst = feas_tol;
+            for i in 0..self.m {
+                let bj = self.basis[i] as usize;
+                let xb = self.x[bj];
+                if xb < self.lb[bj] - feas_tol {
+                    let viol = self.lb[bj] - xb;
+                    if viol > worst {
+                        worst = viol;
+                        leave = Some((i, true));
+                    }
+                } else if xb > self.ub[bj] + feas_tol {
+                    let viol = xb - self.ub[bj];
+                    if viol > worst {
+                        worst = viol;
+                        leave = Some((i, false));
+                    }
+                }
+            }
+            let Some((r, below)) = leave else {
+                return Ok(true); // primal feasible
+            };
+            if budget == 0 {
+                return Ok(false);
+            }
+            budget -= 1;
+
+            // ρ = row r of B⁻¹; α_j = ρ·a_j is the pivot-row entry.
+            rho.fill(0.0);
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            // Multipliers for reduced costs (dual ratio test).
+            for (i, &b) in self.basis.iter().enumerate() {
+                self.y[i] = costs[b as usize];
+            }
+            self.factor.btran(&mut self.y);
+
+            let mut best: Option<(usize, f64)> = None; // (entering, dir)
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.n_total {
+                if matches!(self.status[j], VarStatus::Basic(_)) {
+                    continue;
+                }
+                if self.ub[j] - self.lb[j] <= 0.0 {
+                    continue; // fixed: cannot enter
+                }
+                let alpha = self.col_dot(j, &rho);
+                if alpha.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                // The leaving variable moves by -dir·t·α; it must head
+                // toward its violated bound.
+                let (dir, eligible) = match self.status[j] {
+                    VarStatus::Lower => (1.0, if below { alpha < 0.0 } else { alpha > 0.0 }),
+                    VarStatus::Upper => (-1.0, if below { alpha > 0.0 } else { alpha < 0.0 }),
+                    VarStatus::Free => {
+                        let dir = if below == (alpha < 0.0) { 1.0 } else { -1.0 };
+                        (dir, true)
+                    }
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                // Dual ratio: the entering column whose reduced cost hits
+                // zero first preserves dual feasibility.
+                let d = self.reduced_cost(j, costs[j]);
+                let ratio = d.abs() / alpha.abs();
+                if ratio < best_ratio - 1e-12
+                    || (ratio <= best_ratio + 1e-12 && alpha.abs() > best_alpha)
+                {
+                    best_ratio = ratio;
+                    best_alpha = alpha.abs();
+                    best = Some((j, dir));
+                }
+            }
+            // No eligible entering column means the LP is primal
+            // infeasible — but prove that through the artificial-variable
+            // path rather than trusting warm-start numerics.
+            let Some((entering, dir)) = best else {
+                return Ok(false);
+            };
+
+            self.compute_w(entering);
+            let wr = self.w[r];
+            if wr.abs() <= self.opts.pivot_tol {
+                return Ok(false);
+            }
+            let leaving = self.basis[r] as usize;
+            let target = if below { self.lb[leaving] } else { self.ub[leaving] };
+            let t = ((self.x[leaving] - target) / (dir * wr)).max(0.0);
+
+            // If the step would push the entering variable past its own
+            // opposite bound, flip it there instead (basis unchanged) and
+            // re-examine the still-violated row.
+            let span = self.ub[entering] - self.lb[entering];
+            if span.is_finite() && t > span + 1e-12 {
+                for i in 0..self.m {
+                    let bj = self.basis[i] as usize;
+                    self.x[bj] -= dir * span * self.w[i];
+                }
+                self.status[entering] = if dir > 0.0 { VarStatus::Upper } else { VarStatus::Lower };
+                self.x[entering] = if dir > 0.0 { self.ub[entering] } else { self.lb[entering] };
+                self.iterations += 1;
+                continue;
+            }
+
+            for i in 0..self.m {
+                let bj = self.basis[i] as usize;
+                self.x[bj] -= dir * t * self.w[i];
+            }
+            self.x[entering] += dir * t;
+            self.x[leaving] = target; // snap exactly onto the bound
+            self.status[leaving] = if below { VarStatus::Lower } else { VarStatus::Upper };
+            self.status[entering] = VarStatus::Basic(r as u32);
+            self.basis[r] = entering as u32;
+            self.iterations += 1;
+            if self.absorb_pivot(r).is_err() {
+                return Ok(false);
+            }
         }
     }
 
-    fn run(mut self) -> Result<LpSolution, IlpError> {
-        self.initialize();
+    fn run(mut self, warm: Option<&WarmStart>) -> Result<LpSolution, IlpError> {
+        let mut warm_started = false;
+        if let Some(ws) = warm {
+            if self.install_warm(ws) {
+                match self.restore_primal_feasibility() {
+                    Ok(true) => warm_started = true,
+                    Ok(false) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        if !warm_started {
+            // Cold start: drop any half-installed warm state and run the
+            // artificial-variable phase 1.
+            let base = self.n_struct + self.m;
+            self.lb.truncate(base);
+            self.ub.truncate(base);
+            self.costs.truncate(base);
+            self.initialize()?;
+        }
+
         let max_iters = if self.opts.max_iters > 0 {
             self.opts.max_iters
         } else {
@@ -434,6 +740,7 @@ impl<'a> Solver<'a> {
                     x: Vec::new(),
                     objective: f64::NAN,
                     iterations: self.iterations,
+                    warm_started: false,
                     snapshot: None,
                 });
             }
@@ -457,24 +764,33 @@ impl<'a> Solver<'a> {
                 x: Vec::new(),
                 objective: f64::NAN,
                 iterations: self.iterations,
+                warm_started,
                 snapshot: None,
             });
         }
 
         let internal_obj: f64 = (0..self.n_struct).map(|j| self.costs[j] * self.x[j]).sum();
+        let objective = self.core.user_objective(internal_obj);
         let x_struct = self.x[..self.n_struct].to_vec();
+        // `run` consumes the solver: move the basis state and the
+        // factorization into the snapshot instead of cloning them (the
+        // factors can be large, and this runs once per B&B node).
+        let base = self.n_struct + self.m;
+        self.status.truncate(base);
+        self.x.truncate(base);
         let snapshot = BasisSnapshot {
-            binv: self.binv.clone(),
-            basis: self.basis.clone(),
-            status: self.status[..self.n_struct + self.m].to_vec(),
-            x_all: self.x[..self.n_struct + self.m].to_vec(),
+            basis: self.basis,
+            status: self.status,
+            x_all: self.x,
             n_struct: self.n_struct,
+            factor: self.factor,
         };
         Ok(LpSolution {
             status: LpStatus::Optimal,
             x: x_struct,
-            objective: self.core.user_objective(internal_obj),
+            objective,
             iterations: self.iterations,
+            warm_started,
             snapshot: Some(snapshot),
         })
     }
@@ -494,16 +810,18 @@ impl<'a> Solver<'a> {
             if self.iterations >= max_iters {
                 return Err(IlpError::IterationLimit);
             }
-            if self.iterations % 32 == 0 {
+            if self.iterations.is_multiple_of(32) {
                 if let Some(dl) = self.opts.deadline {
                     if std::time::Instant::now() >= dl {
                         return Err(IlpError::Deadline);
                     }
                 }
             }
-            // y = c_B' B^-1
-            let cb: Vec<f64> = self.basis.iter().map(|&b| costs[b as usize]).collect();
-            self.binv.vec_mul(&cb, &mut self.y);
+            // BTRAN: y = B⁻ᵀ c_B.
+            for (i, &b) in self.basis.iter().enumerate() {
+                self.y[i] = costs[b as usize];
+            }
+            self.factor.btran(&mut self.y);
 
             // Pricing: pick entering column.
             let mut best_j = usize::MAX;
@@ -575,7 +893,7 @@ impl<'a> Solver<'a> {
                 let better = if bland {
                     limit < t_min - 1e-12
                         || (limit <= t_min + 1e-12
-                            && leave_row.map_or(true, |r| bj < self.basis[r] as usize))
+                            && leave_row.is_none_or(|r| bj < self.basis[r] as usize))
                 } else {
                     limit < t_min - 1e-12
                         || (limit <= t_min + 1e-12 && wi.abs() > best_pivot)
@@ -645,30 +963,7 @@ impl<'a> Solver<'a> {
                 };
                 self.status[entering] = VarStatus::Basic(r as u32);
                 self.basis[r] = entering as u32;
-
-                // Rank-1 update of binv: row r scaled by 1/w_r, others
-                // reduced by w_i * new row r.
-                let wr = self.w[r];
-                if wr.abs() <= self.opts.pivot_tol {
-                    return Err(IlpError::Numerical("vanishing pivot".into()));
-                }
-                let inv_wr = 1.0 / wr;
-                crate::linalg::scale(inv_wr, self.binv.row_mut(r));
-                for i in 0..self.m {
-                    if i == r {
-                        continue;
-                    }
-                    let wi = self.w[i];
-                    if wi == 0.0 {
-                        continue;
-                    }
-                    let (dst, src) = self.binv.two_rows_mut(i, r);
-                    crate::linalg::axpy(-wi, src, dst);
-                }
-                self.pivots_since_refactor += 1;
-                if self.pivots_since_refactor >= self.opts.refactor_every {
-                    self.refactorize()?;
-                }
+                self.absorb_pivot(r)?;
             }
 
             // Stall / cycling detection.
@@ -710,6 +1005,12 @@ mod tests {
         solve_lp_default(&core, &SimplexOptions::default()).unwrap()
     }
 
+    fn solve_with(model: &Model, basis: BasisBackend) -> LpSolution {
+        let core = LpCore::from_model(model);
+        let opts = SimplexOptions { basis, ..SimplexOptions::default() };
+        solve_lp_default(&core, &opts).unwrap()
+    }
+
     #[test]
     fn simple_2d_lp() {
         // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 : classic, opt=36 at (2,6)
@@ -721,11 +1022,13 @@ mod tests {
         m.add_constraint(lin(&[(y, 2.0)]), Sense::Le, 12.0).unwrap();
         m.add_constraint(lin(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0)
             .unwrap();
-        let s = solve(&m);
-        assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 36.0).abs() < 1e-6, "obj={}", s.objective);
-        assert!((s.x[0] - 2.0).abs() < 1e-6);
-        assert!((s.x[1] - 6.0).abs() < 1e-6);
+        for basis in [BasisBackend::Dense, BasisBackend::SparseLu] {
+            let s = solve_with(&m, basis);
+            assert_eq!(s.status, LpStatus::Optimal);
+            assert!((s.objective - 36.0).abs() < 1e-6, "obj={}", s.objective);
+            assert!((s.x[0] - 2.0).abs() < 1e-6);
+            assert!((s.x[1] - 6.0).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -842,5 +1145,122 @@ mod tests {
         let core = LpCore::from_model(&m);
         let s = solve_lp(&core, &[0.0], &[3.0], &SimplexOptions::default()).unwrap();
         assert!((s.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_agree_on_equalities_and_ranges() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 4.0, 2.0).unwrap();
+        let y = m.add_continuous(-2.0, 6.0, -3.0).unwrap();
+        let z = m.add_continuous(0.0, INF, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 2.0), (z, -1.0)]), Sense::Eq, 3.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 2.0), (y, -1.0)]), Sense::Ge, -4.0)
+            .unwrap();
+        m.add_constraint(lin(&[(y, 1.0), (z, 3.0)]), Sense::Le, 12.0)
+            .unwrap();
+        let dense = solve_with(&m, BasisBackend::Dense);
+        let lu = solve_with(&m, BasisBackend::SparseLu);
+        assert_eq!(dense.status, LpStatus::Optimal);
+        assert_eq!(lu.status, LpStatus::Optimal);
+        assert!(
+            (dense.objective - lu.objective).abs() < 1e-6,
+            "dense {} vs lu {}",
+            dense.objective,
+            lu.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_skips_phase_one_after_bound_tightening() {
+        // Root LP, then re-solve with one tightened bound (a branching
+        // step): the warm solve must match a cold solve and report that
+        // phase 1 was skipped.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, -3.0).unwrap();
+        let y = m.add_continuous(0.0, 10.0, -2.0).unwrap();
+        let z = m.add_continuous(0.0, 10.0, -4.0).unwrap();
+        m.add_constraint(lin(&[(x, 2.0), (y, 1.0), (z, 3.0)]), Sense::Le, 14.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 3.0), (z, 1.0)]), Sense::Le, 12.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0), (z, 1.0)]), Sense::Ge, 1.0)
+            .unwrap();
+        let core = LpCore::from_model(&m);
+        let opts = SimplexOptions::default();
+        let root = solve_lp_default(&core, &opts).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        let warm = root.snapshot.as_ref().unwrap().warm_start().unwrap();
+
+        // Tighten each variable's upper bound below its root value in turn.
+        for v in 0..3 {
+            let mut ub = core.ub.clone();
+            let tightened = (root.x[v] - 0.75).max(0.0);
+            ub[v] = tightened;
+            let cold = solve_lp(&core, &core.lb, &ub, &opts).unwrap();
+            let hot = solve_lp_warm(&core, &core.lb, &ub, &opts, Some(&warm)).unwrap();
+            assert_eq!(cold.status, hot.status, "var {v}");
+            if cold.status == LpStatus::Optimal {
+                assert!(
+                    (cold.objective - hot.objective).abs() < 1e-6,
+                    "var {v}: cold {} vs warm {}",
+                    cold.objective,
+                    hot.objective
+                );
+                assert!(hot.warm_started, "var {v}: warm start must be accepted");
+                assert!(
+                    hot.iterations <= cold.iterations + 2,
+                    "var {v}: warm start may not pivot more than cold ({} vs {})",
+                    hot.iterations,
+                    cold.iterations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_child_via_fallback() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, -1.0).unwrap();
+        let y = m.add_continuous(0.0, 10.0, -1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 5.0)
+            .unwrap();
+        let core = LpCore::from_model(&m);
+        let opts = SimplexOptions::default();
+        let root = solve_lp_default(&core, &opts).unwrap();
+        let warm = root.snapshot.as_ref().unwrap().warm_start().unwrap();
+        // Child bounds make the row unsatisfiable.
+        let hot =
+            solve_lp_warm(&core, &[0.0, 0.0], &[2.0, 2.0], &opts, Some(&warm)).unwrap();
+        assert_eq!(hot.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_across_backends() {
+        // A dense-backend snapshot warm-starts an LU-backend solve and
+        // vice versa: the warm basis is backend-independent.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 8.0, -5.0).unwrap();
+        let y = m.add_continuous(0.0, 8.0, -4.0).unwrap();
+        m.add_constraint(lin(&[(x, 6.0), (y, 4.0)]), Sense::Le, 24.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let core = LpCore::from_model(&m);
+        for (first, second) in [
+            (BasisBackend::Dense, BasisBackend::SparseLu),
+            (BasisBackend::SparseLu, BasisBackend::Dense),
+        ] {
+            let o1 = SimplexOptions { basis: first, ..SimplexOptions::default() };
+            let o2 = SimplexOptions { basis: second, ..SimplexOptions::default() };
+            let root = solve_lp_default(&core, &o1).unwrap();
+            let warm = root.snapshot.as_ref().unwrap().warm_start().unwrap();
+            let mut ub = core.ub.clone();
+            ub[0] = (root.x[0] - 0.5).max(0.0);
+            let cold = solve_lp(&core, &core.lb, &ub, &o2).unwrap();
+            let hot = solve_lp_warm(&core, &core.lb, &ub, &o2, Some(&warm)).unwrap();
+            assert_eq!(cold.status, LpStatus::Optimal);
+            assert!((cold.objective - hot.objective).abs() < 1e-6);
+        }
     }
 }

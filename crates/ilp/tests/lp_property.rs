@@ -3,6 +3,7 @@
 //! consistent on classic constructions.
 
 use gmm_ilp::error::LpStatus;
+use gmm_ilp::linalg::BasisBackend;
 use gmm_ilp::model::{LinExpr, Model, Objective, Sense};
 use gmm_ilp::simplex::{solve_lp_default, SimplexOptions};
 use gmm_ilp::standard::LpCore;
@@ -109,6 +110,38 @@ proptest! {
         }
         // The spot-check must have exercised at least the solution itself.
         prop_assert!(tried >= 1 || m > 0);
+    }
+
+    /// The dense-inverse and sparse-LU basis backends are two
+    /// implementations of the same mathematics: on every randomized
+    /// bounded LP they must agree on status and, when optimal, on the
+    /// objective within the engine's optimality tolerance.
+    #[test]
+    fn dense_and_sparse_lu_backends_agree(
+        seed in any::<u64>(),
+        n in 2usize..7,
+        m in 1usize..5,
+    ) {
+        let model = random_lp(seed, n, m);
+        let core = LpCore::from_model(&model);
+        let defaults = SimplexOptions::default();
+        let dense = solve_lp_default(
+            &core,
+            &SimplexOptions { basis: BasisBackend::Dense, ..defaults.clone() },
+        ).unwrap();
+        let lu = solve_lp_default(
+            &core,
+            &SimplexOptions { basis: BasisBackend::SparseLu, ..defaults.clone() },
+        ).unwrap();
+        prop_assert_eq!(dense.status, lu.status);
+        if dense.status == LpStatus::Optimal {
+            let scale = 1.0 + dense.objective.abs();
+            prop_assert!(
+                (dense.objective - lu.objective).abs() <= defaults.opt_tol * 100.0 * scale,
+                "backends disagree: dense {} vs sparse-LU {}",
+                dense.objective, lu.objective
+            );
+        }
     }
 
     /// Pure box LPs have a closed-form optimum: each variable at the bound

@@ -160,8 +160,8 @@ proptest! {
     }
 }
 
-/// Mixed-integer models: continuous + integer variables, checked for
-/// solution feasibility and bound consistency (no brute oracle available).
+// Mixed-integer models: continuous + integer variables, checked for
+// solution feasibility and bound consistency (no brute oracle available).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

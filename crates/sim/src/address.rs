@@ -50,7 +50,7 @@ pub fn address_decoder(fragment: &Fragment) -> Result<DecodeInfo, DecodeError> {
     if reserved == 0 || !reserved.is_power_of_two() {
         return Err(DecodeError::NotPow2 { reserved });
     }
-    if fragment.base_word % reserved != 0 {
+    if !fragment.base_word.is_multiple_of(reserved) {
         return Err(DecodeError::NeedsAdder {
             base: fragment.base_word,
             reserved,

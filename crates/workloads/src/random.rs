@@ -57,7 +57,7 @@ pub fn random_design(spec: &RandomDesignSpec) -> Design {
             let phase = rng.gen_range(0..phases);
             // Phase p lives in [p*10, p*10 + 10 + overlap-jitter).
             let start = phase * 10;
-            let end = start + 10 + rng.gen_range(0..3);
+            let end = start + 10 + rng.gen_range(0u32..3);
             b.lifetime(id, Lifetime::new(start, end).expect("end > start"));
         }
     }

@@ -149,17 +149,31 @@ pub fn table3_board(point: &Table3Point) -> Board {
 /// Build a design with exactly `point.segments` segments whose aggregate
 /// port demand stays within the board's budget (so both formulations are
 /// feasible, as in the paper's experiments).
+///
+/// Feasibility is enforced **by construction**, not by distributional
+/// luck: every small/medium segment's cheapest placement on a Table 3
+/// board consumes one port, while a large segment may need two, so large
+/// draws are rationed to half the spare port budget
+/// (`ports - segments`). This keeps every RNG stream mappable.
 pub fn table3_design(point: &Table3Point, seed: u64) -> Design {
     let mut rng = StdRng::seed_from_u64(seed ^ (point.index as u64) << 32);
     let mut b = DesignBuilder::new(format!("table3-design{}", point.index));
+    let spare_ports = point.ports.saturating_sub(point.segments as u32);
+    // Each large segment can cost one extra port beyond the 1/segment
+    // baseline on both its fragments; budget them in pairs.
+    let mut large_left = spare_ports / 2;
     for i in 0..point.segments {
-        // Mostly small segments (1-2 ports each), a few multi-instance
-        // ones; keeps sum(CP) well under the port budget.
+        // Mostly small segments, some medium, a rationed number of large
+        // multi-fragment ones.
         let class = rng.gen_range(0..10);
         let (depth, width) = match class {
             0..=5 => (rng.gen_range(16..=256), rng.gen_range(1..=8)),
             6..=8 => (rng.gen_range(256..=2048), rng.gen_range(4..=16)),
-            _ => (rng.gen_range(2048..=8192), rng.gen_range(8..=32)),
+            _ if large_left > 0 => {
+                large_left -= 1;
+                (rng.gen_range(2048..=8192), rng.gen_range(8..=32))
+            }
+            _ => (rng.gen_range(256..=2048), rng.gen_range(4..=16)),
         };
         b.segment(format!("ds{i}"), depth, width)
             .expect("nonzero dims");
