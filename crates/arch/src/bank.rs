@@ -41,17 +41,17 @@ impl Placement {
 pub struct BankType {
     /// Human-readable name, e.g. "Virtex BlockRAM".
     pub name: String,
-    /// Number of identical instances on the board [`I_t`].
+    /// Number of identical instances on the board (`I_t`).
     pub instances: u32,
-    /// Ports per instance [`P_t`]; 1 = single-ported, 2 = dual-ported.
+    /// Ports per instance (`P_t`); 1 = single-ported, 2 = dual-ported.
     pub ports: u32,
     /// Selectable depth/width configurations [`C_t`, `D_t`, `W_t`].
     pub configs: Vec<RamConfig>,
-    /// Read latency in clock cycles [`RL_t`].
+    /// Read latency in clock cycles (`RL_t`).
     pub read_latency: u32,
-    /// Write latency in clock cycles [`WL_t`].
+    /// Write latency in clock cycles (`WL_t`).
     pub write_latency: u32,
-    /// Physical placement, giving the pins traversed [`T_t`].
+    /// Physical placement, giving the pins traversed (`T_t`).
     pub placement: Placement,
 }
 

@@ -89,7 +89,7 @@ impl Device {
     }
 }
 
-/// Xilinx Virtex and Virtex-E devices (data sheet [18] of the paper).
+/// Xilinx Virtex and Virtex-E devices (data sheet \[18\] of the paper).
 /// BlockRAM counts run from 8 (XCV50) to 208 (XCV3200E) — Table 1's range.
 pub const VIRTEX: &[Device] = &[
     Device { name: "XCV50", family: Family::Virtex, ram_blocks: 8 },
@@ -110,7 +110,7 @@ pub const VIRTEX: &[Device] = &[
     Device { name: "XCV3200E", family: Family::Virtex, ram_blocks: 208 },
 ];
 
-/// Altera FLEX 10K devices (data sheet [2]). Table 1 brackets the EAB count
+/// Altera FLEX 10K devices (data sheet \[2\]). Table 1 brackets the EAB count
 /// between 9 (EPF10K70) and 20 (EPF10K250A).
 pub const FLEX10K: &[Device] = &[
     Device { name: "EPF10K70", family: Family::Flex10K, ram_blocks: 9 },
@@ -120,7 +120,7 @@ pub const FLEX10K: &[Device] = &[
     Device { name: "EPF10K250A", family: Family::Flex10K, ram_blocks: 20 },
 ];
 
-/// Altera APEX 20K-E devices (data sheet [1]). ESB counts run from 12
+/// Altera APEX 20K-E devices (data sheet \[1\]). ESB counts run from 12
 /// (EP20K30E) to 216 (EP20K1500E) — Table 1's range.
 pub const APEX20K: &[Device] = &[
     Device { name: "EP20K30E", family: Family::Apex20K, ram_blocks: 12 },

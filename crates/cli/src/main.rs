@@ -5,30 +5,113 @@
 //! * `map`      — map a design onto a board (global/detailed or complete)
 //! * `gen`      — generate designs/boards (random, kernels, Table 3)
 //! * `simulate` — map a design and replay a trace on the result
+//! * `serve`    — run the `mapsrv` batch daemon (JSON-lines over TCP)
+//! * `batch`    — stream a directory/manifest/generated set of instances
+//!   through the job queue and print a summary table
 //! * `table1`   — print the paper's Table 1 device catalog
 //! * `table2`   — print the paper's Table 2 allocation options
 //! * `fig2`     — run the paper's Figure 2 worked example
 //! * `table3`   — regenerate Table 3 / Figure 4 (complete vs global)
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | internal failure (solver error, validation failure, I/O on output) |
+//! | 2 | usage error (unknown command, bad flag value) |
+//! | 3 | bad input (unreadable or malformed design/board/mapping file) |
+//! | 4 | infeasible instance (the board provably cannot host the design) |
+//!
+//! The distinction lets scripts separate "fix the invocation" (2), "fix
+//! the file" (3), and "fix the design or pick a bigger board" (4) without
+//! parsing stderr.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gmm_arch::Board;
 use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
 use gmm_core::{
-    enumerate_port_allocations, CostWeights, DetailedIlpOptions, SolverBackend,
+    enumerate_port_allocations, CostWeights, DetailedIlpOptions, MapError, SolverBackend,
 };
 use gmm_design::Design;
 use gmm_ilp::branch::MipOptions;
 use gmm_ilp::parallel::ParallelOptions;
+use gmm_service::{
+    JobConfig, JobQueue, JobState, LpBasis, MapClient, MapServer, QueueOptions,
+};
 use gmm_sim::{render_report, simulate_mapping, Trace};
-use gmm_workloads::{kernels, table3_board, table3_design, RandomDesignSpec, TABLE3};
+use gmm_workloads::{
+    kernels, stream_instances, table3_board, table3_design, RandomDesignSpec, StreamSpec, TABLE3,
+};
+
+/// Classified CLI failure; the variant fixes the process exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command or malformed flag (exit 2).
+    Usage(String),
+    /// Unreadable or unparsable input file (exit 3).
+    Input(String),
+    /// The instance is provably unmappable on this board (exit 4).
+    Infeasible(String),
+    /// Everything else: solver failures, output I/O, failed validation
+    /// (exit 1).
+    Internal(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+    fn input(msg: impl Into<String>) -> CliError {
+        CliError::Input(msg.into())
+    }
+    fn internal(msg: impl Into<String>) -> CliError {
+        CliError::Internal(msg.into())
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Internal(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Infeasible(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Infeasible(m)
+            | CliError::Internal(m) => m,
+        }
+    }
+}
+
+/// Pipeline errors split by who must act: infeasibility is the *instance's*
+/// fault (exit 4), the rest is the tool's (exit 1).
+fn classify_map_err(e: MapError) -> CliError {
+    match &e {
+        MapError::Infeasible => CliError::Infeasible(format!(
+            "{e}: the design's port/capacity demand exceeds the board"
+        )),
+        MapError::Unmappable(segs) => CliError::Infeasible(format!(
+            "{} segment(s) fit no bank type on this board (first: segment {})",
+            segs.len(),
+            segs.first().map(|s| s.0).unwrap_or(0)
+        )),
+        _ => CliError::Internal(e.to_string()),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -37,6 +120,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
+        "serve" => cmd_serve(rest),
+        "batch" => cmd_batch(rest),
         "table1" => cmd_table1(),
         "table2" => cmd_table2(rest),
         "fig2" => cmd_fig2(),
@@ -45,13 +130,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -71,6 +156,11 @@ USAGE:
                [--max-sharing N]
   gmm export --design <d.json> --board <b.json> [--complete]
              [--format mps|lp] [--out <file>]
+  gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
+            [--time-limit-secs T]
+  gmm batch (--dir <d> | --manifest <m.json> | --stream N) [--seed S]
+            [--addr host:port] [--workers N] [--repeat K] [--verify]
+            [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
@@ -80,6 +170,15 @@ USAGE:
 The LP engine factorizes the simplex basis; `--lp-basis` picks the
 backend: `lu` (sparse LU + eta updates, default) or `dense` (explicit
 inverse, reference).
+
+`serve` runs the mapsrv daemon: a JSON-lines TCP protocol with submit /
+poll / result / stats / shutdown verbs, a sharded work-stealing job
+queue, and a content-addressed solution cache. `batch` pushes a set of
+instances through the same queue — in-process by default, or against a
+running daemon with --addr — and prints a per-instance summary table.
+
+Exit codes: 0 ok, 1 internal failure, 2 usage error, 3 malformed input,
+4 infeasible instance.
 ";
 
 /// Tiny flag parser: `--key value` and boolean `--key`.
@@ -108,33 +207,62 @@ impl<'a> Flags<'a> {
             .nth(idx)
             .map(String::as_str)
     }
+    /// Parse `--key value` into any `FromStr` type (usage error on junk).
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| CliError::usage(format!("{key}: {e}"))),
+        }
+    }
+
+    /// Parse `--key value` as a non-negative finite duration in seconds
+    /// (`Duration::from_secs_f64` panics on negative/NaN input).
+    fn parse_secs(&self, key: &str) -> Result<Option<Duration>, CliError> {
+        match self.parse::<f64>(key)? {
+            None => Ok(None),
+            Some(s) if s.is_finite() && s >= 0.0 => Ok(Some(Duration::from_secs_f64(s))),
+            Some(s) => Err(CliError::usage(format!(
+                "{key}: must be a non-negative number of seconds, got {s}"
+            ))),
+        }
+    }
 }
 
-fn load_design(path: &str) -> Result<Design, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn load_design(path: &str) -> Result<Design, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError::input(format!("parsing {path}: {e}")))
 }
 
-fn load_board(path: &str) -> Result<Board, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+fn load_board(path: &str) -> Result<Board, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError::input(format!("parsing {path}: {e}")))
 }
 
-fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
-    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| CliError::internal(e.to_string()))?;
+    std::fs::write(path, text).map_err(|e| CliError::internal(format!("writing {path}: {e}")))
 }
 
-fn lp_basis_from_flags(f: &Flags) -> Result<Option<gmm_ilp::BasisBackend>, String> {
+fn lp_basis_from_flags(f: &Flags) -> Result<Option<gmm_ilp::BasisBackend>, CliError> {
     match f.get("--lp-basis") {
         None => Ok(None),
         Some("lu") | Some("sparse-lu") => Ok(Some(gmm_ilp::BasisBackend::SparseLu)),
         Some("dense") => Ok(Some(gmm_ilp::BasisBackend::Dense)),
-        Some(other) => Err(format!("--lp-basis must be `dense` or `lu`, got `{other}`")),
+        Some(other) => Err(CliError::usage(format!(
+            "--lp-basis must be `dense` or `lu`, got `{other}`"
+        ))),
     }
 }
 
-fn backend_from_flags(f: &Flags) -> Result<SolverBackend, String> {
+fn backend_from_flags(f: &Flags) -> Result<SolverBackend, CliError> {
     let mut backend = match f.get("--parallel") {
         Some(n) => SolverBackend::Parallel(ParallelOptions {
             threads: n.parse().unwrap_or(0),
@@ -148,10 +276,10 @@ fn backend_from_flags(f: &Flags) -> Result<SolverBackend, String> {
     Ok(backend)
 }
 
-fn cmd_map(args: &[String]) -> Result<(), String> {
+fn cmd_map(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let design = load_design(f.get("--design").ok_or("--design required")?)?;
-    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
+    let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
 
     let mut opts = MapperOptions::new();
     opts.backend = backend_from_flags(&f)?;
@@ -165,7 +293,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         let t0 = Instant::now();
         let (assignment, stats) = mapper
             .map_complete(&design, &board)
-            .map_err(|e| e.to_string())?;
+            .map_err(classify_map_err)?;
         println!(
             "complete formulation: {} vars, {} constraints, {} nonzeros",
             stats.variables, stats.constraints, stats.nonzeros
@@ -176,7 +304,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
     }
 
     let t0 = Instant::now();
-    let out = mapper.map(&design, &board).map_err(|e| e.to_string())?;
+    let out = mapper.map(&design, &board).map_err(classify_map_err)?;
     println!(
         "mapped {} segments in {:?} (global {:?}, detailed {:?}, {} retries)",
         design.num_segments(),
@@ -217,21 +345,18 @@ fn print_assignment(design: &Design, board: &Board, type_of: &[gmm_arch::BankTyp
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let kind = f.positional(0).ok_or("gen requires design|board|kernel")?;
+    let kind = f
+        .positional(0)
+        .ok_or(CliError::Usage("gen requires design|board|kernel".into()))?;
     match kind {
         "design" => {
-            let segments = f
-                .get("--segments")
-                .map(|v| v.parse().map_err(|e| format!("--segments: {e}")))
-                .transpose()?
-                .unwrap_or(16);
-            let seed = f
-                .get("--seed")
-                .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
-                .transpose()?
-                .unwrap_or(0xC0FFEE);
+            let segments: usize = f.parse("--segments")?.unwrap_or(16);
+            if segments == 0 {
+                return Err(CliError::usage("--segments must be at least 1"));
+            }
+            let seed = f.parse("--seed")?.unwrap_or(0xC0FFEE);
             let design = gmm_workloads::random_design(&RandomDesignSpec {
                 segments,
                 seed,
@@ -241,39 +366,40 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
         "board" => {
             if let Some(point) = f.get("--table3-point") {
-                let idx: usize = point.parse().map_err(|e| format!("--table3-point: {e}"))?;
+                let idx: usize = point
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--table3-point: {e}")))?;
                 if !(1..=9).contains(&idx) {
-                    return Err("--table3-point must be 1..9".into());
+                    return Err(CliError::usage("--table3-point must be 1..9"));
                 }
                 let board = table3_board(&TABLE3[idx - 1]);
                 return emit(&f, &board, "board");
             }
             let device = f.get("--device").unwrap_or("XCV1000");
-            let srams = f
-                .get("--srams")
-                .map(|v| v.parse().map_err(|e| format!("--srams: {e}")))
-                .transpose()?
-                .unwrap_or(4);
-            let board = Board::prototyping(device, srams).map_err(|e| e.to_string())?;
+            let srams = f.parse("--srams")?.unwrap_or(4);
+            let board = Board::prototyping(device, srams)
+                .map_err(|e| CliError::usage(e.to_string()))?;
             emit(&f, &board, "board")
         }
         "kernel" => {
-            let name = f.positional(1).ok_or("kernel name required")?;
+            let name = f
+                .positional(1)
+                .ok_or(CliError::Usage("kernel name required".into()))?;
             let design = match name {
                 "fir" => kernels::fir(16, 1024),
                 "conv2d" => kernels::conv2d(128, 128, 3),
                 "fft" => kernels::fft(1024),
                 "matmul" => kernels::matmul(64, 8),
                 "histogram" => kernels::histogram(128, 128, 256),
-                other => return Err(format!("unknown kernel `{other}`")),
+                other => return Err(CliError::usage(format!("unknown kernel `{other}`"))),
             };
             emit(&f, &design, "design")
         }
-        other => Err(format!("unknown gen target `{other}`")),
+        other => Err(CliError::usage(format!("unknown gen target `{other}`"))),
     }
 }
 
-fn emit<T: serde::Serialize>(f: &Flags, value: &T, what: &str) -> Result<(), String> {
+fn emit<T: serde::Serialize>(f: &Flags, value: &T, what: &str) -> Result<(), CliError> {
     match f.get("--out") {
         Some(path) => {
             write_json(path, value)?;
@@ -283,47 +409,40 @@ fn emit<T: serde::Serialize>(f: &Flags, value: &T, what: &str) -> Result<(), Str
         None => {
             println!(
                 "{}",
-                serde_json::to_string_pretty(value).map_err(|e| e.to_string())?
+                serde_json::to_string_pretty(value).map_err(|e| CliError::internal(e.to_string()))?
             );
             Ok(())
         }
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let design = load_design(f.get("--design").ok_or("--design required")?)?;
-    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
+    let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
     let mapper = Mapper::new(MapperOptions::new());
-    let out = mapper.map(&design, &board).map_err(|e| e.to_string())?;
-    let trace = match f.get("--random") {
-        Some(n) => Trace::random(
-            &design,
-            n.parse().map_err(|e| format!("--random: {e}"))?,
-            42,
-        ),
+    let out = mapper.map(&design, &board).map_err(classify_map_err)?;
+    let trace = match f.parse::<usize>("--random")? {
+        Some(n) => Trace::random(&design, n, 42),
         None => Trace::from_profiles(&design),
     };
-    let report =
-        simulate_mapping(&design, &board, &out.detailed, &trace).map_err(|e| e.to_string())?;
+    let report = simulate_mapping(&design, &board, &out.detailed, &trace)
+        .map_err(|e| CliError::internal(e.to_string()))?;
     print!("{}", render_report(&design, &report));
     Ok(())
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let design = load_design(f.get("--design").ok_or("--design required")?)?;
-    let board = load_board(f.get("--board").ok_or("--board required")?)?;
-    let path = f.get("--mapping").ok_or("--mapping required")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
+    let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
+    let path = f.get("--mapping").ok_or(CliError::Usage("--mapping required".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("reading {path}: {e}")))?;
     let mapping: gmm_core::DetailedMapping =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| CliError::input(format!("parsing {path}: {e}")))?;
     let policy = gmm_core::ValidationPolicy {
-        max_port_sharing: f
-            .get("--max-sharing")
-            .map(|v| v.parse().map_err(|e| format!("--max-sharing: {e}")))
-            .transpose()?
-            .unwrap_or(1),
+        max_port_sharing: f.parse("--max-sharing")?.unwrap_or(1),
     };
     let violations = gmm_core::validate_detailed_policy(&design, &board, &mapping, policy);
     let decode_errors = gmm_sim::check_adder_free(&mapping);
@@ -341,40 +460,41 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         for (i, e) in &decode_errors {
             eprintln!("fragment {i}: {e}");
         }
-        Err(format!(
+        Err(CliError::internal(format!(
             "{} violations, {} decode errors",
             violations.len(),
             decode_errors.len()
-        ))
+        )))
     }
 }
 
-fn cmd_export(args: &[String]) -> Result<(), String> {
+fn cmd_export(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let design = load_design(f.get("--design").ok_or("--design required")?)?;
-    let board = load_board(f.get("--board").ok_or("--board required")?)?;
+    let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
+    let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
     let pre = gmm_core::PreTable::build(&design, &board);
     let matrix = gmm_core::CostMatrix::build(&design, &board, &pre);
     let weights = CostWeights::default();
     let model = if f.has("--complete") {
         gmm_core::complete::build_complete_model(&design, &board, &pre, &matrix, &weights, false)
-            .map_err(|e| e.to_string())?
+            .map_err(classify_map_err)?
             .model
     } else {
         gmm_core::global::build_global_model(
             &design, &board, &pre, &matrix, &weights, false, &[],
         )
-        .map_err(|e| e.to_string())?
+        .map_err(classify_map_err)?
         .model
     };
     let text = match f.get("--format").unwrap_or("mps") {
         "mps" => gmm_ilp::io::to_mps(&model),
         "lp" => gmm_ilp::io::to_lp(&model),
-        other => return Err(format!("unknown format `{other}` (mps|lp)")),
+        other => return Err(CliError::usage(format!("unknown format `{other}` (mps|lp)"))),
     };
     match f.get("--out") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::internal(format!("writing {path}: {e}")))?;
             println!(
                 "wrote {} ({} vars, {} constraints)",
                 path,
@@ -387,7 +507,364 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table1() -> Result<(), String> {
+// ---------------------------------------------------------------------------
+// serve / batch — the batch mapping service front end
+// ---------------------------------------------------------------------------
+
+fn job_config_from_flags(f: &Flags) -> Result<JobConfig, CliError> {
+    Ok(JobConfig {
+        lp_basis: lp_basis_from_flags(f)?
+            .map(LpBasis::from)
+            .unwrap_or(LpBasis::Lu),
+        overlap_aware: f.has("--overlap"),
+        detailed_ilp: f.has("--ilp-detailed"),
+    })
+}
+
+fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
+    Ok(QueueOptions {
+        workers: f.parse("--workers")?.unwrap_or(0),
+        cache_shards: f.parse("--cache-shards")?.unwrap_or(16),
+        job_time_limit: f.parse_secs("--time-limit-secs")?,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::new(args);
+    let addr = f.get("--addr").unwrap_or("127.0.0.1:7171");
+    let queue = Arc::new(JobQueue::new(queue_options_from_flags(&f)?));
+    let workers = queue.num_workers();
+    let server = MapServer::start(addr, queue)
+        .map_err(|e| CliError::internal(format!("binding {addr}: {e}")))?;
+    println!(
+        "mapsrv listening on {} ({} workers); send {{\"verb\":\"shutdown\"}} to stop",
+        server.local_addr(),
+        workers
+    );
+    server.join();
+    println!("mapsrv stopped");
+    Ok(())
+}
+
+/// One instance headed into the batch queue.
+struct BatchInstance {
+    name: String,
+    design: Design,
+    board: Board,
+}
+
+/// A design/board pair as stored in a `--dir` instance file.
+#[derive(serde::Deserialize)]
+struct InstanceFile {
+    design: Design,
+    board: Board,
+}
+
+fn load_batch_instances(f: &Flags) -> Result<Vec<BatchInstance>, CliError> {
+    if let Some(dir) = f.get("--dir") {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| CliError::input(format!("reading {dir}: {e}")))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(CliError::input(format!("{dir} contains no .json instances")));
+        }
+        let mut out = Vec::with_capacity(paths.len());
+        for p in paths {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| CliError::input(format!("reading {}: {e}", p.display())))?;
+            let inst: InstanceFile = serde_json::from_str(&text)
+                .map_err(|e| CliError::input(format!("parsing {}: {e}", p.display())))?;
+            out.push(BatchInstance {
+                name: p
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.display().to_string()),
+                design: inst.design,
+                board: inst.board,
+            });
+        }
+        return Ok(out);
+    }
+
+    if let Some(path) = f.get("--manifest") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::input(format!("reading {path}: {e}")))?;
+        let value: serde::Value = serde_json::from_str(&text)
+            .map_err(|e| CliError::input(format!("parsing {path}: {e}")))?;
+        let entries = value
+            .as_array()
+            .ok_or_else(|| CliError::input(format!("{path}: manifest must be a JSON array")))?;
+        let base = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+        let resolve = |p: &str| {
+            let pb = std::path::Path::new(p);
+            if pb.is_absolute() {
+                pb.to_path_buf()
+            } else {
+                base.join(pb)
+            }
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let design_path = e
+                .get("design")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| CliError::input(format!("{path}: entry {i} missing `design`")))?;
+            let board_path = e
+                .get("board")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| CliError::input(format!("{path}: entry {i} missing `board`")))?;
+            let name = e
+                .get("name")
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("job{i}"));
+            out.push(BatchInstance {
+                name,
+                design: load_design(&resolve(design_path).display().to_string())?,
+                board: load_board(&resolve(board_path).display().to_string())?,
+            });
+        }
+        if out.is_empty() {
+            return Err(CliError::input(format!("{path}: manifest is empty")));
+        }
+        return Ok(out);
+    }
+
+    if let Some(n) = f.parse::<usize>("--stream")? {
+        if n == 0 {
+            return Err(CliError::usage("--stream must be at least 1"));
+        }
+        let seed = f.parse("--seed")?.unwrap_or(0xBEEF);
+        let spec = StreamSpec {
+            seed,
+            ..StreamSpec::default()
+        };
+        return Ok(stream_instances(spec)
+            .take(n)
+            .map(|inst| BatchInstance {
+                name: inst.name,
+                design: inst.design,
+                board: inst.board,
+            })
+            .collect());
+    }
+
+    Err(CliError::usage(
+        "batch needs an instance source: --dir, --manifest, or --stream N",
+    ))
+}
+
+struct BatchRow {
+    name: String,
+    state: JobState,
+    cached: bool,
+    objective: Option<f64>,
+    error: Option<String>,
+    /// Full canonical solution JSON (local mode) for verification.
+    solution_json: Option<String>,
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::new(args);
+    let instances = load_batch_instances(&f)?;
+    let config = job_config_from_flags(&f)?;
+    let repeat: usize = f.parse("--repeat")?.unwrap_or(1).max(1);
+    let verify = f.has("--verify");
+    if verify && repeat < 2 {
+        return Err(CliError::usage("--verify needs --repeat 2 or more"));
+    }
+
+    let t0 = Instant::now();
+    let mut rounds: Vec<Vec<BatchRow>> = Vec::with_capacity(repeat);
+    let mut stats_line = String::new();
+
+    if let Some(addr) = f.get("--addr") {
+        for local_only in ["--workers", "--cache-shards", "--time-limit-secs"] {
+            if f.has(local_only) {
+                eprintln!(
+                    "note: {local_only} configures the in-process queue and is \
+                     ignored with --addr (the server's settings apply)"
+                );
+            }
+        }
+        let mut client = MapClient::connect(addr)
+            .map_err(|e| CliError::internal(format!("connecting to {addr}: {e}")))?;
+        for _ in 0..repeat {
+            let mut jobs = Vec::with_capacity(instances.len());
+            for inst in &instances {
+                let (job, _, _) = client
+                    .submit(inst.design.clone(), inst.board.clone(), config.clone())
+                    .map_err(|e| CliError::internal(e.to_string()))?;
+                jobs.push(job);
+            }
+            let mut rows = Vec::with_capacity(jobs.len());
+            for (inst, job) in instances.iter().zip(jobs) {
+                let out = client
+                    .wait(job, Duration::from_secs(600))
+                    .map_err(|e| CliError::internal(e.to_string()))?;
+                rows.push(BatchRow {
+                    name: inst.name.clone(),
+                    state: out.state,
+                    cached: out.cached,
+                    objective: out.objective,
+                    error: out.error,
+                    solution_json: out
+                        .solution
+                        .as_ref()
+                        .map(|s| serde_json::to_string(s).expect("canonical render")),
+                });
+            }
+            rounds.push(rows);
+        }
+        if let Ok(s) = client.stats() {
+            stats_line = format!(
+                "server: {} submitted, {} done, {} failed; cache {}/{} hits, {} entries",
+                s.jobs_submitted,
+                s.jobs_completed,
+                s.jobs_failed,
+                s.cache_hits,
+                s.cache_hits + s.cache_misses,
+                s.cache_entries
+            );
+        }
+    } else {
+        let queue = JobQueue::new(queue_options_from_flags(&f)?);
+        for _ in 0..repeat {
+            let tickets: Vec<_> = instances
+                .iter()
+                .map(|inst| queue.submit(inst.design.clone(), inst.board.clone(), config.clone()))
+                .collect();
+            if !queue.wait_idle(Duration::from_secs(600)) {
+                return Err(CliError::internal("batch timed out after 600s"));
+            }
+            let rows = instances
+                .iter()
+                .zip(tickets)
+                .map(|(inst, t)| {
+                    let out = queue.outcome(t.id).expect("submitted job is known");
+                    BatchRow {
+                        name: inst.name.clone(),
+                        state: out.state,
+                        cached: out.cached,
+                        objective: out.objective,
+                        error: out.error,
+                        solution_json: out.solution_json.map(|e| e.solution_json.clone()),
+                    }
+                })
+                .collect();
+            rounds.push(rows);
+        }
+        let s = queue.stats();
+        stats_line = format!(
+            "queue: {} submitted, {} done, {} failed on {} workers; cache {}/{} hits, {} entries",
+            s.submitted,
+            s.completed,
+            s.failed,
+            s.workers,
+            s.cache.hits,
+            s.cache.hits + s.cache.misses,
+            s.cache.entries
+        );
+        queue.shutdown();
+    }
+    let elapsed = t0.elapsed();
+
+    // Per-instance table (final round's states; cache column counts rounds).
+    println!(
+        "{:<28} {:>8} {:>7} {:>14}  note",
+        "instance", "state", "cached", "objective"
+    );
+    let last = rounds.last().expect("repeat >= 1");
+    for (i, row) in last.iter().enumerate() {
+        let cached_rounds = rounds.iter().filter(|r| r[i].cached).count();
+        println!(
+            "{:<28} {:>8} {:>4}/{:<2} {:>14}  {}",
+            row.name,
+            row.state.as_str(),
+            cached_rounds,
+            rounds.len(),
+            row.objective
+                .map(|o| format!("{o:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            row.error.as_deref().unwrap_or(""),
+        );
+    }
+
+    let total_jobs = instances.len() * repeat;
+    let failed: usize = rounds
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|r| r.state == JobState::Failed)
+        .count();
+    println!(
+        "\n{} instances x {} rounds = {} jobs in {:.2}s ({:.1} jobs/s)",
+        instances.len(),
+        repeat,
+        total_jobs,
+        elapsed.as_secs_f64(),
+        total_jobs as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if !stats_line.is_empty() {
+        println!("{stats_line}");
+    }
+
+    if verify {
+        verify_rounds(&instances, &rounds)?;
+        println!("verify: all repeat rounds byte-identical and replay-identical");
+    }
+
+    if failed > 0 {
+        return Err(CliError::internal(format!(
+            "{failed} of {total_jobs} jobs failed (see table)"
+        )));
+    }
+    Ok(())
+}
+
+/// Check that every repeat round returned byte-identical payloads and that
+/// the cached mapping replays identically in the simulator.
+fn verify_rounds(instances: &[BatchInstance], rounds: &[Vec<BatchRow>]) -> Result<(), CliError> {
+    let cold = &rounds[0];
+    for (i, inst) in instances.iter().enumerate() {
+        let Some(cold_json) = cold[i].solution_json.as_deref() else {
+            continue; // failed cold solve is reported by the caller
+        };
+        for round in &rounds[1..] {
+            let Some(warm_json) = round[i].solution_json.as_deref() else {
+                return Err(CliError::internal(format!(
+                    "{}: cold solve succeeded but a repeat round failed",
+                    inst.name
+                )));
+            };
+            let cold_detailed = extract_detailed(cold_json, &inst.name)?;
+            let warm_detailed = extract_detailed(warm_json, &inst.name)?;
+            gmm_sim::validate_cache_hit(&inst.design, &inst.board, &cold_detailed, &warm_detailed)
+                .map_err(|e| CliError::internal(format!("{}: {e}", inst.name)))?;
+            if cold_json != warm_json {
+                return Err(CliError::internal(format!(
+                    "{}: full payloads differ outside the detailed mapping",
+                    inst.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pull the canonical `detailed` subtree back out of a solution payload.
+fn extract_detailed(solution_json: &str, name: &str) -> Result<String, CliError> {
+    let value: serde::Value = serde_json::from_str(solution_json)
+        .map_err(|e| CliError::internal(format!("{name}: solution does not parse: {e}")))?;
+    let detailed = value
+        .get("detailed")
+        .ok_or_else(|| CliError::internal(format!("{name}: solution has no `detailed` field")))?;
+    serde_json::to_string(detailed).map_err(|e| CliError::internal(e.to_string()))
+}
+
+fn cmd_table1() -> Result<(), CliError> {
     println!("Table 1: FPGA on-chip RAMs\n");
     println!(
         "{:<14} {:<10} {:>12} {:>8}  configurations",
@@ -419,18 +896,10 @@ fn cmd_table1() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table2(args: &[String]) -> Result<(), String> {
+fn cmd_table2(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let ports: u32 = f
-        .get("--ports")
-        .unwrap_or("3")
-        .parse()
-        .map_err(|e| format!("--ports: {e}"))?;
-    let depth: u32 = f
-        .get("--depth")
-        .unwrap_or("16")
-        .parse()
-        .map_err(|e| format!("--depth: {e}"))?;
+    let ports: u32 = f.parse("--ports")?.unwrap_or(3);
+    let depth: u32 = f.parse("--depth")?.unwrap_or(16);
     println!("Table 2: allocation options of a {ports}-port {depth}-word bank\n");
     println!("{:<20} accepted-by-Figure-3", "words per port");
     for opt in enumerate_port_allocations(ports, depth) {
@@ -444,7 +913,7 @@ fn cmd_table2(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fig2() -> Result<(), String> {
+fn cmd_fig2() -> Result<(), CliError> {
     use gmm_arch::{BankType, Placement, RamConfig};
     let bank = BankType::new(
         "fig2",
@@ -460,7 +929,7 @@ fn cmd_fig2() -> Result<(), String> {
         1,
         Placement::OnChip,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::internal(e.to_string()))?;
     let e = gmm_core::preprocess::preprocess_pair(&bank, 55, 17);
     println!("Figure 2: a 55x17 data structure on a 3-port bank");
     println!("configurations: 128x1, 64x2, 32x4, 16x8\n");
@@ -482,23 +951,16 @@ fn cmd_fig2() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table3(args: &[String]) -> Result<(), String> {
+fn cmd_table3(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
-    let cap = Duration::from_secs_f64(
-        f.get("--cap-secs")
-            .unwrap_or("60")
-            .parse()
-            .map_err(|e| format!("--cap-secs: {e}"))?,
-    );
+    let cap = f
+        .parse_secs("--cap-secs")?
+        .unwrap_or(Duration::from_secs(60));
     let points: Vec<usize> = match f.get("--points") {
         Some(spec) => parse_points(spec)?,
         None => (1..=9).collect(),
     };
-    let threads: usize = f
-        .get("--parallel")
-        .map(|v| v.parse().map_err(|e| format!("--parallel: {e}")))
-        .transpose()?
-        .unwrap_or(0);
+    let threads: usize = f.parse("--parallel")?.unwrap_or(0);
 
     println!("Table 3: ILP execution times, complete vs global/detailed");
     println!("(time cap per solve: {cap:?}; '>' marks capped runs)\n");
@@ -594,19 +1056,22 @@ fn cmd_table3(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_points(spec: &str) -> Result<Vec<usize>, String> {
+fn parse_points(spec: &str) -> Result<Vec<usize>, CliError> {
     let mut out = Vec::new();
     for part in spec.split(',') {
         if let Some((a, b)) = part.split_once("..") {
-            let a: usize = a.parse().map_err(|e| format!("--points: {e}"))?;
-            let b: usize = b.parse().map_err(|e| format!("--points: {e}"))?;
+            let a: usize = a.parse().map_err(|e| CliError::usage(format!("--points: {e}")))?;
+            let b: usize = b.parse().map_err(|e| CliError::usage(format!("--points: {e}")))?;
             out.extend(a..=b);
         } else {
-            out.push(part.parse().map_err(|e| format!("--points: {e}"))?);
+            out.push(
+                part.parse()
+                    .map_err(|e| CliError::usage(format!("--points: {e}")))?,
+            );
         }
     }
     if out.iter().any(|&p| !(1..=9).contains(&p)) {
-        return Err("--points must be within 1..9".into());
+        return Err(CliError::usage("--points must be within 1..9"));
     }
     Ok(out)
 }

@@ -125,6 +125,21 @@ pub mod de {
     impl<T: crate::Deserialize> DeserializeOwned for T {}
 }
 
+/// A `Value` (de)serializes as itself, so generic code can pass raw JSON
+/// trees through without knowing their shape (e.g. a service embedding an
+/// already-rendered solution in a response envelope).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

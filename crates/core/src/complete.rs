@@ -1,7 +1,7 @@
 //! The **complete** one-step memory-mapping ILP — the baseline the paper
-//! compares against (its own prior work [9], DATE 2001).
+//! compares against (its own prior work \[9\], DATE 2001).
 //!
-//! The full formulation of [9] is not reprinted in the paper; this module
+//! The full formulation of \[9\] is not reprinted in the paper; this module
 //! reconstructs it faithfully from the §4 notation list, which defines all
 //! three variable families:
 //!

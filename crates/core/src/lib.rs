@@ -13,7 +13,7 @@
 //!   concrete instances, ports, and configurations (constructive packer
 //!   and fragmentation-minimizing ILP);
 //! * [`complete`] — the one-step baseline formulation of the paper's prior
-//!   work [9], reconstructed from the §4 notation, used by the Table 3
+//!   work \[9\], reconstructed from the §4 notation, used by the Table 3
 //!   comparison;
 //! * [`pipeline`] — the retrying global→detailed [`pipeline::Mapper`];
 //! * [`cost`] / [`mapping`] — the cost model and validated mapping types.

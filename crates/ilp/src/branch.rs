@@ -311,6 +311,26 @@ fn dive(
 }
 
 /// Solve a mixed-integer program.
+///
+/// ```
+/// use gmm_ilp::branch::{solve_mip, MipOptions};
+/// use gmm_ilp::model::{lin, Model, Objective, Sense};
+/// use gmm_ilp::MipStatus;
+///
+/// // A knapsack whose LP relaxation is fractional, forcing branching:
+/// // maximize 5a + 4b + 3c  s.t.  2a + 3b + c <= 3,  a,b,c binary.
+/// let mut m = Model::new();
+/// let a = m.add_binary(5.0);
+/// let b = m.add_binary(4.0);
+/// let c = m.add_binary(3.0);
+/// m.set_objective_direction(Objective::Maximize);
+/// m.add_constraint(lin(&[(a, 2.0), (b, 3.0), (c, 1.0)]), Sense::Le, 3.0).unwrap();
+///
+/// let result = solve_mip(&m, &MipOptions::default()).unwrap();
+/// assert_eq!(result.status, MipStatus::Optimal);
+/// assert_eq!(result.best_objective, Some(8.0)); // a + c
+/// assert!(result.nodes_explored >= 1);
+/// ```
 pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError> {
     let start = Instant::now();
     let core = LpCore::from_model(model);

@@ -50,6 +50,25 @@ pub enum BasisBackend {
 /// `refactor` rebuilds the factorization from the basis columns (sparse
 /// `(row, value)` lists, one per basis position); `update` absorbs one
 /// pivot. Solvers call `ftran`/`btran` in place on length-`m` buffers.
+///
+/// ```
+/// use gmm_ilp::linalg::{BasisFactorization, BasisBackend, Factorizer};
+///
+/// // Factorize B = [[2, 1], [0, 4]] (columns as sparse (row, value) lists)
+/// // and solve B x = [4, 8]: x = [1, 2].
+/// let cols = vec![vec![(0u32, 2.0)], vec![(0u32, 1.0), (1u32, 4.0)]];
+/// let mut f = Factorizer::new(BasisBackend::SparseLu);
+/// f.refactor(2, &cols, 1e-9).unwrap();
+///
+/// let mut x = vec![4.0, 8.0]; // enters holding b, leaves holding x
+/// f.ftran(&mut x);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+///
+/// // BTRAN solves the transpose system used for pricing.
+/// let mut y = vec![2.0, 9.0]; // enters holding c_B
+/// f.btran(&mut y);
+/// assert!((y[0] - 1.0).abs() < 1e-12 && (y[1] - 2.0).abs() < 1e-12);
+/// ```
 pub trait BasisFactorization {
     /// Rebuild from scratch. `cols[i]` is the sparse column of the
     /// variable basic in row-position `i`.

@@ -134,6 +134,27 @@ pub(crate) struct ConData {
 }
 
 /// A mixed-integer linear program.
+///
+/// Build by adding variables (which fixes their objective coefficient)
+/// and constraints over the returned [`VarId`] handles, then hand the
+/// model to [`crate::branch::solve_mip`] (or
+/// [`crate::simplex`] for the relaxation alone):
+///
+/// ```
+/// use gmm_ilp::model::{lin, Model, Objective, Sense};
+///
+/// // maximize x + 2y  s.t.  x + y <= 1,  x,y binary
+/// let mut m = Model::new();
+/// let x = m.add_binary(1.0);
+/// let y = m.add_binary(2.0);
+/// m.set_objective_direction(Objective::Maximize);
+/// m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.0).unwrap();
+///
+/// let result = gmm_ilp::branch::solve_mip(&m, &Default::default()).unwrap();
+/// let sol = result.best_solution.unwrap();
+/// assert_eq!(result.best_objective, Some(2.0)); // y wins the knapsack
+/// assert_eq!((sol[x.index()], sol[y.index()]), (0.0, 1.0));
+/// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Model {
     pub(crate) vars: Vec<VarData>,

@@ -164,6 +164,25 @@ pub struct LpSolution {
 
 /// Solve the LP defined by `core` with per-variable bounds `lb`/`ub`
 /// (overriding the core's defaults; slices must have structural length).
+///
+/// ```
+/// use gmm_ilp::model::{lin, Model, Sense};
+/// use gmm_ilp::simplex::{solve_lp, SimplexOptions};
+/// use gmm_ilp::standard::LpCore;
+/// use gmm_ilp::LpStatus;
+///
+/// // minimize -x - y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y in [0, 10]
+/// let mut m = Model::new();
+/// let x = m.add_continuous(0.0, 10.0, -1.0).unwrap();
+/// let y = m.add_continuous(0.0, 10.0, -1.0).unwrap();
+/// m.add_constraint(lin(&[(x, 1.0), (y, 2.0)]), Sense::Le, 4.0).unwrap();
+/// m.add_constraint(lin(&[(x, 3.0), (y, 1.0)]), Sense::Le, 6.0).unwrap();
+///
+/// let core = LpCore::from_model(&m);
+/// let sol = solve_lp(&core, &core.lb, &core.ub, &SimplexOptions::default()).unwrap();
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.objective - (-2.8)).abs() < 1e-6); // x = 1.6, y = 1.2
+/// ```
 pub fn solve_lp(
     core: &LpCore,
     lb: &[f64],

@@ -1,4 +1,4 @@
-//! Conversion of a [`Model`](crate::model::Model) into the column-oriented
+//! Conversion of a [`Model`] into the column-oriented
 //! form consumed by the simplex engine.
 //!
 //! The [`LpCore`] is built **once** per model and shared by every node of a

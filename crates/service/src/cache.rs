@@ -1,0 +1,181 @@
+//! Content-addressed solution cache.
+//!
+//! Maps an [`InstanceKey`] to the **canonical JSON rendering** of the
+//! solved mapping. Storing the rendered text rather than the structured
+//! solution is deliberate: a cache hit must return the *byte-identical*
+//! payload of the original solve (the `sim` replay validator and the
+//! end-to-end tests compare raw bytes), and re-serializing a struct would
+//! couple that guarantee to serializer stability across refactors.
+//!
+//! The map is sharded by the low bits of the key so concurrent workers on
+//! different instances do not contend on one lock; each shard is a plain
+//! `parking_lot::Mutex<HashMap>` since critical sections are a clone-in /
+//! clone-out.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hash::InstanceKey;
+
+/// One cached solve.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// Canonical JSON of the [`crate::queue::JobSolution`].
+    pub solution_json: String,
+    /// Weighted objective of the solution (denormalized for cheap stats).
+    pub objective: f64,
+}
+
+/// Cache hit/miss counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `0.0` when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Sharded content-addressed store of solved instances.
+pub struct SolutionCache {
+    shards: Vec<Mutex<HashMap<InstanceKey, Arc<CacheEntry>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for SolutionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SolutionCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl SolutionCache {
+    /// `shards` is rounded up to a power of two (minimum 1) so shard
+    /// selection is a mask.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        SolutionCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: InstanceKey) -> &Mutex<HashMap<InstanceKey, Arc<CacheEntry>>> {
+        &self.shards[(key.0 as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Look up a solved instance, counting the hit or miss.
+    pub fn get(&self, key: InstanceKey) -> Option<Arc<CacheEntry>> {
+        let found = self.shard(key).lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peek without touching the hit/miss counters (used by stats paths).
+    pub fn peek(&self, key: InstanceKey) -> Option<Arc<CacheEntry>> {
+        self.shard(key).lock().get(&key).cloned()
+    }
+
+    /// Insert a solve. First writer wins: if two workers raced on the same
+    /// instance, the already-stored entry is kept so later hits stay
+    /// byte-identical with earlier ones.
+    pub fn insert(&self, key: InstanceKey, entry: CacheEntry) -> Arc<CacheEntry> {
+        let mut shard = self.shard(key).lock();
+        shard.entry(key).or_insert_with(|| Arc::new(entry)).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> InstanceKey {
+        InstanceKey(n)
+    }
+
+    fn entry(text: &str) -> CacheEntry {
+        CacheEntry {
+            solution_json: text.to_string(),
+            objective: 1.0,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = SolutionCache::new(4);
+        assert!(cache.get(key(7)).is_none());
+        cache.insert(key(7), entry("sol"));
+        let hit = cache.get(key(7)).expect("inserted");
+        assert_eq!(hit.solution_json, "sol");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let cache = SolutionCache::new(1);
+        let first = cache.insert(key(1), entry("first"));
+        let second = cache.insert(key(1), entry("second"));
+        assert_eq!(first.solution_json, "first");
+        assert_eq!(second.solution_json, "first", "racing insert keeps original bytes");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = SolutionCache::new(5);
+        assert_eq!(cache.shards.len(), 8);
+        let cache = SolutionCache::new(0);
+        assert_eq!(cache.shards.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = SolutionCache::new(8);
+        for n in 0..64 {
+            cache.insert(key(n), entry("x"));
+        }
+        let populated = cache.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert_eq!(populated, 8, "sequential keys must not pile into one shard");
+    }
+}

@@ -1,0 +1,183 @@
+//! Blocking JSON-lines client for `mapsrv`.
+//!
+//! Used by the CLI `batch` command and the end-to-end tests; the protocol
+//! is plain enough that any language's socket + JSON library can speak it
+//! (see [`crate::protocol`]), this is just the canonical Rust binding.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use gmm_arch::Board;
+use gmm_design::Design;
+
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::queue::{JobConfig, JobState};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server answered, but not with the response the verb expects.
+    Protocol(String),
+    /// The server answered `{"ok": false, …}`.
+    Remote(String),
+    /// [`MapClient::wait`] ran out of time.
+    Timeout { job: u64, last_state: JobState },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::Timeout { job, last_state } => {
+                write!(f, "timed out waiting for job {job} (last state {})", last_state.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A finished (or still-running) job as seen over the wire.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    pub job: u64,
+    pub state: JobState,
+    pub cached: bool,
+    pub objective: Option<f64>,
+    /// Raw solution tree; render with `serde_json::to_string` to recover
+    /// the canonical byte-identical payload.
+    pub solution: Option<Value>,
+    pub error: Option<String>,
+}
+
+/// One connection to a `mapsrv` daemon.
+pub struct MapClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl MapClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<MapClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(MapClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read one response line.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut text = serde_json::to_string(request)
+            .expect("in-tree serde_json cannot fail to render");
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        match serde_json::from_str::<Response>(&line) {
+            Ok(Response::Error { message }) => Err(ClientError::Remote(message)),
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(ClientError::Protocol(format!("bad response line: {e}"))),
+        }
+    }
+
+    /// Submit an instance; returns `(job id, state, cache hit)`.
+    pub fn submit(
+        &mut self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+    ) -> Result<(u64, JobState, bool), ClientError> {
+        match self.roundtrip(&Request::Submit {
+            design,
+            board,
+            config,
+        })? {
+            Response::Submitted {
+                job, state, cached, ..
+            } => Ok((job, state, cached)),
+            other => Err(unexpected("submit", &other)),
+        }
+    }
+
+    pub fn poll(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.roundtrip(&Request::Poll { job })? {
+            Response::PollState { state, .. } => Ok(state),
+            other => Err(unexpected("poll", &other)),
+        }
+    }
+
+    pub fn result(&mut self, job: u64) -> Result<RemoteOutcome, ClientError> {
+        match self.roundtrip(&Request::Result { job })? {
+            Response::ResultReady {
+                job,
+                state,
+                cached,
+                objective,
+                solution,
+                error,
+            } => Ok(RemoteOutcome {
+                job,
+                state,
+                cached,
+                objective,
+                solution,
+                error,
+            }),
+            other => Err(unexpected("result", &other)),
+        }
+    }
+
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Poll until the job is terminal, then fetch its result.
+    pub fn wait(&mut self, job: u64, timeout: Duration) -> Result<RemoteOutcome, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let state = self.poll(job)?;
+            if state.is_terminal() {
+                return self.result(job);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout {
+                    job,
+                    last_state: state,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn unexpected(verb: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected response to `{verb}`: {got:?}"))
+}

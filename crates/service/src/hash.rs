@@ -1,0 +1,123 @@
+//! Content addressing for mapping instances.
+//!
+//! A job is identified by a canonical hash of the `(design, board, config)`
+//! triple: two textually different submissions of the same instance — or the
+//! same instance resubmitted later — produce the same [`InstanceKey`] and
+//! therefore hit the same [`crate::cache::SolutionCache`] slot.
+//!
+//! The canonical form is the compact JSON rendering of each component
+//! (object keys are emitted in struct-declaration order by the in-tree
+//! `serde` stand-in, so the rendering is deterministic), and the digest is a
+//! 128-bit FNV-1a, chosen over `std`'s `DefaultHasher` because its output
+//! is specified and stable across processes and Rust versions — a cache key
+//! that silently changed between builds would defeat any future persistent
+//! cache.
+
+use serde::Serialize;
+
+/// 128-bit content hash identifying one `(design, board, config)` instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceKey(pub u128);
+
+impl InstanceKey {
+    /// Hex rendering used on the wire and in log lines.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the [`InstanceKey::to_hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<InstanceKey> {
+        u128::from_str_radix(s, 16).ok().map(InstanceKey)
+    }
+}
+
+impl std::fmt::Display for InstanceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over a byte stream.
+#[derive(Debug, Clone)]
+pub struct Fnv128(u128);
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+}
+
+impl Fnv128 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Canonical content hash of an instance triple.
+///
+/// Components are length-delimited before hashing so `("ab", "c")` and
+/// `("a", "bc")` cannot collide by concatenation.
+pub fn instance_key<D: Serialize, B: Serialize, C: Serialize>(
+    design: &D,
+    board: &B,
+    config: &C,
+) -> InstanceKey {
+    let mut h = Fnv128::new();
+    for part in [
+        canonical_json(design),
+        canonical_json(board),
+        canonical_json(config),
+    ] {
+        h.update(&(part.len() as u64).to_le_bytes());
+        h.update(part.as_bytes());
+    }
+    InstanceKey(h.finish())
+}
+
+/// The canonical (compact, declaration-ordered) JSON rendering hashing and
+/// byte-identity checks are defined over.
+pub fn canonical_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("in-tree serde_json cannot fail to render")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_deterministic_and_sensitive() {
+        let a = instance_key(&"design", &"board", &1u32);
+        let b = instance_key(&"design", &"board", &1u32);
+        let c = instance_key(&"design", &"board", &2u32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_delimiting_prevents_concat_collisions() {
+        let a = instance_key(&"ab", &"c", &0u8);
+        let b = instance_key(&"a", &"bc", &0u8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = instance_key(&"x", &"y", &"z");
+        assert_eq!(InstanceKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(k.to_hex().len(), 32);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gmm-service — the batch mapping service
+//!
+//! Everything below the `mapsrv` daemon: the CLI solves one instance per
+//! process, this crate solves *streams* of instances and is the first
+//! layer at which throughput (requests per second), cache hit rates, and
+//! cross-instance concurrency are measurable quantities.
+//!
+//! Three layers, composable independently:
+//!
+//! * [`queue`] — a sharded, work-stealing [`JobQueue`]: instances are
+//!   hashed onto per-worker shard injectors, workers drain their shard
+//!   into private LIFO deques and steal from siblings when dry (the
+//!   `crossbeam::deque` arrangement of `gmm_ilp::parallel`, one level up);
+//! * [`cache`] — a content-addressed [`SolutionCache`]: solved instances
+//!   are keyed by a canonical [`hash`] of the `(design, board, config)`
+//!   triple, so repeated or textually-different-but-identical submissions
+//!   return the original solve's **byte-identical** payload instantly;
+//! * [`server`] / [`client`] / [`protocol`] — the `mapsrv` daemon: a
+//!   JSON-lines TCP protocol with `submit` / `poll` / `result` / `stats` /
+//!   `shutdown` verbs.
+//!
+//! ## In-process batch solving
+//!
+//! ```
+//! use gmm_service::{JobConfig, JobQueue, JobState, QueueOptions};
+//! use gmm_workloads::{random_design, RandomDesignSpec};
+//!
+//! let queue = JobQueue::new(QueueOptions { workers: 2, ..QueueOptions::default() });
+//! let design = random_design(&RandomDesignSpec { segments: 4, ..RandomDesignSpec::default() });
+//! let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
+//!
+//! let ticket = queue.submit(design.clone(), board.clone(), JobConfig::default());
+//! let outcome = queue.wait(ticket.id, std::time::Duration::from_secs(60)).unwrap();
+//! assert_eq!(outcome.state, JobState::Done);
+//!
+//! // Resubmitting the identical instance hits the content-addressed cache.
+//! let again = queue.submit(design, board, JobConfig::default());
+//! assert!(again.cached);
+//! ```
+//!
+//! ## Over TCP
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use gmm_service::{JobQueue, MapClient, MapServer, QueueOptions, JobConfig};
+//!
+//! let queue = Arc::new(JobQueue::new(QueueOptions::default()));
+//! let server = MapServer::start("127.0.0.1:7171", queue).unwrap();
+//! let mut client = MapClient::connect(server.local_addr()).unwrap();
+//! # let (design, board) = unimplemented!();
+//! let (job, _state, _cached) = client.submit(design, board, JobConfig::default()).unwrap();
+//! let outcome = client.wait(job, std::time::Duration::from_secs(60)).unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheEntry, CacheStats, SolutionCache};
+pub use client::{ClientError, MapClient, RemoteOutcome};
+pub use hash::{canonical_json, instance_key, InstanceKey};
+pub use protocol::{Request, Response, ServiceStats};
+pub use queue::{
+    JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, QueueOptions,
+    QueueStats,
+};
+pub use server::MapServer;

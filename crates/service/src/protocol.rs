@@ -1,0 +1,375 @@
+//! The `mapsrv` JSON-lines wire protocol.
+//!
+//! One JSON object per line in each direction. Requests carry a `"verb"`
+//! field (`submit`, `poll`, `result`, `stats`, `shutdown`); responses echo
+//! the verb and carry `"ok": true`, or are `{"ok": false, "error": …}`.
+//!
+//! ```text
+//! → {"verb":"submit","design":{…},"board":{…},"config":{…}}
+//! ← {"ok":true,"verb":"submit","job":1,"state":"queued","cached":false,"key":"…"}
+//! → {"verb":"poll","job":1}
+//! ← {"ok":true,"verb":"poll","job":1,"state":"done"}
+//! → {"verb":"result","job":1}
+//! ← {"ok":true,"verb":"result","job":1,"state":"done","cached":false,
+//!    "objective":123.0,"solution":{…},"error":null}
+//! → {"verb":"stats"}
+//! ← {"ok":true,"verb":"stats","jobs_submitted":…,…}
+//! → {"verb":"shutdown"}
+//! ← {"ok":true,"verb":"shutdown"}
+//! ```
+//!
+//! The `solution` field of a `result` response embeds the cached canonical
+//! JSON as a raw tree: the deterministic writer guarantees that re-rendering
+//! it reproduces the cache's bytes exactly, which is what the byte-identity
+//! acceptance check compares.
+//!
+//! Serialization is hand-written (rather than derived) because the derive
+//! stand-in encodes enums as `{"Variant": …}` envelopes; a wire protocol
+//! wants flat, verb-tagged objects that `nc`/scripting clients can speak.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use gmm_arch::Board;
+use gmm_design::Design;
+
+use crate::queue::{JobConfig, JobState};
+
+/// Client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Submit {
+        design: Design,
+        board: Board,
+        config: JobConfig,
+    },
+    Poll {
+        job: u64,
+    },
+    Result {
+        job: u64,
+    },
+    Stats,
+    Shutdown,
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Submitted {
+        job: u64,
+        state: JobState,
+        cached: bool,
+        key: String,
+    },
+    PollState {
+        job: u64,
+        state: JobState,
+    },
+    ResultReady {
+        job: u64,
+        state: JobState,
+        cached: bool,
+        objective: Option<f64>,
+        /// Raw canonical solution tree; `None` until the job is done.
+        solution: Option<Value>,
+        error: Option<String>,
+    },
+    Stats(ServiceStats),
+    Error {
+        message: String,
+    },
+    Bye,
+}
+
+/// Payload of the `stats` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_entries: u64,
+    pub workers: u64,
+    pub uptime_ms: u64,
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    T::from_value(v.get(name).ok_or_else(|| DeError::missing(name))?)
+}
+
+fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(inner) => T::from_value(inner).map(Some),
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Submit {
+                design,
+                board,
+                config,
+            } => obj(vec![
+                ("verb", Value::Str("submit".into())),
+                ("design", design.to_value()),
+                ("board", board.to_value()),
+                ("config", config.to_value()),
+            ]),
+            Request::Poll { job } => obj(vec![
+                ("verb", Value::Str("poll".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Result { job } => obj(vec![
+                ("verb", Value::Str("result".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Stats => obj(vec![("verb", Value::Str("stats".into()))]),
+            Request::Shutdown => obj(vec![("verb", Value::Str("shutdown".into()))]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let verb: String = field(v, "verb")?;
+        match verb.as_str() {
+            "submit" => Ok(Request::Submit {
+                design: field(v, "design")?,
+                board: field(v, "board")?,
+                // Optional so scripted clients can omit solver knobs.
+                config: opt_field(v, "config")?.unwrap_or_default(),
+            }),
+            "poll" => Ok(Request::Poll {
+                job: field(v, "job")?,
+            }),
+            "result" => Ok(Request::Result {
+                job: field(v, "job")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError::new(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Submitted {
+                job,
+                state,
+                cached,
+                key,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("submit".into())),
+                ("job", Value::UInt(*job)),
+                ("state", state.to_value()),
+                ("cached", Value::Bool(*cached)),
+                ("key", Value::Str(key.clone())),
+            ]),
+            Response::PollState { job, state } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("poll".into())),
+                ("job", Value::UInt(*job)),
+                ("state", state.to_value()),
+            ]),
+            Response::ResultReady {
+                job,
+                state,
+                cached,
+                objective,
+                solution,
+                error,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("result".into())),
+                ("job", Value::UInt(*job)),
+                ("state", state.to_value()),
+                ("cached", Value::Bool(*cached)),
+                ("objective", objective.to_value()),
+                ("solution", solution.clone().unwrap_or(Value::Null)),
+                ("error", error.to_value()),
+            ]),
+            Response::Stats(stats) => {
+                let mut pairs = vec![
+                    ("ok".to_string(), Value::Bool(true)),
+                    ("verb".to_string(), Value::Str("stats".into())),
+                ];
+                if let Value::Object(fields) = stats.to_value() {
+                    pairs.extend(fields);
+                }
+                Value::Object(pairs)
+            }
+            Response::Error { message } => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(message.clone())),
+            ]),
+            Response::Bye => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("shutdown".into())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let ok: bool = field(v, "ok")?;
+        if !ok {
+            return Ok(Response::Error {
+                message: field(v, "error")?,
+            });
+        }
+        let verb: String = field(v, "verb")?;
+        match verb.as_str() {
+            "submit" => Ok(Response::Submitted {
+                job: field(v, "job")?,
+                state: field(v, "state")?,
+                cached: field(v, "cached")?,
+                key: field(v, "key")?,
+            }),
+            "poll" => Ok(Response::PollState {
+                job: field(v, "job")?,
+                state: field(v, "state")?,
+            }),
+            "result" => Ok(Response::ResultReady {
+                job: field(v, "job")?,
+                state: field(v, "state")?,
+                cached: field(v, "cached")?,
+                objective: opt_field(v, "objective")?,
+                solution: match v.get("solution") {
+                    None | Some(Value::Null) => None,
+                    Some(tree) => Some(tree.clone()),
+                },
+                error: opt_field(v, "error")?,
+            }),
+            "stats" => Ok(Response::Stats(ServiceStats::from_value(v)?)),
+            "shutdown" => Ok(Response::Bye),
+            other => Err(DeError::new(format!("unknown response verb `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmm_design::DesignBuilder;
+
+    fn round_trip_request(req: Request) {
+        let text = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(req, back, "request line: {text}");
+    }
+
+    fn round_trip_response(resp: Response) {
+        let text = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(resp, back, "response line: {text}");
+    }
+
+    fn tiny_instance() -> (Design, Board) {
+        let mut b = DesignBuilder::new("p");
+        b.segment("s", 64, 8).unwrap();
+        (b.build().unwrap(), Board::prototyping("XCV300", 1).unwrap())
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let (design, board) = tiny_instance();
+        round_trip_request(Request::Submit {
+            design,
+            board,
+            config: JobConfig::default(),
+        });
+        round_trip_response(Response::Submitted {
+            job: 3,
+            state: JobState::Queued,
+            cached: false,
+            key: "00ff".into(),
+        });
+    }
+
+    #[test]
+    fn submit_config_is_optional_on_the_wire() {
+        let (design, board) = tiny_instance();
+        let design_json = serde_json::to_string(&design).unwrap();
+        let board_json = serde_json::to_string(&board).unwrap();
+        let line = format!("{{\"verb\":\"submit\",\"design\":{design_json},\"board\":{board_json}}}");
+        match serde_json::from_str::<Request>(&line).unwrap() {
+            Request::Submit { config, .. } => assert_eq!(config, JobConfig::default()),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_round_trips() {
+        round_trip_request(Request::Poll { job: 17 });
+        round_trip_response(Response::PollState {
+            job: 17,
+            state: JobState::Running,
+        });
+    }
+
+    #[test]
+    fn result_round_trips() {
+        round_trip_request(Request::Result { job: 8 });
+        round_trip_response(Response::ResultReady {
+            job: 8,
+            state: JobState::Done,
+            cached: true,
+            objective: Some(42.5),
+            solution: Some(Value::Object(vec![(
+                "global".to_string(),
+                Value::Array(vec![Value::UInt(0)]),
+            )])),
+            error: None,
+        });
+        // A not-yet-finished result carries no solution.
+        round_trip_response(Response::ResultReady {
+            job: 8,
+            state: JobState::Queued,
+            cached: false,
+            objective: None,
+            solution: None,
+            error: None,
+        });
+    }
+
+    #[test]
+    fn stats_round_trips() {
+        round_trip_request(Request::Stats);
+        round_trip_response(Response::Stats(ServiceStats {
+            jobs_submitted: 10,
+            jobs_completed: 8,
+            jobs_failed: 1,
+            cache_hits: 5,
+            cache_misses: 5,
+            cache_entries: 5,
+            workers: 4,
+            uptime_ms: 1234,
+        }));
+    }
+
+    #[test]
+    fn shutdown_round_trips() {
+        round_trip_request(Request::Shutdown);
+        round_trip_response(Response::Bye);
+    }
+
+    #[test]
+    fn errors_and_unknown_verbs() {
+        round_trip_response(Response::Error {
+            message: "unknown job 99".into(),
+        });
+        let err = serde_json::from_str::<Request>("{\"verb\":\"frobnicate\"}");
+        assert!(err.is_err());
+    }
+}

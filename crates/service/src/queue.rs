@@ -1,0 +1,707 @@
+//! Sharded, work-stealing batch job queue.
+//!
+//! Jobs (one mapping instance each) are hashed onto per-worker **shard
+//! injectors**; every worker drains its own shard into a private LIFO deque
+//! and, when dry, steals first from other shards and then from sibling
+//! workers' deques — the same `crossbeam::deque` arrangement the parallel
+//! branch-and-bound driver in `gmm_ilp::parallel` uses for tree nodes,
+//! lifted one level up to whole instances. Sharding keeps submission
+//! contention off a single queue head under heavy traffic; stealing keeps
+//! workers busy when the shard hash is unlucky.
+//!
+//! Every submission is first looked up in the content-addressed
+//! [`SolutionCache`]; a hit completes the job instantly with the original
+//! solve's byte-identical payload.
+//!
+//! Retention caveat: job records and cache entries are currently kept for
+//! the queue's whole lifetime (a record holds an `Arc` of its solution
+//! JSON), so a very long-lived daemon grows memory linearly with distinct
+//! submissions. Bounded retention/eviction is tracked as a follow-up in
+//! `ROADMAP.md`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use gmm_arch::Board;
+use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
+use gmm_core::{CostWeights, DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBackend};
+use gmm_design::Design;
+use gmm_ilp::branch::MipOptions;
+use gmm_ilp::BasisBackend;
+
+use crate::cache::{CacheEntry, CacheStats, SolutionCache};
+use crate::hash::{canonical_json, instance_key, InstanceKey};
+
+/// Simplex basis backend selection, serializable for the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpBasis {
+    /// Sparse LU + eta updates (default).
+    Lu,
+    /// Explicit dense inverse (reference backend).
+    Dense,
+}
+
+impl From<LpBasis> for BasisBackend {
+    fn from(b: LpBasis) -> BasisBackend {
+        match b {
+            LpBasis::Lu => BasisBackend::SparseLu,
+            LpBasis::Dense => BasisBackend::Dense,
+        }
+    }
+}
+
+impl From<BasisBackend> for LpBasis {
+    fn from(b: BasisBackend) -> LpBasis {
+        match b {
+            BasisBackend::SparseLu => LpBasis::Lu,
+            BasisBackend::Dense => LpBasis::Dense,
+        }
+    }
+}
+
+/// Per-job solver configuration. Part of the cache key: two submissions
+/// with different configs are different instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobConfig {
+    pub lp_basis: LpBasis,
+    /// Lifetime-based capacity modification (paper §4.1.2 note).
+    pub overlap_aware: bool,
+    /// Use the §4.2 ILP detailed mapper instead of the constructive packer.
+    pub detailed_ilp: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            lp_basis: LpBasis::Lu,
+            overlap_aware: false,
+            detailed_ilp: false,
+        }
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether the job has reached a final state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+impl serde::Serialize for JobState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for JobState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        v.as_str()
+            .and_then(JobState::from_name)
+            .ok_or_else(|| serde::DeError::new("expected queued|running|done|failed"))
+    }
+}
+
+/// The solved mapping as stored in the cache and shipped to clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSolution {
+    pub global: GlobalAssignment,
+    pub detailed: DetailedMapping,
+}
+
+/// Receipt returned by [`JobQueue::submit`].
+#[derive(Debug, Clone)]
+pub struct JobTicket {
+    pub id: u64,
+    pub state: JobState,
+    /// Whether the submission was satisfied instantly from the cache.
+    pub cached: bool,
+    pub key: InstanceKey,
+}
+
+/// Final (or in-flight) view of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub id: u64,
+    pub state: JobState,
+    pub cached: bool,
+    pub key: InstanceKey,
+    /// Weighted objective, present when `state == Done`.
+    pub objective: Option<f64>,
+    /// Canonical solution JSON, present when `state == Done`.
+    pub solution_json: Option<Arc<CacheEntry>>,
+    /// Failure message, present when `state == Failed`.
+    pub error: Option<String>,
+    /// Wall time from submission to completion (so far, if still running).
+    pub wall: Duration,
+}
+
+struct Job {
+    id: u64,
+    design: Design,
+    board: Board,
+    config: JobConfig,
+    key: InstanceKey,
+}
+
+struct JobRecord {
+    state: JobState,
+    cached: bool,
+    key: InstanceKey,
+    submitted: Instant,
+    finished: Option<Instant>,
+    solution: Option<Arc<CacheEntry>>,
+    error: Option<String>,
+}
+
+/// Aggregate queue counters.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub workers: usize,
+    pub cache: CacheStats,
+    pub uptime: Duration,
+}
+
+/// Queue construction knobs.
+#[derive(Debug, Clone)]
+pub struct QueueOptions {
+    /// Worker thread count; 0 picks the available parallelism (capped at 8
+    /// — each worker runs a full serial MIP solve, so oversubscription
+    /// only adds memory pressure).
+    pub workers: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Optional per-job solve deadline.
+    pub job_time_limit: Option<Duration>,
+}
+
+impl Default for QueueOptions {
+    fn default() -> Self {
+        QueueOptions {
+            workers: 0,
+            cache_shards: 16,
+            job_time_limit: None,
+        }
+    }
+}
+
+struct Inner {
+    shards: Vec<Injector<Job>>,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    cache: SolutionCache,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shutdown: AtomicBool,
+    job_time_limit: Option<Duration>,
+    started: Instant,
+}
+
+/// The batch solving engine: submit instances, poll for results.
+pub struct JobQueue {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    num_workers: usize,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("workers", &self.num_workers)
+            .field("shards", &self.inner.shards.len())
+            .finish()
+    }
+}
+
+impl JobQueue {
+    pub fn new(opts: QueueOptions) -> Self {
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        } else {
+            opts.workers
+        };
+        let inner = Arc::new(Inner {
+            shards: (0..workers).map(|_| Injector::new()).collect(),
+            jobs: Mutex::new(HashMap::new()),
+            cache: SolutionCache::new(opts.cache_shards),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            job_time_limit: opts.job_time_limit,
+            started: Instant::now(),
+        });
+
+        // Each worker owns a LIFO deque; all deques are mutually stealable.
+        let deques: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<Job>>> = Arc::new(deques.iter().map(Worker::stealer).collect());
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let inner = inner.clone();
+                let stealers = stealers.clone();
+                std::thread::Builder::new()
+                    .name(format!("mapsrv-worker-{i}"))
+                    .spawn(move || worker_loop(i, local, &inner, &stealers))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        JobQueue {
+            inner,
+            workers: Mutex::new(handles),
+            num_workers: workers,
+        }
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Submit one instance. Returns instantly; a cache hit completes the
+    /// job without touching a worker. After [`JobQueue::shutdown`] the job
+    /// is recorded as `Failed` immediately — no worker will ever pop it.
+    pub fn submit(&self, design: Design, board: Board, config: JobConfig) -> JobTicket {
+        let key = instance_key(&design, &board, &config);
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.failed.fetch_add(1, Ordering::Relaxed);
+            let now = Instant::now();
+            self.inner.jobs.lock().insert(
+                id,
+                JobRecord {
+                    state: JobState::Failed,
+                    cached: false,
+                    key,
+                    submitted: now,
+                    finished: Some(now),
+                    solution: None,
+                    error: Some("queue is shut down".into()),
+                },
+            );
+            return JobTicket {
+                id,
+                state: JobState::Failed,
+                cached: false,
+                key,
+            };
+        }
+
+        if let Some(entry) = self.inner.cache.get(key) {
+            self.inner.completed.fetch_add(1, Ordering::Relaxed);
+            let now = Instant::now();
+            self.inner.jobs.lock().insert(
+                id,
+                JobRecord {
+                    state: JobState::Done,
+                    cached: true,
+                    key,
+                    submitted: now,
+                    finished: Some(now),
+                    solution: Some(entry),
+                    error: None,
+                },
+            );
+            return JobTicket {
+                id,
+                state: JobState::Done,
+                cached: true,
+                key,
+            };
+        }
+
+        self.inner.jobs.lock().insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                cached: false,
+                key,
+                submitted: Instant::now(),
+                finished: None,
+                solution: None,
+                error: None,
+            },
+        );
+        let shard = (key.0 as usize) % self.inner.shards.len();
+        self.inner.shards[shard].push(Job {
+            id,
+            design,
+            board,
+            config,
+            key,
+        });
+        JobTicket {
+            id,
+            state: JobState::Queued,
+            cached: false,
+            key,
+        }
+    }
+
+    /// Current state of a job, `None` for unknown ids.
+    pub fn poll(&self, id: u64) -> Option<JobState> {
+        self.inner.jobs.lock().get(&id).map(|r| r.state)
+    }
+
+    /// Full view of a job, `None` for unknown ids.
+    pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
+        let jobs = self.inner.jobs.lock();
+        let r = jobs.get(&id)?;
+        Some(JobOutcome {
+            id,
+            state: r.state,
+            cached: r.cached,
+            key: r.key,
+            objective: r.solution.as_ref().map(|s| s.objective),
+            solution_json: r.solution.clone(),
+            error: r.error.clone(),
+            wall: r.finished.unwrap_or_else(Instant::now) - r.submitted,
+        })
+    }
+
+    /// Block until the job reaches a terminal state (or the timeout).
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.poll(id) {
+                None => return None,
+                Some(s) if s.is_terminal() => return self.outcome(id),
+                Some(_) => {
+                    if Instant::now() >= deadline {
+                        return self.outcome(id);
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+    }
+
+    /// Block until every submitted job is terminal (or the timeout);
+    /// returns whether the queue fully drained.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = self.inner.completed.load(Ordering::Relaxed)
+                + self.inner.failed.load(Ordering::Relaxed);
+            if done >= self.inner.submitted.load(Ordering::Relaxed) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            workers: self.num_workers,
+            cache: self.inner.cache.stats(),
+            uptime: self.inner.started.elapsed(),
+        }
+    }
+
+    pub fn cache(&self) -> &SolutionCache {
+        &self.inner.cache
+    }
+
+    /// Drain remaining work and stop the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn find_job(me: usize, local: &Worker<Job>, inner: &Inner, stealers: &[Stealer<Job>]) -> Option<Job> {
+    if let Some(j) = local.pop() {
+        return Some(j);
+    }
+    // Own shard first, then the other shards, then sibling deques.
+    let n = inner.shards.len();
+    for off in 0..n {
+        let shard = &inner.shards[(me + off) % n];
+        loop {
+            match shard.steal_batch_and_pop(local) {
+                Steal::Success(j) => return Some(j),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    for (i, s) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(j) => return Some(j),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(me: usize, local: Worker<Job>, inner: &Inner, stealers: &[Stealer<Job>]) {
+    loop {
+        let Some(job) = find_job(me, &local, inner, stealers) else {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        };
+        process(job, inner);
+    }
+}
+
+fn process(job: Job, inner: &Inner) {
+    if let Some(r) = inner.jobs.lock().get_mut(&job.id) {
+        r.state = JobState::Running;
+    }
+
+    // A duplicate instance may have been solved while this one sat queued;
+    // `peek` keeps the hit/miss counters a pure per-submission signal.
+    if let Some(entry) = inner.cache.peek(job.key) {
+        finish(inner, job.id, Ok(entry), true);
+        return;
+    }
+
+    let mut opts = MapperOptions::new();
+    let mut mip = MipOptions {
+        time_limit: inner.job_time_limit,
+        ..MipOptions::default()
+    };
+    mip.simplex.basis = job.config.lp_basis.into();
+    opts.backend = SolverBackend::Serial(mip);
+    opts.overlap_aware = job.config.overlap_aware;
+    if job.config.detailed_ilp {
+        opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
+    }
+
+    let result = Mapper::new(opts).map(&job.design, &job.board);
+    match result {
+        Ok(outcome) => {
+            let solution = JobSolution {
+                global: outcome.global,
+                detailed: outcome.detailed,
+            };
+            let entry = CacheEntry {
+                solution_json: canonical_json(&solution),
+                objective: outcome.cost.weighted(&CostWeights::default()),
+            };
+            // First writer wins, so a lost race still hands out the
+            // byte-identical original payload.
+            let stored = inner.cache.insert(job.key, entry);
+            finish(inner, job.id, Ok(stored), false);
+        }
+        Err(e) => finish(inner, job.id, Err(e.to_string()), false),
+    }
+}
+
+fn finish(inner: &Inner, id: u64, result: Result<Arc<CacheEntry>, String>, cached: bool) {
+    let mut jobs = inner.jobs.lock();
+    let Some(r) = jobs.get_mut(&id) else { return };
+    r.finished = Some(Instant::now());
+    r.cached = cached;
+    match result {
+        Ok(entry) => {
+            r.state = JobState::Done;
+            r.solution = Some(entry);
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(msg) => {
+            r.state = JobState::Failed;
+            r.error = Some(msg);
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmm_workloads::{random_design, RandomDesignSpec};
+
+    fn small_instance(seed: u64) -> (Design, Board) {
+        let design = random_design(&RandomDesignSpec {
+            segments: 6,
+            depth: (16, 256),
+            width: (1, 8),
+            seed,
+            ..RandomDesignSpec::default()
+        });
+        let board = Board::prototyping("XCV300", 2).unwrap();
+        (design, board)
+    }
+
+    #[test]
+    fn solves_and_caches() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 2,
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(1);
+        let t = q.submit(design.clone(), board.clone(), JobConfig::default());
+        assert!(!t.cached);
+        let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Done);
+        let cold = out.solution_json.unwrap();
+
+        let t2 = q.submit(design, board, JobConfig::default());
+        assert!(t2.cached, "identical resubmission must hit the cache");
+        let out2 = q.outcome(t2.id).unwrap();
+        assert_eq!(out2.state, JobState::Done);
+        assert_eq!(
+            out2.solution_json.unwrap().solution_json,
+            cold.solution_json,
+            "cache hit must be byte-identical"
+        );
+        assert_eq!(q.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn different_config_is_a_different_instance() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(2);
+        let a = q.submit(design.clone(), board.clone(), JobConfig::default());
+        let b = q.submit(
+            design,
+            board,
+            JobConfig {
+                overlap_aware: true,
+                ..JobConfig::default()
+            },
+        );
+        assert_ne!(a.key, b.key);
+        assert!(q.wait_idle(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn infeasible_job_fails_cleanly() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        // 40 huge segments cannot fit the small prototyping board.
+        let design = random_design(&RandomDesignSpec {
+            segments: 40,
+            depth: (60_000, 65_000),
+            width: (30, 32),
+            seed: 3,
+            ..RandomDesignSpec::default()
+        });
+        let board = Board::prototyping("XCV300", 1).unwrap();
+        let t = q.submit(design, board, JobConfig::default());
+        let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Failed);
+        assert!(out.error.is_some());
+        assert_eq!(q.stats().failed, 1);
+    }
+
+    #[test]
+    fn work_spreads_across_many_jobs() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 4,
+            ..QueueOptions::default()
+        });
+        let mut ids = Vec::new();
+        for seed in 0..12 {
+            let (design, board) = small_instance(100 + seed);
+            ids.push(q.submit(design, board, JobConfig::default()).id);
+        }
+        assert!(q.wait_idle(Duration::from_secs(120)), "queue must drain");
+        for id in ids {
+            assert_eq!(q.outcome(id).unwrap().state, JobState::Done);
+        }
+        let s = q.stats();
+        assert_eq!(s.completed, 12);
+        assert_eq!(s.cache.entries, 12);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        q.shutdown();
+        let (design, board) = small_instance(4);
+        let t = q.submit(design, board, JobConfig::default());
+        assert_eq!(t.state, JobState::Failed, "no worker will ever pop this job");
+        let out = q.outcome(t.id).unwrap();
+        assert_eq!(out.state, JobState::Failed);
+        assert!(out.error.as_deref().unwrap().contains("shut down"));
+    }
+
+    #[test]
+    fn unknown_job_polls_none() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        assert!(q.poll(999).is_none());
+        assert!(q.outcome(999).is_none());
+    }
+}

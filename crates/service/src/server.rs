@@ -1,0 +1,218 @@
+//! `mapsrv` — the batch mapping daemon.
+//!
+//! Listens on a `std::net::TcpListener`, speaks the JSON-lines
+//! [`crate::protocol`], and drives a shared [`JobQueue`]. One thread per
+//! connection (connections are few and long-lived: a batch client holds
+//! one socket for its whole run); the solve parallelism lives in the queue
+//! workers, not in the connection handlers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use serde_json::Value;
+
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::queue::JobQueue;
+
+/// A running `mapsrv` instance.
+pub struct MapServer {
+    addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl MapServer {
+    /// Bind and start serving. `addr` may use port 0 for an ephemeral port
+    /// (the bound address is reported by [`MapServer::local_addr`]).
+    pub fn start(addr: impl ToSocketAddrs, queue: Arc<JobQueue>) -> std::io::Result<MapServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let queue = queue.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("mapsrv-accept".into())
+                .spawn(move || accept_loop(listener, local, queue, stop))?
+        };
+
+        Ok(MapServer {
+            addr: local,
+            queue,
+            accept: Some(accept),
+            stop,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// Whether a `shutdown` verb has been received.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Block until a client sends `shutdown`, then drain the queue.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.queue.shutdown();
+    }
+
+    /// Ask the acceptor to stop from this process (equivalent to a client
+    /// sending the `shutdown` verb).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        wake_acceptor(self.addr);
+    }
+}
+
+impl Drop for MapServer {
+    fn drop(&mut self) {
+        self.request_stop();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The blocked `accept()` only returns when a connection arrives, so the
+/// stop path opens (and immediately drops) one.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: TcpListener, local: SocketAddr, queue: Arc<JobQueue>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let queue = queue.clone();
+        let stop = stop.clone();
+        let _ = std::thread::Builder::new()
+            .name("mapsrv-conn".into())
+            .spawn(move || {
+                // Connection threads are detached; they die with their
+                // socket. Errors just end the connection.
+                let _ = serve_connection(stream, local, &queue, &stop);
+            });
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    local: SocketAddr,
+    queue: &JobQueue,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutting_down) = match serde_json::from_str::<Request>(&line) {
+            // A connection that outlives another client's shutdown verb can
+            // still poll results, but its submits must fail loudly — the
+            // queue workers are (being) joined and would never pop them.
+            Ok(Request::Submit { .. }) if stop.load(Ordering::Acquire) => (
+                Response::Error {
+                    message: "server is shutting down".into(),
+                },
+                false,
+            ),
+            Ok(request) => {
+                let shutdown = matches!(request, Request::Shutdown);
+                (handle(request, queue), shutdown)
+            }
+            Err(e) => (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            ),
+        };
+        let mut text = serde_json::to_string(&response)
+            .expect("in-tree serde_json cannot fail to render");
+        text.push('\n');
+        writer.write_all(text.as_bytes())?;
+        writer.flush()?;
+        if shutting_down {
+            stop.store(true, Ordering::Release);
+            wake_acceptor(local);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Map one request to its response against the queue.
+pub fn handle(request: Request, queue: &JobQueue) -> Response {
+    match request {
+        Request::Submit {
+            design,
+            board,
+            config,
+        } => {
+            let ticket = queue.submit(design, board, config);
+            Response::Submitted {
+                job: ticket.id,
+                state: ticket.state,
+                cached: ticket.cached,
+                key: ticket.key.to_hex(),
+            }
+        }
+        Request::Poll { job } => match queue.poll(job) {
+            Some(state) => Response::PollState { job, state },
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Result { job } => match queue.outcome(job) {
+            Some(out) => {
+                let solution = out.solution_json.as_ref().map(|entry| {
+                    serde_json::from_str::<Value>(&entry.solution_json)
+                        .expect("cache stores canonical JSON")
+                });
+                Response::ResultReady {
+                    job,
+                    state: out.state,
+                    cached: out.cached,
+                    objective: out.objective,
+                    solution,
+                    error: out.error,
+                }
+            }
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Stats => {
+            let s = queue.stats();
+            Response::Stats(ServiceStats {
+                jobs_submitted: s.submitted,
+                jobs_completed: s.completed,
+                jobs_failed: s.failed,
+                cache_hits: s.cache.hits,
+                cache_misses: s.cache.misses,
+                cache_entries: s.cache.entries,
+                workers: s.workers as u64,
+                uptime_ms: s.uptime.as_millis() as u64,
+            })
+        }
+        Request::Shutdown => Response::Bye,
+    }
+}

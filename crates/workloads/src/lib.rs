@@ -9,11 +9,15 @@
 //!   blocked matmul, histogram equalization) with access profiles and
 //!   phase lifetimes;
 //! * [`random`] — parameterised random designs and boards for property
-//!   tests and stress runs.
+//!   tests and stress runs;
+//! * [`stream`] — unbounded seeded streams of scaled-down Table-3-style
+//!   instances for load-testing the batch mapping service.
 
 pub mod kernels;
 pub mod random;
+pub mod stream;
 pub mod table3;
 
 pub use random::{board_from_specs, random_design, RandomDesignSpec, TypeSpec};
+pub use stream::{stream_instances, InstanceStream, StreamInstance, StreamSpec};
 pub use table3::{table3_board, table3_design, table3_instance, Table3Point, TABLE3};

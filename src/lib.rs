@@ -12,12 +12,13 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`](gmm_core) | pre-processing (Fig. 2/3), global ILP (§4.1), detailed mappers (§4.2), complete one-step baseline, cost model, pipeline |
-//! | [`ilp`](gmm_ilp) | MILP solver: bounded simplex, presolve, serial + work-stealing parallel branch-and-bound, cuts (replaces CPLEX) |
-//! | [`arch`](gmm_arch) | bank types, Table 1 device catalog, boards |
-//! | [`design`](gmm_design) | data segments, access profiles, lifetimes, conflicts |
-//! | [`sim`](gmm_sim) | cycle-level access simulator, adder-free decode checks |
-//! | [`workloads`](gmm_workloads) | Table 3 design points, DSP kernels, random designs |
+//! | [`gmm_core`] | pre-processing (Fig. 2/3), global ILP (§4.1), detailed mappers (§4.2), complete one-step baseline, cost model, pipeline |
+//! | [`gmm_ilp`] | MILP solver: bounded simplex, presolve, serial + work-stealing parallel branch-and-bound, cuts (replaces CPLEX) |
+//! | [`gmm_arch`] | bank types, Table 1 device catalog, boards |
+//! | [`gmm_design`] | data segments, access profiles, lifetimes, conflicts |
+//! | [`gmm_sim`] | cycle-level access simulator, adder-free decode checks, cache-hit replay validation |
+//! | [`gmm_workloads`] | Table 3 design points, DSP kernels, random designs, load-test instance streams |
+//! | [`gmm_service`] | batch mapping service: sharded work-stealing job queue, content-addressed solution cache, `mapsrv` TCP daemon |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use gmm_arch as arch;
 pub use gmm_core as core;
 pub use gmm_design as design;
 pub use gmm_ilp as ilp;
+pub use gmm_service as service;
 pub use gmm_sim as sim;
 pub use gmm_workloads as workloads;
 
@@ -55,5 +57,6 @@ pub mod prelude {
         PreTable, SolverBackend,
     };
     pub use gmm_design::{AccessProfile, Design, DesignBuilder, Lifetime, SegmentId};
+    pub use gmm_service::{JobConfig, JobQueue, JobState, QueueOptions};
     pub use gmm_sim::{simulate_mapping, Trace};
 }

@@ -1,0 +1,71 @@
+//! Property test for the solution cache: a cache hit must be
+//! indistinguishable from the cold solve it replaced.
+//!
+//! For randomized `workloads::random` instances, three payloads must be
+//! byte-identical: a direct `Mapper` solve outside the service, the
+//! queue's cold solve, and the queue's cache hit on resubmission.
+
+use std::time::Duration;
+
+use gmm_arch::Board;
+use gmm_core::pipeline::{Mapper, MapperOptions};
+use gmm_service::{canonical_json, JobConfig, JobQueue, JobSolution, JobState, QueueOptions};
+use gmm_workloads::{random_design, RandomDesignSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cache_hit_is_byte_identical_to_cold_solve(
+        seed in 0u64..100_000,
+        segments in 4usize..10,
+        srams in 1u32..3,
+    ) {
+        let design = random_design(&RandomDesignSpec {
+            segments,
+            depth: (16, 512),
+            width: (1, 8),
+            seed,
+            ..RandomDesignSpec::default()
+        });
+        let board = Board::prototyping("XCV300", srams).unwrap();
+
+        // Reference: a solve with no service layer at all. The queue's
+        // default JobConfig must configure the mapper identically.
+        let reference = Mapper::new(MapperOptions::new())
+            .map(&design, &board)
+            .expect("small instances on a prototyping board are mappable");
+        let reference_json = canonical_json(&JobSolution {
+            global: reference.global,
+            detailed: reference.detailed,
+        });
+
+        let queue = JobQueue::new(QueueOptions {
+            workers: 1,
+            cache_shards: 4,
+            job_time_limit: None,
+        });
+
+        // Cold solve through the queue.
+        let cold = queue.submit(design.clone(), board.clone(), JobConfig::default());
+        prop_assert!(!cold.cached);
+        let cold_out = queue.wait(cold.id, Duration::from_secs(120)).unwrap();
+        prop_assert_eq!(cold_out.state, JobState::Done);
+        let cold_json = cold_out.solution_json.unwrap().solution_json.clone();
+        prop_assert_eq!(
+            &cold_json, &reference_json,
+            "queue solve differs from direct solve"
+        );
+
+        // Cache hit on resubmission.
+        let warm = queue.submit(design, board, JobConfig::default());
+        prop_assert!(warm.cached, "identical resubmission must hit the cache");
+        let warm_out = queue.outcome(warm.id).unwrap();
+        prop_assert_eq!(warm_out.state, JobState::Done);
+        let warm_json = warm_out.solution_json.unwrap().solution_json.clone();
+        prop_assert_eq!(&warm_json, &cold_json, "cache hit not byte-identical");
+
+        queue.shutdown();
+    }
+}
