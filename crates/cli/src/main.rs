@@ -44,7 +44,8 @@ use gmm_service::{
 };
 use gmm_sim::{render_report, simulate_mapping, Trace};
 use gmm_workloads::{
-    kernels, stream_instances, table3_board, table3_design, RandomDesignSpec, StreamSpec, TABLE3,
+    cycling_instances, kernels, stream_instances, table3_board, table3_design, RandomDesignSpec,
+    StreamSpec, TABLE3,
 };
 
 /// Classified CLI failure; the variant fixes the process exit code.
@@ -157,9 +158,11 @@ USAGE:
   gmm export --design <d.json> --board <b.json> [--complete]
              [--format mps|lp] [--out <file>]
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
+            [--cache-cap K] [--retain-jobs N] [--retain-secs T]
             [--time-limit-secs T]
-  gmm batch (--dir <d> | --manifest <m.json> | --stream N) [--seed S]
-            [--addr host:port] [--workers N] [--repeat K] [--verify]
+  gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
+            [--seed S] [--addr host:port] [--workers N] [--repeat K]
+            [--verify] [--cache-cap K] [--retain-jobs N] [--retain-secs T]
             [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
@@ -176,6 +179,14 @@ poll / result / stats / shutdown verbs, a sharded work-stealing job
 queue, and a content-addressed solution cache. `batch` pushes a set of
 instances through the same queue — in-process by default, or against a
 running daemon with --addr — and prints a per-instance summary table.
+
+Retention (bounded daemon memory): --cache-cap bounds live cached
+solutions (LRU eviction; default 4096, 0 = unbounded), --retain-jobs
+bounds terminal job records per record shard (default 1024, 0 =
+unbounded), --retain-secs additionally expires terminal records by
+age. Polling a pruned job id returns the structured state `expired`.
+`batch --stream N --distinct D` cycles N submissions through D
+distinct instances to exercise eviction and re-solve paths.
 
 Exit codes: 0 ok, 1 internal failure, 2 usage error, 3 malformed input,
 4 infeasible instance.
@@ -522,9 +533,13 @@ fn job_config_from_flags(f: &Flags) -> Result<JobConfig, CliError> {
 }
 
 fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
+    let defaults = QueueOptions::default();
     Ok(QueueOptions {
         workers: f.parse("--workers")?.unwrap_or(0),
-        cache_shards: f.parse("--cache-shards")?.unwrap_or(16),
+        cache_shards: f.parse("--cache-shards")?.unwrap_or(defaults.cache_shards),
+        cache_cap: f.parse("--cache-cap")?.unwrap_or(defaults.cache_cap),
+        retain_jobs: f.parse("--retain-jobs")?.unwrap_or(defaults.retain_jobs),
+        retain_age: f.parse_secs("--retain-secs")?,
         job_time_limit: f.parse_secs("--time-limit-secs")?,
     })
 }
@@ -642,14 +657,18 @@ fn load_batch_instances(f: &Flags) -> Result<Vec<BatchInstance>, CliError> {
             seed,
             ..StreamSpec::default()
         };
-        return Ok(stream_instances(spec)
-            .take(n)
-            .map(|inst| BatchInstance {
-                name: inst.name,
-                design: inst.design,
-                board: inst.board,
-            })
-            .collect());
+        let into_batch = |inst: gmm_workloads::StreamInstance| BatchInstance {
+            name: inst.name,
+            design: inst.design,
+            board: inst.board,
+        };
+        // --distinct D cycles N submissions through D distinct instances
+        // (retention soak shape); without it every instance is distinct.
+        return match f.parse::<usize>("--distinct")? {
+            Some(0) => Err(CliError::usage("--distinct must be at least 1")),
+            Some(d) => Ok(cycling_instances(spec, d).take(n).map(into_batch).collect()),
+            None => Ok(stream_instances(spec).take(n).map(into_batch).collect()),
+        };
     }
 
     Err(CliError::usage(
@@ -680,9 +699,21 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let t0 = Instant::now();
     let mut rounds: Vec<Vec<BatchRow>> = Vec::with_capacity(repeat);
     let mut stats_line = String::new();
+    // In-process runs own the queue, so its failure counter is
+    // authoritative even when aggressive --retain-jobs prunes a Failed
+    // record to `expired` before this table reads it. (Against --addr the
+    // daemon's counter covers every client, so rows are used instead.)
+    let mut queue_failed: Option<u64> = None;
 
     if let Some(addr) = f.get("--addr") {
-        for local_only in ["--workers", "--cache-shards", "--time-limit-secs"] {
+        for local_only in [
+            "--workers",
+            "--cache-shards",
+            "--cache-cap",
+            "--retain-jobs",
+            "--retain-secs",
+            "--time-limit-secs",
+        ] {
             if f.has(local_only) {
                 eprintln!(
                     "note: {local_only} configures the in-process queue and is \
@@ -721,13 +752,17 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         }
         if let Ok(s) = client.stats() {
             stats_line = format!(
-                "server: {} submitted, {} done, {} failed; cache {}/{} hits, {} entries",
+                "server: {} submitted, {} done, {} failed, {} pruned; cache {}/{} hits, \
+                 {} entries (cap {}), {} evictions",
                 s.jobs_submitted,
                 s.jobs_completed,
                 s.jobs_failed,
+                s.jobs_pruned,
                 s.cache_hits,
                 s.cache_hits + s.cache_misses,
-                s.cache_entries
+                s.cache_entries,
+                s.cache_cap,
+                s.cache_evictions
             );
         }
     } else {
@@ -759,15 +794,20 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         }
         let s = queue.stats();
         stats_line = format!(
-            "queue: {} submitted, {} done, {} failed on {} workers; cache {}/{} hits, {} entries",
+            "queue: {} submitted, {} done, {} failed, {} pruned on {} workers; \
+             cache {}/{} hits, {} entries (cap {}), {} evictions",
             s.submitted,
             s.completed,
             s.failed,
+            s.pruned,
             s.workers,
             s.cache.hits,
             s.cache.hits + s.cache.misses,
-            s.cache.entries
+            s.cache.entries,
+            s.cache.capacity,
+            s.cache.evictions
         );
+        queue_failed = Some(s.failed);
         queue.shutdown();
     }
     let elapsed = t0.elapsed();
@@ -794,11 +834,25 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     }
 
     let total_jobs = instances.len() * repeat;
-    let failed: usize = rounds
+    let row_failed: usize = rounds
         .iter()
         .flat_map(|r| r.iter())
         .filter(|r| r.state == JobState::Failed)
         .count();
+    // A pruned record hides its outcome: flag it rather than counting the
+    // job as silently fine (or silently failed).
+    let expired: usize = rounds
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|r| r.state == JobState::Expired)
+        .count();
+    if expired > 0 {
+        eprintln!(
+            "note: {expired} job record(s) expired before their outcome was read; \
+             raise --retain-jobs (or --retain-secs) to keep batch-sized runs inspectable"
+        );
+    }
+    let failed = row_failed.max(queue_failed.unwrap_or(0) as usize);
     println!(
         "\n{} instances x {} rounds = {} jobs in {:.2}s ({:.1} jobs/s)",
         instances.len(),

@@ -1,7 +1,15 @@
-//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` behind
-//! parking_lot's non-poisoning `lock()` signature.
+//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` and
+//! `std::sync::Condvar` behind parking_lot's non-poisoning signatures.
+//!
+//! One deliberate API deviation: [`Condvar::wait`] and
+//! [`Condvar::wait_for`] take the guard **by value** and hand it back
+//! (the `std` wait primitives consume the guard, and re-borrowing one
+//! across a wait cannot be expressed safely over `std`), where real
+//! parking_lot takes `&mut MutexGuard`. Call sites rebind the returned
+//! guard.
 
 use std::sync::Mutex as StdMutex;
+use std::time::Duration;
 pub use std::sync::MutexGuard;
 
 #[derive(Debug, Default)]
@@ -25,9 +33,61 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// rather than because the condition variable was signaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Non-poisoning condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until signaled. Like the `Mutex`, never surfaces poisoning;
+    /// spurious wakeups are possible, so callers loop on their condition.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until signaled or `timeout` elapses.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((g, r)) => (g, WaitTimeoutResult(r.timed_out())),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, WaitTimeoutResult(r.timed_out()))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_and_mutate() {
@@ -46,5 +106,33 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_signals_a_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cond) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cond.wait(ready);
+            }
+        });
+        {
+            let (lock, cond) = &*pair;
+            *lock.lock() = true;
+            cond.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cond = Condvar::new();
+        let guard = lock.lock();
+        let (_guard, result) = cond.wait_for(guard, Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 }

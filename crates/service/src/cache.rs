@@ -1,4 +1,4 @@
-//! Content-addressed solution cache.
+//! Content-addressed solution cache with bounded LRU retention.
 //!
 //! Maps an [`InstanceKey`] to the **canonical JSON rendering** of the
 //! solved mapping. Storing the rendered text rather than the structured
@@ -8,12 +8,34 @@
 //! couple that guarantee to serializer stability across refactors.
 //!
 //! The map is sharded by the low bits of the key so concurrent workers on
-//! different instances do not contend on one lock; each shard is a plain
-//! `parking_lot::Mutex<HashMap>` since critical sections are a clone-in /
-//! clone-out.
+//! different instances do not contend on one lock; each shard is a
+//! `parking_lot::Mutex` around a hash map plus an index-linked LRU list
+//! (a slab of nodes chained by indices — no per-node allocation, no
+//! unsafe pointers).
+//!
+//! ## Retention
+//!
+//! The cache holds at most `capacity` entries **in total** (0 means
+//! unbounded). An insert that pushes the live count past the capacity
+//! evicts the least-recently-used entry *of the inserting shard* — the
+//! classic sharded-LRU approximation: eviction order is exact within a
+//! shard and approximate globally, in exchange for never holding more
+//! than one shard lock at a time. When the inserting shard holds nothing
+//! but the new entry (possible whenever `capacity` is not much larger
+//! than the shard count), the eviction spills to the next non-empty
+//! shard instead, so an insert never evicts itself and no shard's
+//! entries are pinned forever. Because keys spread uniformly (they are
+//! the low bits of a 128-bit FNV), the approximation error is small, and
+//! the live entry count never exceeds the capacity.
+//!
+//! Eviction never breaks the byte-identity contract: job records keep an
+//! `Arc` of their payload, so an already-completed job still hands out
+//! the original bytes, and a re-submission of an evicted key re-solves
+//! deterministically to the same canonical JSON (asserted by the
+//! retention soak test through `sim::replay`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,12 +51,16 @@ pub struct CacheEntry {
     pub objective: f64,
 }
 
-/// Cache hit/miss counters (monotonic since construction).
+/// Cache counters. `hits`/`misses`/`evictions` are monotonic since
+/// construction; `entries` is the live entry count and `capacity` the
+/// configured bound (0 = unbounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub entries: u64,
+    pub evictions: u64,
+    pub capacity: u64,
 }
 
 impl CacheStats {
@@ -49,11 +75,132 @@ impl CacheStats {
     }
 }
 
-/// Sharded content-addressed store of solved instances.
+/// Sentinel index terminating the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: InstanceKey,
+    entry: Arc<CacheEntry>,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: key → slab index, plus the shard-local LRU chain.
+/// `head` is the most recently used node, `tail` the least.
+struct Shard {
+    map: HashMap<InstanceKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.nodes[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Mark node `i` as just-used (move to the MRU end).
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Insert a new key at the MRU end. Caller guarantees absence.
+    fn insert_new(&mut self, key: InstanceKey, entry: Arc<CacheEntry>) -> usize {
+        let node = Node {
+            key,
+            entry,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        i
+    }
+
+    /// Remove and return the least-recently-used entry, if any.
+    fn pop_lru(&mut self) -> Option<InstanceKey> {
+        let i = self.tail;
+        if i == NIL {
+            return None;
+        }
+        let key = self.nodes[i].key;
+        self.unlink(i);
+        self.map.remove(&key);
+        self.free.push(i);
+        Some(key)
+    }
+}
+
+/// Sharded content-addressed LRU store of solved instances.
+///
+/// ```
+/// use gmm_service::{CacheEntry, SolutionCache, InstanceKey};
+///
+/// // 4 shards, at most 2 live entries.
+/// let cache = SolutionCache::new(4, 2);
+/// for n in 0..3u128 {
+///     cache.insert(InstanceKey(n), CacheEntry {
+///         solution_json: format!("{{\"n\":{n}}}"),
+///         objective: n as f64,
+///     });
+/// }
+/// let stats = cache.stats();
+/// assert_eq!(stats.entries, 2);
+/// assert_eq!(stats.evictions, 1);
+/// ```
 pub struct SolutionCache {
-    shards: Vec<Mutex<HashMap<InstanceKey, Arc<CacheEntry>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Total live-entry bound across all shards; 0 = unbounded.
+    capacity: usize,
+    /// Live entry count, kept in step with the shard maps (incremented
+    /// after a real insert, decremented after a real eviction) so the
+    /// capacity check never takes more than one shard lock.
+    entries: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for SolutionCache {
@@ -61,54 +208,130 @@ impl std::fmt::Debug for SolutionCache {
         let s = self.stats();
         f.debug_struct("SolutionCache")
             .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
             .field("entries", &s.entries)
             .field("hits", &s.hits)
             .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
             .finish()
     }
 }
 
 impl SolutionCache {
     /// `shards` is rounded up to a power of two (minimum 1) so shard
-    /// selection is a mask.
-    pub fn new(shards: usize) -> Self {
+    /// selection is a mask. `capacity` bounds the total live entries;
+    /// 0 means unbounded.
+    pub fn new(shards: usize, capacity: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         SolutionCache {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity,
+            entries: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: InstanceKey) -> &Mutex<HashMap<InstanceKey, Arc<CacheEntry>>> {
+    /// The configured entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn shard(&self, key: InstanceKey) -> &Mutex<Shard> {
         &self.shards[(key.0 as usize) & (self.shards.len() - 1)]
     }
 
-    /// Look up a solved instance, counting the hit or miss.
+    /// Look up a solved instance, counting the hit or miss and marking a
+    /// hit entry as most recently used.
     pub fn get(&self, key: InstanceKey) -> Option<Arc<CacheEntry>> {
-        let found = self.shard(key).lock().get(&key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        let mut shard = self.shard(key).lock();
+        match shard.map.get(&key).copied() {
+            Some(i) => {
+                shard.touch(i);
+                let entry = shard.nodes[i].entry.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
-    /// Peek without touching the hit/miss counters (used by stats paths).
+    /// Peek without touching the hit/miss counters or the LRU order
+    /// (used by stats paths and the worker's duplicate-solve check).
     pub fn peek(&self, key: InstanceKey) -> Option<Arc<CacheEntry>> {
-        self.shard(key).lock().get(&key).cloned()
+        let shard = self.shard(key).lock();
+        shard.map.get(&key).map(|&i| shard.nodes[i].entry.clone())
     }
 
     /// Insert a solve. First writer wins: if two workers raced on the same
-    /// instance, the already-stored entry is kept so later hits stay
-    /// byte-identical with earlier ones.
+    /// instance, the already-stored entry is kept (and refreshed as most
+    /// recently used) so later hits stay byte-identical with earlier ones
+    /// — and the live entry count does not double-count the race.
+    ///
+    /// If the insert pushes the live count past the capacity, the least
+    /// recently used entry of the inserting shard is evicted — unless the
+    /// just-inserted entry is that shard's only one, in which case the
+    /// eviction spills to the next non-empty shard. The spill matters
+    /// when `capacity` is not much larger than the shard count: without
+    /// it, a key hashing to an otherwise-empty shard would evict *itself*
+    /// and entries pinned in other shards would never become candidates
+    /// (newest-evicted/oldest-pinned, the opposite of LRU).
     pub fn insert(&self, key: InstanceKey, entry: CacheEntry) -> Arc<CacheEntry> {
-        let mut shard = self.shard(key).lock();
-        shard.entry(key).or_insert_with(|| Arc::new(entry)).clone()
+        let shard_idx = (key.0 as usize) & (self.shards.len() - 1);
+        let mut shard = self.shards[shard_idx].lock();
+        if let Some(&i) = shard.map.get(&key) {
+            shard.touch(i);
+            return shard.nodes[i].entry.clone();
+        }
+        let stored = Arc::new(entry);
+        shard.insert_new(key, stored.clone());
+        let live = self.entries.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.capacity > 0 && live > self.capacity {
+            // Only evict locally when the victim would not be the entry
+            // we just inserted.
+            let evicted = shard.map.len() > 1 && shard.pop_lru().is_some();
+            drop(shard);
+            if evicted {
+                self.note_eviction();
+            } else {
+                self.evict_from_other_shard(shard_idx);
+            }
+        }
+        stored
     }
 
+    fn note_eviction(&self) {
+        self.entries.fetch_sub(1, Ordering::AcqRel);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evict one LRU entry from the first non-empty shard after `from`.
+    /// Called with no shard lock held (locks are only ever taken one at a
+    /// time, so shards cannot deadlock). Over-capacity implies at least
+    /// two live entries, so some other shard is non-empty; if concurrent
+    /// evictions drained them all first, the count is already back under
+    /// the bound and doing nothing is correct.
+    fn evict_from_other_shard(&self, from: usize) {
+        let n = self.shards.len();
+        for off in 1..n {
+            let mut other = self.shards[(from + off) % n].lock();
+            if other.pop_lru().is_some() {
+                drop(other);
+                self.note_eviction();
+                return;
+            }
+        }
+    }
+
+    /// Ground-truth live entry count (sums the shard maps).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -119,7 +342,12 @@ impl SolutionCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            // `len()` (the shard maps) rather than the atomic counter:
+            // `entries` must report the live truth even if the fast-path
+            // counter and the maps ever drifted.
             entries: self.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity as u64,
         }
     }
 }
@@ -141,41 +369,156 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let cache = SolutionCache::new(4);
+        let cache = SolutionCache::new(4, 0);
         assert!(cache.get(key(7)).is_none());
         cache.insert(key(7), entry("sol"));
         let hit = cache.get(key(7)).expect("inserted");
         assert_eq!(hit.solution_json, "sol");
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (1, 1, 1, 0));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn first_writer_wins() {
-        let cache = SolutionCache::new(1);
+        let cache = SolutionCache::new(1, 0);
         let first = cache.insert(key(1), entry("first"));
         let second = cache.insert(key(1), entry("second"));
         assert_eq!(first.solution_json, "first");
         assert_eq!(second.solution_json, "first", "racing insert keeps original bytes");
         assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.stats().entries,
+            1,
+            "racing insert must not double-count entries"
+        );
     }
 
     #[test]
     fn shard_count_rounds_to_power_of_two() {
-        let cache = SolutionCache::new(5);
+        let cache = SolutionCache::new(5, 0);
         assert_eq!(cache.shards.len(), 8);
-        let cache = SolutionCache::new(0);
+        let cache = SolutionCache::new(0, 0);
         assert_eq!(cache.shards.len(), 1);
     }
 
     #[test]
     fn keys_spread_across_shards() {
-        let cache = SolutionCache::new(8);
+        let cache = SolutionCache::new(8, 0);
         for n in 0..64 {
             cache.insert(key(n), entry("x"));
         }
-        let populated = cache.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        let populated = cache.shards.iter().filter(|s| !s.lock().map.is_empty()).count();
         assert_eq!(populated, 8, "sequential keys must not pile into one shard");
+    }
+
+    #[test]
+    fn capacity_bounds_live_entries() {
+        let cache = SolutionCache::new(1, 3);
+        for n in 0..10 {
+            cache.insert(key(n), entry("x"));
+            assert!(cache.len() <= 3, "live entries exceeded the capacity");
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.evictions, 7);
+        assert_eq!(s.capacity, 3);
+    }
+
+    #[test]
+    fn eviction_is_lru_ordered() {
+        let cache = SolutionCache::new(1, 2);
+        cache.insert(key(1), entry("a"));
+        cache.insert(key(2), entry("b"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), entry("c"));
+        assert!(cache.peek(key(1)).is_some(), "recently used entry survived");
+        assert!(cache.peek(key(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.peek(key(3)).is_some(), "new entry is live");
+    }
+
+    #[test]
+    fn insert_into_empty_shard_never_evicts_itself() {
+        // Capacity smaller than the shard count: keys 0, 1, 2 land in
+        // three distinct shards. Without spill eviction the third insert
+        // would pop its own shard's only node (itself) and keys 0/1 would
+        // be pinned forever; with it, an *older* entry makes way.
+        let cache = SolutionCache::new(4, 2);
+        cache.insert(key(0), entry("a"));
+        cache.insert(key(1), entry("b"));
+        cache.insert(key(2), entry("c"));
+        assert!(
+            cache.peek(key(2)).is_some(),
+            "freshly inserted entry must survive its own insert"
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // And the spill keeps honoring the bound on further laps.
+        for n in 3..20 {
+            cache.insert(key(n), entry("x"));
+            assert!(cache.peek(key(n)).is_some());
+            assert!(cache.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn reinsert_after_eviction_works() {
+        let cache = SolutionCache::new(1, 1);
+        cache.insert(key(1), entry("one"));
+        cache.insert(key(2), entry("two")); // evicts 1
+        assert!(cache.peek(key(1)).is_none());
+        let back = cache.insert(key(1), entry("one")); // evicts 2
+        assert_eq!(back.solution_json, "one");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn touch_via_insert_refreshes_lru_position() {
+        let cache = SolutionCache::new(1, 2);
+        cache.insert(key(1), entry("a"));
+        cache.insert(key(2), entry("b"));
+        // Racing duplicate insert of 1 must refresh it, making 2 the victim.
+        cache.insert(key(1), entry("a-racer"));
+        cache.insert(key(3), entry("c"));
+        assert!(cache.peek(key(1)).is_some());
+        assert!(cache.peek(key(2)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_perturb_lru_or_counters() {
+        let cache = SolutionCache::new(1, 2);
+        cache.insert(key(1), entry("a"));
+        cache.insert(key(2), entry("b"));
+        assert!(cache.peek(key(1)).is_some()); // no touch
+        cache.insert(key(3), entry("c")); // victim must still be 1
+        assert!(cache.peek(key(1)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek counts nothing");
+    }
+
+    #[test]
+    fn stats_stay_consistent_under_concurrent_inserts() {
+        let cache = std::sync::Arc::new(SolutionCache::new(4, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for n in 0..64u128 {
+                        // Overlapping key ranges provoke first-writer races.
+                        cache.insert(key(n % 16), entry(&format!("t{t}")));
+                        let _ = cache.get(key(n % 16));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 8, "capacity violated: {} entries", s.entries);
+        assert_eq!(s.entries, cache.len() as u64);
+        assert_eq!(s.hits + s.misses, 4 * 64, "every get counted exactly once");
     }
 }

@@ -71,6 +71,11 @@ impl Fnv128 {
 ///
 /// Components are length-delimited before hashing so `("ab", "c")` and
 /// `("a", "bc")` cannot collide by concatenation.
+///
+/// Floats are normalized before hashing (see [`normalize_floats`]):
+/// `-0.0` hashes like `0.0`, and every NaN bit pattern hashes alike, so
+/// semantically identical instances that differ only in such float
+/// spellings land on the same cache slot.
 pub fn instance_key<D: Serialize, B: Serialize, C: Serialize>(
     design: &D,
     board: &B,
@@ -78,14 +83,49 @@ pub fn instance_key<D: Serialize, B: Serialize, C: Serialize>(
 ) -> InstanceKey {
     let mut h = Fnv128::new();
     for part in [
-        canonical_json(design),
-        canonical_json(board),
-        canonical_json(config),
+        hashable_json(design),
+        hashable_json(board),
+        hashable_json(config),
     ] {
         h.update(&(part.len() as u64).to_le_bytes());
         h.update(part.as_bytes());
     }
     InstanceKey(h.finish())
+}
+
+/// Render a value for *hashing*: the canonical JSON of its float-normalized
+/// tree. Only used for key derivation — cached payloads are rendered with
+/// [`canonical_json`] so their bytes are exactly what the solver produced.
+fn hashable_json<T: Serialize>(value: &T) -> String {
+    let mut tree = value.to_value();
+    normalize_floats(&mut tree);
+    canonical_json(&tree)
+}
+
+/// Collapse float spellings that are distinct as bits but identical (or
+/// interchangeable) as values, in place, across the whole tree:
+///
+/// * `-0.0` becomes `0.0` — IEEE 754 compares them equal, and a config
+///   that computed a zero through a negative path must not miss the
+///   cache slot of one that wrote `0.0` literally;
+/// * every NaN becomes the same positive quiet NaN, so a NaN leaking
+///   into a config from any source hashes identically regardless of
+///   sign or payload bits (the in-tree writer renders all of them as
+///   the single token `NaN` anyway; this pins the invariant at the
+///   hashing layer rather than leaning on the writer).
+pub fn normalize_floats(v: &mut serde::Value) {
+    match v {
+        serde::Value::Float(f) => {
+            if *f == 0.0 {
+                *f = 0.0; // collapses -0.0 onto +0.0
+            } else if f.is_nan() {
+                *f = f64::NAN;
+            }
+        }
+        serde::Value::Array(items) => items.iter_mut().for_each(normalize_floats),
+        serde::Value::Object(pairs) => pairs.iter_mut().for_each(|(_, v)| normalize_floats(v)),
+        _ => {}
+    }
 }
 
 /// The canonical (compact, declaration-ordered) JSON rendering hashing and
@@ -119,5 +159,40 @@ mod tests {
         let k = instance_key(&"x", &"y", &"z");
         assert_eq!(InstanceKey::from_hex(&k.to_hex()), Some(k));
         assert_eq!(k.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn signed_zero_does_not_split_the_cache_slot() {
+        // -0.0 == 0.0, so instances differing only in the zero's sign are
+        // semantically identical and must share a key — at top level and
+        // nested inside arrays/objects.
+        let a = instance_key(&"d", &"b", &0.0f64);
+        let b = instance_key(&"d", &"b", &-0.0f64);
+        assert_eq!(a, b, "-0.0 and 0.0 must hash identically");
+
+        let nested_pos = instance_key(&vec![1.0f64, 0.0], &"b", &"c");
+        let nested_neg = instance_key(&vec![1.0f64, -0.0], &"b", &"c");
+        assert_eq!(nested_pos, nested_neg, "nested -0.0 must also normalize");
+    }
+
+    #[test]
+    fn every_nan_spelling_hashes_alike() {
+        // A NaN leaking from a config must produce one stable key no
+        // matter its sign or payload bits.
+        let quiet = instance_key(&"d", &"b", &f64::NAN);
+        let negative = instance_key(&"d", &"b", &(-f64::NAN));
+        let payload = instance_key(&"d", &"b", &f64::from_bits(0x7ff8_0000_dead_beef));
+        assert_eq!(quiet, negative);
+        assert_eq!(quiet, payload);
+        // ...and it is still a *different* instance than a real number.
+        assert_ne!(quiet, instance_key(&"d", &"b", &0.0f64));
+    }
+
+    #[test]
+    fn normalization_does_not_leak_into_payload_rendering() {
+        // Only the key derivation normalizes; canonical_json (the payload
+        // contract) must keep rendering exactly what it is given.
+        assert_eq!(canonical_json(&-0.0f64), "-0.0");
+        assert_eq!(canonical_json(&0.0f64), "0.0");
     }
 }

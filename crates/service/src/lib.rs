@@ -15,6 +15,10 @@
 //!   are keyed by a canonical [`hash`] of the `(design, board, config)`
 //!   triple, so repeated or textually-different-but-identical submissions
 //!   return the original solve's **byte-identical** payload instantly;
+//!   capacity-bounded with sharded LRU eviction, so a long-running daemon
+//!   holds steady-state memory (see `QueueOptions::cache_cap` and
+//!   `QueueOptions::retain_jobs` for the cache and job-record bounds —
+//!   a pruned job id answers with the structured `expired` state);
 //! * [`server`] / [`client`] / [`protocol`] — the `mapsrv` daemon: a
 //!   JSON-lines TCP protocol with `submit` / `poll` / `result` / `stats` /
 //!   `shutdown` verbs.
@@ -61,10 +65,10 @@ pub mod server;
 
 pub use cache::{CacheEntry, CacheStats, SolutionCache};
 pub use client::{ClientError, MapClient, RemoteOutcome};
-pub use hash::{canonical_json, instance_key, InstanceKey};
+pub use hash::{canonical_json, instance_key, normalize_floats, InstanceKey};
 pub use protocol::{Request, Response, ServiceStats};
 pub use queue::{
     JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, QueueOptions,
-    QueueStats,
+    QueueStats, RECORD_SHARDS,
 };
 pub use server::MapServer;

@@ -82,14 +82,24 @@ pub enum Response {
 }
 
 /// Payload of the `stats` verb.
+///
+/// The retention fields make bounded-memory behavior observable over the
+/// wire: `cache_entries` can never exceed a nonzero `cache_cap`,
+/// `cache_evictions`/`jobs_pruned` are monotonic counters of what
+/// retention removed, and `retain_jobs` echoes the configured per-shard
+/// terminal-record bound (0 = unbounded).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
     pub jobs_submitted: u64,
     pub jobs_completed: u64,
     pub jobs_failed: u64,
+    pub jobs_pruned: u64,
+    pub retain_jobs: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_entries: u64,
+    pub cache_evictions: u64,
+    pub cache_cap: u64,
     pub workers: u64,
     pub uptime_ms: u64,
 }
@@ -350,12 +360,38 @@ mod tests {
             jobs_submitted: 10,
             jobs_completed: 8,
             jobs_failed: 1,
+            jobs_pruned: 3,
+            retain_jobs: 64,
             cache_hits: 5,
             cache_misses: 5,
-            cache_entries: 5,
+            cache_entries: 4,
+            cache_evictions: 1,
+            cache_cap: 16,
             workers: 4,
             uptime_ms: 1234,
         }));
+    }
+
+    #[test]
+    fn expired_states_round_trip() {
+        // A pruned job id answers with the structured `expired` state on
+        // both the poll and result verbs — same shape as live answers, so
+        // clients need no special casing beyond reading the state.
+        round_trip_response(Response::PollState {
+            job: 3,
+            state: JobState::Expired,
+        });
+        round_trip_response(Response::ResultReady {
+            job: 3,
+            state: JobState::Expired,
+            cached: false,
+            objective: None,
+            solution: None,
+            error: Some("job 3 expired: its terminal record was pruned".into()),
+        });
+        // The wire token parses back.
+        assert_eq!(JobState::from_name("expired"), Some(JobState::Expired));
+        assert!(JobState::Expired.is_terminal());
     }
 
     #[test]

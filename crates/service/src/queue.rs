@@ -1,4 +1,4 @@
-//! Sharded, work-stealing batch job queue.
+//! Sharded, work-stealing batch job queue with bounded retention.
 //!
 //! Jobs (one mapping instance each) are hashed onto per-worker **shard
 //! injectors**; every worker drains its own shard into a private LIFO deque
@@ -13,20 +13,34 @@
 //! [`SolutionCache`]; a hit completes the job instantly with the original
 //! solve's byte-identical payload.
 //!
-//! Retention caveat: job records and cache entries are currently kept for
-//! the queue's whole lifetime (a record holds an `Arc` of its solution
-//! JSON), so a very long-lived daemon grows memory linearly with distinct
-//! submissions. Bounded retention/eviction is tracked as a follow-up in
-//! `ROADMAP.md`.
+//! ## Retention
+//!
+//! A long-running daemon must hold **bounded** memory, so both stores the
+//! queue owns are capped:
+//!
+//! * the solution cache evicts least-recently-used entries past
+//!   [`QueueOptions::cache_cap`] (see [`SolutionCache`]);
+//! * job records are sharded by id across [`RECORD_SHARDS`] shards, and
+//!   each shard retains at most [`QueueOptions::retain_jobs`] **terminal**
+//!   records (and, optionally, none older than
+//!   [`QueueOptions::retain_age`]). Queued/running records are never
+//!   pruned. Looking up a pruned id yields the structured
+//!   [`JobState::Expired`] answer — never a hang, panic, or a
+//!   misleading "unknown job".
+//!
+//! Waiting is signal-driven, not polled: terminal transitions notify a
+//! per-record-shard condvar ([`JobQueue::wait`]) and a queue-wide condvar
+//! ([`JobQueue::wait_idle`]); idle workers park on a third condvar that
+//! submissions signal, so nobody burns a core spinning.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
 use gmm_arch::Board;
@@ -87,13 +101,19 @@ impl Default for JobConfig {
     }
 }
 
-/// Lifecycle of a job.
+/// Lifecycle of a job as observed through [`JobQueue::poll`].
+///
+/// `Expired` is a *lookup* answer, never a stored state: it means the job
+/// reached `Done` or `Failed` long enough ago that its terminal record
+/// was pruned by the retention policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     Queued,
     Running,
     Done,
     Failed,
+    /// The terminal record was pruned by retention; the outcome is gone.
+    Expired,
 }
 
 impl JobState {
@@ -103,6 +123,7 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Expired => "expired",
         }
     }
 
@@ -112,13 +133,15 @@ impl JobState {
             "running" => Some(JobState::Running),
             "done" => Some(JobState::Done),
             "failed" => Some(JobState::Failed),
+            "expired" => Some(JobState::Expired),
             _ => None,
         }
     }
 
-    /// Whether the job has reached a final state.
+    /// Whether the job has reached a final state (an expired record was
+    /// terminal before it was pruned).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed)
+        matches!(self, JobState::Done | JobState::Failed | JobState::Expired)
     }
 }
 
@@ -132,7 +155,7 @@ impl serde::Deserialize for JobState {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         v.as_str()
             .and_then(JobState::from_name)
-            .ok_or_else(|| serde::DeError::new("expected queued|running|done|failed"))
+            .ok_or_else(|| serde::DeError::new("expected queued|running|done|failed|expired"))
     }
 }
 
@@ -159,14 +182,16 @@ pub struct JobOutcome {
     pub id: u64,
     pub state: JobState,
     pub cached: bool,
-    pub key: InstanceKey,
+    /// Instance key; `None` when the record expired (the key went with it).
+    pub key: Option<InstanceKey>,
     /// Weighted objective, present when `state == Done`.
     pub objective: Option<f64>,
     /// Canonical solution JSON, present when `state == Done`.
     pub solution_json: Option<Arc<CacheEntry>>,
-    /// Failure message, present when `state == Failed`.
+    /// Failure message, present when `state == Failed` or `Expired`.
     pub error: Option<String>,
-    /// Wall time from submission to completion (so far, if still running).
+    /// Wall time from submission to completion (so far, if still running;
+    /// zero for expired records).
     pub wall: Duration,
 }
 
@@ -194,12 +219,30 @@ pub struct QueueStats {
     pub submitted: u64,
     pub completed: u64,
     pub failed: u64,
+    /// Terminal job records removed by retention so far.
+    pub pruned: u64,
+    /// Configured per-record-shard terminal retention (0 = unbounded).
+    pub retain_jobs: usize,
     pub workers: usize,
     pub cache: CacheStats,
     pub uptime: Duration,
 }
 
 /// Queue construction knobs.
+///
+/// ```
+/// use gmm_service::QueueOptions;
+///
+/// // A long-running daemon: ≤ 256 cached solutions, ≤ 32 terminal job
+/// // records per record shard, nothing older than an hour.
+/// let opts = QueueOptions {
+///     cache_cap: 256,
+///     retain_jobs: 32,
+///     retain_age: Some(std::time::Duration::from_secs(3600)),
+///     ..QueueOptions::default()
+/// };
+/// assert_eq!(opts.cache_cap, 256);
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueueOptions {
     /// Worker thread count; 0 picks the available parallelism (capped at 8
@@ -208,6 +251,13 @@ pub struct QueueOptions {
     pub workers: usize,
     /// Cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Total solution-cache entry bound; 0 = unbounded. Default 4096.
+    pub cache_cap: usize,
+    /// Terminal job records retained per record shard ([`RECORD_SHARDS`]
+    /// shards); 0 = unbounded. Default 1024.
+    pub retain_jobs: usize,
+    /// Optional age bound on terminal job records.
+    pub retain_age: Option<Duration>,
     /// Optional per-job solve deadline.
     pub job_time_limit: Option<Duration>,
 }
@@ -217,22 +267,168 @@ impl Default for QueueOptions {
         QueueOptions {
             workers: 0,
             cache_shards: 16,
+            cache_cap: 4096,
+            retain_jobs: 1024,
+            retain_age: None,
             job_time_limit: None,
         }
     }
 }
 
+/// Number of job-record shards (power of two; ids spread round-robin
+/// because they are sequential).
+pub const RECORD_SHARDS: usize = 16;
+
+/// One record shard plus its completion-order list of terminal ids.
+struct RecordShard {
+    records: HashMap<u64, JobRecord>,
+    /// Terminal ids in completion order; fronts are the oldest and are
+    /// pruned first. 1:1 with terminal entries of `records`.
+    terminal: VecDeque<u64>,
+}
+
+struct ShardSync {
+    state: Mutex<RecordShard>,
+    /// Signaled on every terminal transition in this shard.
+    cond: Condvar,
+}
+
 struct Inner {
     shards: Vec<Injector<Job>>,
-    jobs: Mutex<HashMap<u64, JobRecord>>,
+    records: Vec<ShardSync>,
     cache: SolutionCache,
     next_id: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    pruned: AtomicU64,
     shutdown: AtomicBool,
+    /// Bumped on every push into a shard injector; lets idle workers
+    /// detect work that arrived between their last scan and parking.
+    work_epoch: AtomicU64,
+    work_lock: Mutex<()>,
+    work_cond: Condvar,
+    idle_lock: Mutex<()>,
+    /// Signaled on every terminal transition (for [`JobQueue::wait_idle`]).
+    idle_cond: Condvar,
+    retain_jobs: usize,
+    retain_age: Option<Duration>,
     job_time_limit: Option<Duration>,
     started: Instant,
+}
+
+/// How a job id resolved against the record shards.
+enum Lookup<T> {
+    Found(T),
+    /// The id was issued, its job finished, and its record was pruned.
+    Expired,
+    /// The id was never issued by this queue.
+    Unknown,
+}
+
+impl Inner {
+    fn record_shard(&self, id: u64) -> &ShardSync {
+        &self.records[(id as usize) & (RECORD_SHARDS - 1)]
+    }
+
+    /// Prune this shard's terminal records down to the count/age caps.
+    /// Returns how many were removed. Caller holds the shard lock.
+    fn prune_locked(&self, shard: &mut RecordShard) -> u64 {
+        let mut removed = 0;
+        if self.retain_jobs > 0 {
+            while shard.terminal.len() > self.retain_jobs {
+                let id = shard.terminal.pop_front().expect("len checked");
+                shard.records.remove(&id);
+                removed += 1;
+            }
+        }
+        if let Some(age) = self.retain_age {
+            let now = Instant::now();
+            while let Some(&id) = shard.terminal.front() {
+                let old = shard
+                    .records
+                    .get(&id)
+                    .and_then(|r| r.finished)
+                    .is_some_and(|t| now.duration_since(t) > age);
+                if !old {
+                    break;
+                }
+                shard.terminal.pop_front();
+                shard.records.remove(&id);
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.pruned.fetch_add(removed, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Mark a job terminal, store its result, run retention, and wake
+    /// every waiter.
+    fn finish(&self, id: u64, result: Result<Arc<CacheEntry>, String>, cached: bool) {
+        let sync = self.record_shard(id);
+        {
+            let mut shard = sync.state.lock();
+            let Some(r) = shard.records.get_mut(&id) else { return };
+            r.finished = Some(Instant::now());
+            r.cached = cached;
+            match result {
+                Ok(entry) => {
+                    r.state = JobState::Done;
+                    r.solution = Some(entry);
+                    self.completed.fetch_add(1, Ordering::AcqRel);
+                }
+                Err(msg) => {
+                    r.state = JobState::Failed;
+                    r.error = Some(msg);
+                    self.failed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            shard.terminal.push_back(id);
+            self.prune_locked(&mut shard);
+        }
+        sync.cond.notify_all();
+        self.notify_idle();
+    }
+
+    /// Wake `wait_idle` callers. Taking the idle lock (even empty) before
+    /// notifying pairs with the waiter's check-then-wait under the same
+    /// lock, so a completion can never slip between the two.
+    fn notify_idle(&self) {
+        drop(self.idle_lock.lock());
+        self.idle_cond.notify_all();
+    }
+
+    /// Push a job to its shard injector and wake a parked worker.
+    fn push_job(&self, job: Job) {
+        let shard = (job.key.0 as usize) % self.shards.len();
+        self.shards[shard].push(job);
+        self.work_epoch.fetch_add(1, Ordering::Release);
+        drop(self.work_lock.lock());
+        self.work_cond.notify_all();
+    }
+
+    /// Resolve an id against the records, classifying misses as expired
+    /// (id already issued) or unknown (id never issued).
+    ///
+    /// The classification is definitive for any id obtained from a
+    /// `submit` return value: its record is published before `submit`
+    /// returns. Only a client *guessing* ids can race the few
+    /// instructions between id allocation and record publication and
+    /// transiently read a fresh id as expired.
+    fn lookup<T>(&self, id: u64, read: impl FnOnce(&JobRecord) -> T) -> Lookup<T> {
+        let shard = self.record_shard(id).state.lock();
+        if let Some(r) = shard.records.get(&id) {
+            return Lookup::Found(read(r));
+        }
+        drop(shard);
+        if id != 0 && id < self.next_id.load(Ordering::Acquire) {
+            Lookup::Expired
+        } else {
+            Lookup::Unknown
+        }
+    }
 }
 
 /// The batch solving engine: submit instances, poll for results.
@@ -263,13 +459,29 @@ impl JobQueue {
         };
         let inner = Arc::new(Inner {
             shards: (0..workers).map(|_| Injector::new()).collect(),
-            jobs: Mutex::new(HashMap::new()),
-            cache: SolutionCache::new(opts.cache_shards),
+            records: (0..RECORD_SHARDS)
+                .map(|_| ShardSync {
+                    state: Mutex::new(RecordShard {
+                        records: HashMap::new(),
+                        terminal: VecDeque::new(),
+                    }),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            cache: SolutionCache::new(opts.cache_shards, opts.cache_cap),
             next_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            work_epoch: AtomicU64::new(0),
+            work_lock: Mutex::new(()),
+            work_cond: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            retain_jobs: opts.retain_jobs,
+            retain_age: opts.retain_age,
             job_time_limit: opts.job_time_limit,
             started: Instant::now(),
         });
@@ -306,56 +518,15 @@ impl JobQueue {
     /// is recorded as `Failed` immediately — no worker will ever pop it.
     pub fn submit(&self, design: Design, board: Board, config: JobConfig) -> JobTicket {
         let key = instance_key(&design, &board, &config);
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
+        self.inner.submitted.fetch_add(1, Ordering::AcqRel);
 
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            self.inner.failed.fetch_add(1, Ordering::Relaxed);
-            let now = Instant::now();
-            self.inner.jobs.lock().insert(
-                id,
-                JobRecord {
-                    state: JobState::Failed,
-                    cached: false,
-                    key,
-                    submitted: now,
-                    finished: Some(now),
-                    solution: None,
-                    error: Some("queue is shut down".into()),
-                },
-            );
-            return JobTicket {
-                id,
-                state: JobState::Failed,
-                cached: false,
-                key,
-            };
-        }
-
-        if let Some(entry) = self.inner.cache.get(key) {
-            self.inner.completed.fetch_add(1, Ordering::Relaxed);
-            let now = Instant::now();
-            self.inner.jobs.lock().insert(
-                id,
-                JobRecord {
-                    state: JobState::Done,
-                    cached: true,
-                    key,
-                    submitted: now,
-                    finished: Some(now),
-                    solution: Some(entry),
-                    error: None,
-                },
-            );
-            return JobTicket {
-                id,
-                state: JobState::Done,
-                cached: true,
-                key,
-            };
-        }
-
-        self.inner.jobs.lock().insert(
+        // Publish the Queued record *immediately* after allocating the id:
+        // `lookup` classifies a missing id below `next_id` as expired, so
+        // any work between allocation and insertion would be a window in
+        // which a concurrent poll of this id misreads an in-flight
+        // submission as a terminal state.
+        self.inner.record_shard(id).state.lock().records.insert(
             id,
             JobRecord {
                 state: JobState::Queued,
@@ -367,8 +538,29 @@ impl JobQueue {
                 error: None,
             },
         );
-        let shard = (key.0 as usize) % self.inner.shards.len();
-        self.inner.shards[shard].push(Job {
+
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner
+                .finish(id, Err("queue is shut down".into()), false);
+            return JobTicket {
+                id,
+                state: JobState::Failed,
+                cached: false,
+                key,
+            };
+        }
+
+        if let Some(entry) = self.inner.cache.get(key) {
+            self.inner.finish(id, Ok(entry), true);
+            return JobTicket {
+                id,
+                state: JobState::Done,
+                cached: true,
+                key,
+            };
+        }
+
+        self.inner.push_job(Job {
             id,
             design,
             board,
@@ -383,66 +575,96 @@ impl JobQueue {
         }
     }
 
-    /// Current state of a job, `None` for unknown ids.
+    /// Current state of a job: `Some(Expired)` when the terminal record
+    /// was pruned by retention, `None` only for ids this queue never
+    /// issued.
     pub fn poll(&self, id: u64) -> Option<JobState> {
-        self.inner.jobs.lock().get(&id).map(|r| r.state)
+        match self.inner.lookup(id, |r| r.state) {
+            Lookup::Found(state) => Some(state),
+            Lookup::Expired => Some(JobState::Expired),
+            Lookup::Unknown => None,
+        }
     }
 
-    /// Full view of a job, `None` for unknown ids.
+    /// Full view of a job. A pruned id yields a structured `Expired`
+    /// outcome (no payload, an explanatory error); `None` only for ids
+    /// this queue never issued.
     pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
-        let jobs = self.inner.jobs.lock();
-        let r = jobs.get(&id)?;
-        Some(JobOutcome {
+        match self.inner.lookup(id, |r| JobOutcome {
             id,
             state: r.state,
             cached: r.cached,
-            key: r.key,
+            key: Some(r.key),
             objective: r.solution.as_ref().map(|s| s.objective),
             solution_json: r.solution.clone(),
             error: r.error.clone(),
             wall: r.finished.unwrap_or_else(Instant::now) - r.submitted,
-        })
+        }) {
+            Lookup::Found(out) => Some(out),
+            Lookup::Expired => Some(expired_outcome(id)),
+            Lookup::Unknown => None,
+        }
     }
 
     /// Block until the job reaches a terminal state (or the timeout).
+    /// Signal-driven: parks on the record shard's condvar, which every
+    /// terminal transition notifies.
     pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobOutcome> {
         let deadline = Instant::now() + timeout;
+        let sync = self.inner.record_shard(id);
+        let mut shard = sync.state.lock();
         loop {
-            match self.poll(id) {
-                None => return None,
-                Some(s) if s.is_terminal() => return self.outcome(id),
+            match shard.records.get(&id) {
+                // Missing: expired or unknown — outcome() classifies.
+                None => {
+                    drop(shard);
+                    return self.outcome(id);
+                }
+                Some(r) if r.state.is_terminal() => {
+                    drop(shard);
+                    return self.outcome(id);
+                }
                 Some(_) => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        drop(shard);
                         return self.outcome(id);
                     }
-                    std::thread::sleep(Duration::from_micros(500));
+                    let (guard, _) = sync.cond.wait_for(shard, deadline - now);
+                    shard = guard;
                 }
             }
         }
     }
 
     /// Block until every submitted job is terminal (or the timeout);
-    /// returns whether the queue fully drained.
+    /// returns whether the queue fully drained. Signal-driven via the
+    /// queue-wide completion condvar.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        let mut guard = self.inner.idle_lock.lock();
         loop {
-            let done = self.inner.completed.load(Ordering::Relaxed)
-                + self.inner.failed.load(Ordering::Relaxed);
-            if done >= self.inner.submitted.load(Ordering::Relaxed) {
+            let done = self.inner.completed.load(Ordering::Acquire)
+                + self.inner.failed.load(Ordering::Acquire);
+            if done >= self.inner.submitted.load(Ordering::Acquire) {
                 return true;
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_micros(500));
+            let (g, _) = self.inner.idle_cond.wait_for(guard, deadline - now);
+            guard = g;
         }
     }
 
     pub fn stats(&self) -> QueueStats {
         QueueStats {
-            submitted: self.inner.submitted.load(Ordering::Relaxed),
-            completed: self.inner.completed.load(Ordering::Relaxed),
-            failed: self.inner.failed.load(Ordering::Relaxed),
+            submitted: self.inner.submitted.load(Ordering::Acquire),
+            completed: self.inner.completed.load(Ordering::Acquire),
+            failed: self.inner.failed.load(Ordering::Acquire),
+            pruned: self.inner.pruned.load(Ordering::Relaxed),
+            retain_jobs: self.inner.retain_jobs,
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
             uptime: self.inner.started.elapsed(),
@@ -453,9 +675,25 @@ impl JobQueue {
         &self.inner.cache
     }
 
+    /// Sweep age-based retention across all record shards now. Terminal
+    /// transitions prune opportunistically; a quiet queue can call this
+    /// (the `stats` verb does) so old records do not linger idle.
+    pub fn sweep_retention(&self) -> u64 {
+        let mut removed = 0;
+        for sync in &self.inner.records {
+            let mut shard = sync.state.lock();
+            removed += self.inner.prune_locked(&mut shard);
+        }
+        removed
+    }
+
     /// Drain remaining work and stop the workers. Idempotent.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        // Wake every parked worker so it observes the flag and exits.
+        self.inner.work_epoch.fetch_add(1, Ordering::Release);
+        drop(self.inner.work_lock.lock());
+        self.inner.work_cond.notify_all();
         let handles: Vec<_> = self.workers.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
@@ -466,6 +704,22 @@ impl JobQueue {
 impl Drop for JobQueue {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The structured answer for a pruned job id.
+fn expired_outcome(id: u64) -> JobOutcome {
+    JobOutcome {
+        id,
+        state: JobState::Expired,
+        cached: false,
+        key: None,
+        objective: None,
+        solution_json: None,
+        error: Some(format!(
+            "job {id} expired: its terminal record was pruned by the retention policy"
+        )),
+        wall: Duration::ZERO,
     }
 }
 
@@ -502,26 +756,43 @@ fn find_job(me: usize, local: &Worker<Job>, inner: &Inner, stealers: &[Stealer<J
 
 fn worker_loop(me: usize, local: Worker<Job>, inner: &Inner, stealers: &[Stealer<Job>]) {
     loop {
-        let Some(job) = find_job(me, &local, inner, stealers) else {
-            if inner.shutdown.load(Ordering::Acquire) {
-                return;
-            }
-            std::thread::sleep(Duration::from_micros(200));
+        // Snapshot the epoch *before* scanning: a submission that lands
+        // mid-scan bumps it, and the parking check below notices.
+        let epoch = inner.work_epoch.load(Ordering::Acquire);
+        if let Some(job) = find_job(me, &local, inner, stealers) {
+            process(job, inner);
             continue;
-        };
-        process(job, inner);
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = inner.work_lock.lock();
+        if inner.work_epoch.load(Ordering::Acquire) != epoch
+            || inner.shutdown.load(Ordering::Acquire)
+        {
+            continue; // work (or shutdown) arrived while scanning — rescan
+        }
+        // Bounded park: the epoch handshake above makes lost wakeups
+        // impossible, the timeout is pure belt-and-braces.
+        let _ = inner.work_cond.wait_for(guard, Duration::from_millis(100));
     }
 }
 
 fn process(job: Job, inner: &Inner) {
-    if let Some(r) = inner.jobs.lock().get_mut(&job.id) {
+    if let Some(r) = inner
+        .record_shard(job.id)
+        .state
+        .lock()
+        .records
+        .get_mut(&job.id)
+    {
         r.state = JobState::Running;
     }
 
     // A duplicate instance may have been solved while this one sat queued;
     // `peek` keeps the hit/miss counters a pure per-submission signal.
     if let Some(entry) = inner.cache.peek(job.key) {
-        finish(inner, job.id, Ok(entry), true);
+        inner.finish(job.id, Ok(entry), true);
         return;
     }
 
@@ -551,28 +822,9 @@ fn process(job: Job, inner: &Inner) {
             // First writer wins, so a lost race still hands out the
             // byte-identical original payload.
             let stored = inner.cache.insert(job.key, entry);
-            finish(inner, job.id, Ok(stored), false);
+            inner.finish(job.id, Ok(stored), false);
         }
-        Err(e) => finish(inner, job.id, Err(e.to_string()), false),
-    }
-}
-
-fn finish(inner: &Inner, id: u64, result: Result<Arc<CacheEntry>, String>, cached: bool) {
-    let mut jobs = inner.jobs.lock();
-    let Some(r) = jobs.get_mut(&id) else { return };
-    r.finished = Some(Instant::now());
-    r.cached = cached;
-    match result {
-        Ok(entry) => {
-            r.state = JobState::Done;
-            r.solution = Some(entry);
-            inner.completed.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(msg) => {
-            r.state = JobState::Failed;
-            r.error = Some(msg);
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-        }
+        Err(e) => inner.finish(job.id, Err(e.to_string()), false),
     }
 }
 
@@ -703,5 +955,106 @@ mod tests {
         });
         assert!(q.poll(999).is_none());
         assert!(q.outcome(999).is_none());
+        assert!(q.poll(0).is_none(), "id 0 is never issued");
+    }
+
+    #[test]
+    fn terminal_records_prune_to_count_cap() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            retain_jobs: 2,
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(5);
+        // One cold solve, then a pile of instant cache-hit completions.
+        let first = q.submit(design.clone(), board.clone(), JobConfig::default());
+        assert_eq!(
+            q.wait(first.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        let mut ids = vec![first.id];
+        for _ in 0..40 {
+            let t = q.submit(design.clone(), board.clone(), JobConfig::default());
+            assert!(t.cached);
+            ids.push(t.id);
+        }
+
+        let s = q.stats();
+        assert!(s.pruned > 0, "retention must have pruned something");
+        // Per-shard bound: with 41 terminal records over 16 shards and
+        // retain_jobs = 2, every shard is at (or under) its cap.
+        let live: usize = ids
+            .iter()
+            .filter(|&&id| matches!(q.poll(id), Some(JobState::Done)))
+            .count();
+        assert!(
+            live <= 2 * RECORD_SHARDS,
+            "{live} live terminal records exceed the per-shard cap"
+        );
+
+        // The earliest id landed in a full shard long ago: structurally
+        // expired, not unknown, not a hang.
+        assert_eq!(q.poll(first.id), Some(JobState::Expired));
+        let out = q.outcome(first.id).unwrap();
+        assert_eq!(out.state, JobState::Expired);
+        assert!(out.solution_json.is_none());
+        assert!(out.error.as_deref().unwrap().contains("expired"));
+        assert!(out.key.is_none());
+        // wait() on an expired id returns the structured outcome instantly.
+        let waited = q.wait(first.id, Duration::from_secs(5)).unwrap();
+        assert_eq!(waited.state, JobState::Expired);
+    }
+
+    #[test]
+    fn terminal_records_prune_by_age() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            retain_age: Some(Duration::from_millis(20)),
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(6);
+        let t = q.submit(design, board, JobConfig::default());
+        assert_eq!(
+            q.wait(t.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let removed = q.sweep_retention();
+        assert!(removed >= 1, "aged-out record must be sweepable");
+        assert_eq!(q.poll(t.id), Some(JobState::Expired));
+    }
+
+    #[test]
+    fn queued_records_survive_terminal_churn() {
+        // Retention only ever removes *terminal* records: a cold job that
+        // is queued or running while cached completions churn through its
+        // record shard must still complete and be counted.
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            retain_jobs: 1,
+            ..QueueOptions::default()
+        });
+        let (design_a, board_a) = small_instance(7);
+        let (design_b, board_b) = small_instance(8);
+        let a = q.submit(design_a.clone(), board_a.clone(), JobConfig::default());
+        assert_eq!(
+            q.wait(a.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        let b = q.submit(design_b, board_b, JobConfig::default());
+        for _ in 0..20 {
+            let t = q.submit(design_a.clone(), board_a.clone(), JobConfig::default());
+            assert!(t.cached);
+        }
+        assert!(q.wait_idle(Duration::from_secs(60)));
+        let s = q.stats();
+        // Had retention pruned `b` while it was still queued, its eventual
+        // completion would have found no record and never been counted.
+        assert_eq!(s.completed, 22);
+        assert_eq!(s.failed, 0);
+        // `b` finished; with retain_jobs = 1 its record may itself have
+        // been churned out afterwards, but only as a *terminal* record.
+        let out = q.wait(b.id, Duration::from_secs(60)).unwrap();
+        assert!(matches!(out.state, JobState::Done | JobState::Expired));
     }
 }

@@ -201,14 +201,22 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
             },
         },
         Request::Stats => {
+            // Stats doubles as the idle-time retention tick: age-based
+            // pruning otherwise only runs on terminal transitions, so a
+            // quiet daemon sweeps whenever someone looks at it.
+            queue.sweep_retention();
             let s = queue.stats();
             Response::Stats(ServiceStats {
                 jobs_submitted: s.submitted,
                 jobs_completed: s.completed,
                 jobs_failed: s.failed,
+                jobs_pruned: s.pruned,
+                retain_jobs: s.retain_jobs as u64,
                 cache_hits: s.cache.hits,
                 cache_misses: s.cache.misses,
                 cache_entries: s.cache.entries,
+                cache_evictions: s.cache.evictions,
+                cache_cap: s.cache.capacity,
                 workers: s.workers as u64,
                 uptime_ms: s.uptime.as_millis() as u64,
             })

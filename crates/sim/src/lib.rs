@@ -29,6 +29,6 @@ pub mod trace;
 
 pub use address::{address_decoder, check_adder_free, physical_word, DecodeError, DecodeInfo};
 pub use machine::{simulate_mapping, Machine, SegmentStats, SimError, SimReport};
-pub use replay::{validate_cache_hit, ReplayError};
+pub use replay::{validate_cache_hit, validate_payload, ReplayError};
 pub use report::render_report;
 pub use trace::{Access, AccessKind, Trace};

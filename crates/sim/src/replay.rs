@@ -88,16 +88,8 @@ pub fn validate_cache_hit(
         });
     }
 
-    let cold: DetailedMapping =
-        serde_json::from_str(cold_json).map_err(|e| ReplayError::Undecodable(e.to_string()))?;
-    let cached: DetailedMapping =
-        serde_json::from_str(cached_json).map_err(|e| ReplayError::Undecodable(e.to_string()))?;
-
-    let trace = Trace::from_profiles(design);
-    let report_cold =
-        simulate_mapping(design, board, &cold, &trace).map_err(ReplayError::Simulation)?;
-    let report_cached =
-        simulate_mapping(design, board, &cached, &trace).map_err(ReplayError::Simulation)?;
+    let report_cold = validate_payload(design, board, cold_json)?;
+    let report_cached = validate_payload(design, board, cached_json)?;
 
     if report_cold.makespan != report_cached.makespan {
         return Err(ReplayError::ReplayDiverged { what: "makespan" });
@@ -108,6 +100,27 @@ pub fn validate_cache_hit(
         });
     }
     Ok(report_cold)
+}
+
+/// Validate one serialized [`DetailedMapping`] payload on its own: decode
+/// it and replay the design's deterministic trace against it.
+///
+/// This is the **cache-miss-after-eviction** check. When a bounded cache
+/// evicts a key and a later submission re-solves it, the service no
+/// longer holds the original payload to byte-compare against — but the
+/// re-solved payload must still *be a valid mapping that simulates*. A
+/// caller that retained the original bytes (the retention soak test
+/// does) composes this with a plain byte comparison, which together is
+/// exactly [`validate_cache_hit`].
+pub fn validate_payload(
+    design: &Design,
+    board: &Board,
+    payload_json: &str,
+) -> Result<SimReport, ReplayError> {
+    let mapping: DetailedMapping =
+        serde_json::from_str(payload_json).map_err(|e| ReplayError::Undecodable(e.to_string()))?;
+    let trace = Trace::from_profiles(design);
+    simulate_mapping(design, board, &mapping, &trace).map_err(ReplayError::Simulation)
 }
 
 #[cfg(test)]
@@ -170,6 +183,17 @@ mod tests {
     fn garbage_bytes_are_undecodable() {
         let (design, board, _) = solved_instance();
         match validate_cache_hit(&design, &board, "{not json", "{not json") {
+            Err(ReplayError::Undecodable(_)) => {}
+            other => panic!("expected Undecodable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn standalone_payload_validates() {
+        let (design, board, json) = solved_instance();
+        let report = validate_payload(&design, &board, &json).unwrap();
+        assert!(report.makespan > 0);
+        match validate_payload(&design, &board, "[]") {
             Err(ReplayError::Undecodable(_)) => {}
             other => panic!("expected Undecodable, got {other:?}"),
         }

@@ -19,5 +19,5 @@ pub mod stream;
 pub mod table3;
 
 pub use random::{board_from_specs, random_design, RandomDesignSpec, TypeSpec};
-pub use stream::{stream_instances, InstanceStream, StreamInstance, StreamSpec};
+pub use stream::{cycling_instances, stream_instances, CyclingStream, InstanceStream, StreamInstance, StreamSpec};
 pub use table3::{table3_board, table3_design, table3_instance, Table3Point, TABLE3};

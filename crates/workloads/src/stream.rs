@@ -66,6 +66,43 @@ impl Iterator for InstanceStream {
     }
 }
 
+/// Iterator cycling through a bounded pool of distinct instances.
+///
+/// Where [`InstanceStream`] emits an endless sequence of *distinct*
+/// instances (every submission a cache miss), this cycles through the
+/// first `distinct` instances of the same stream over and over — the
+/// shape a retention soak wants: with a solution-cache capacity `K <
+/// distinct`, every lap re-requests keys the LRU has since evicted, so
+/// the eviction and re-solve paths are exercised continuously while the
+/// total key universe stays bounded and reproducible.
+#[derive(Debug, Clone)]
+pub struct CyclingStream {
+    spec: StreamSpec,
+    distinct: u64,
+    index: u64,
+}
+
+/// Cycle through the first `distinct` instances of `spec`'s stream
+/// (`distinct` is clamped to at least 1). Instance `i` of this iterator
+/// is byte-for-byte instance `i % distinct` of [`stream_instances`].
+pub fn cycling_instances(spec: StreamSpec, distinct: usize) -> CyclingStream {
+    CyclingStream {
+        spec,
+        distinct: (distinct.max(1)) as u64,
+        index: 0,
+    }
+}
+
+impl Iterator for CyclingStream {
+    type Item = StreamInstance;
+
+    fn next(&mut self) -> Option<StreamInstance> {
+        let i = self.index;
+        self.index += 1;
+        Some(generate(&self.spec, i % self.distinct))
+    }
+}
+
 fn generate(spec: &StreamSpec, index: u64) -> StreamInstance {
     // splitmix64 over (seed, index) keeps per-instance streams independent
     // even for adjacent indices.
@@ -195,6 +232,26 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} unmappable: {e}", inst.name));
             assert_eq!(out.global.type_of.len(), inst.design.num_segments());
         }
+    }
+
+    #[test]
+    fn cycling_stream_repeats_the_pool_exactly() {
+        let spec = StreamSpec::default();
+        let pool: Vec<StreamInstance> = stream_instances(spec.clone()).take(3).collect();
+        let cycled: Vec<StreamInstance> = cycling_instances(spec, 3).take(7).collect();
+        for (i, inst) in cycled.iter().enumerate() {
+            let expect = &pool[i % 3];
+            assert_eq!(inst.name, expect.name, "lap {} diverged", i / 3);
+            assert_eq!(inst.design, expect.design);
+            assert_eq!(inst.board, expect.board);
+        }
+    }
+
+    #[test]
+    fn cycling_stream_clamps_distinct_to_one() {
+        let v: Vec<StreamInstance> = cycling_instances(StreamSpec::default(), 0).take(3).collect();
+        assert_eq!(v[0].design, v[1].design);
+        assert_eq!(v[1].design, v[2].design);
     }
 
     #[test]

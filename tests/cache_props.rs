@@ -44,7 +44,7 @@ proptest! {
         let queue = JobQueue::new(QueueOptions {
             workers: 1,
             cache_shards: 4,
-            job_time_limit: None,
+            ..QueueOptions::default()
         });
 
         // Cold solve through the queue.

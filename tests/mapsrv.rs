@@ -23,7 +23,7 @@ fn start_server() -> (MapServer, MapClient) {
     let queue = Arc::new(JobQueue::new(QueueOptions {
         workers: 4,
         cache_shards: 8,
-        job_time_limit: None,
+        ..QueueOptions::default()
     }));
     let server = MapServer::start("127.0.0.1:0", queue).expect("bind ephemeral port");
     let client = MapClient::connect(server.local_addr()).expect("connect");
