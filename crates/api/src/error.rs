@@ -1,0 +1,50 @@
+//! The unified error type of the API layer.
+
+use gmm_core::MapError;
+
+/// Everything that can go *wrong* executing a request, across every
+/// entry point (in-process, CLI, mapsrv client).
+///
+/// Outcomes that are legitimate answers — infeasibility, a deadline
+/// expiring, cancellation — are **not** errors: they come back as
+/// [`crate::Termination`] variants inside a well-formed
+/// [`crate::MapReport`]. `ApiError` is reserved for failures: engine
+/// breakage, I/O, and protocol violations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// The mapping pipeline failed (solver breakage, retry exhaustion,
+    /// no solution within a node budget).
+    Map(MapError),
+    /// Reading or writing a design/board/mapping file failed.
+    Io(String),
+    /// A remote mapsrv answered with something the protocol forbids.
+    Protocol(String),
+    /// A remote mapsrv answered `{"ok": false, …}`.
+    Remote(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Map(e) => write!(f, "mapping failed: {e}"),
+            ApiError::Io(m) => write!(f, "io: {m}"),
+            ApiError::Protocol(m) => write!(f, "protocol: {m}"),
+            ApiError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<MapError> for ApiError {
+    fn from(e: MapError) -> Self {
+        ApiError::Map(e)
+    }
+}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        ApiError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,116 @@
+//! Ready-made [`ProgressObserver`] sinks.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gmm_ilp::control::ProgressObserver;
+
+/// Line-oriented progress sink for terminals: one `stderr` line per
+/// phase transition, incumbent improvement, and node heartbeat, each
+/// stamped with elapsed time. The CLI's `--progress` flag installs one.
+///
+/// ```
+/// use gmm_api::StderrProgress;
+/// use gmm_ilp::control::ProgressObserver;
+///
+/// let sink = StderrProgress::new();
+/// sink.on_phase("global"); // prints "[  0.000s] phase    global" to stderr
+/// ```
+#[derive(Debug)]
+pub struct StderrProgress {
+    started: Instant,
+}
+
+impl StderrProgress {
+    pub fn new() -> StderrProgress {
+        StderrProgress {
+            started: Instant::now(),
+        }
+    }
+
+    fn stamp(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        StderrProgress::new()
+    }
+}
+
+impl ProgressObserver for StderrProgress {
+    fn on_phase(&self, phase: &'static str) {
+        eprintln!("[{:>7.3}s] phase    {phase}", self.stamp());
+    }
+
+    fn on_incumbent(&self, objective: f64, nodes: u64) {
+        eprintln!(
+            "[{:>7.3}s] incumbent {objective:.3} (node {nodes})",
+            self.stamp()
+        );
+    }
+
+    fn on_nodes(&self, nodes: u64) {
+        eprintln!("[{:>7.3}s] nodes    {nodes}", self.stamp());
+    }
+}
+
+/// An observer that records the most recent event of each kind behind a
+/// mutex — the cheap building block for dashboards and the mapsrv
+/// per-job progress snapshot.
+#[derive(Debug, Default)]
+pub struct LatestProgress {
+    inner: Mutex<LatestInner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LatestInner {
+    phase: Option<&'static str>,
+    incumbent: Option<f64>,
+    nodes: u64,
+}
+
+impl LatestProgress {
+    /// `(last phase, last incumbent objective, last node heartbeat)`.
+    pub fn snapshot(&self) -> (Option<&'static str>, Option<f64>, u64) {
+        let g = self.inner.lock().expect("progress mutex");
+        (g.phase, g.incumbent, g.nodes)
+    }
+}
+
+impl ProgressObserver for LatestProgress {
+    fn on_phase(&self, phase: &'static str) {
+        self.inner.lock().expect("progress mutex").phase = Some(phase);
+    }
+
+    fn on_incumbent(&self, objective: f64, nodes: u64) {
+        let mut g = self.inner.lock().expect("progress mutex");
+        g.incumbent = Some(objective);
+        g.nodes = g.nodes.max(nodes);
+    }
+
+    fn on_nodes(&self, nodes: u64) {
+        let mut g = self.inner.lock().expect("progress mutex");
+        g.nodes = g.nodes.max(nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_progress_tracks_the_frontier() {
+        let p = LatestProgress::default();
+        p.on_phase("global");
+        p.on_nodes(64);
+        p.on_incumbent(10.0, 70);
+        p.on_nodes(128);
+        p.on_phase("detailed");
+        let (phase, incumbent, nodes) = p.snapshot();
+        assert_eq!(phase, Some("detailed"));
+        assert_eq!(incumbent, Some(10.0));
+        assert_eq!(nodes, 128);
+    }
+}

@@ -1,0 +1,221 @@
+//! The builder-style solve request.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gmm_arch::Board;
+use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
+use gmm_core::{CostWeights, MapError, SolverBackend};
+use gmm_design::Design;
+use gmm_ilp::control::{CancelToken, ProgressObserver};
+use gmm_ilp::BasisBackend;
+
+use crate::error::ApiError;
+use crate::report::{MapReport, Termination};
+
+/// One fully-specified solve session: design + board + strategy + cost
+/// weights + limits + cancellation + progress, executed with
+/// [`MapRequest::execute`].
+///
+/// This is the single entry point the CLI, the mapsrv workers, and
+/// in-process callers all share. Build it fluently; every knob has a
+/// sensible default (serial branch-and-bound, sparse-LU basis,
+/// constructive detailed mapper, 8 retries, no limits):
+///
+/// ```
+/// use gmm_api::MapRequest;
+/// use gmm_design::DesignBuilder;
+///
+/// let mut b = DesignBuilder::new("quick");
+/// b.segment("coeffs", 128, 12).unwrap();
+/// b.segment("frame", 4096, 8).unwrap();
+/// let design = b.build().unwrap();
+/// let board = gmm_arch::Board::prototyping("XCV300", 2).unwrap();
+///
+/// let report = MapRequest::new(design, board)
+///     .deadline(std::time::Duration::from_secs(30))
+///     .execute()
+///     .unwrap();
+/// assert_eq!(report.termination, gmm_api::Termination::Optimal);
+/// assert!(report.outcome.is_some());
+/// ```
+///
+/// Cancellation is cooperative and cheap: hand the request a
+/// [`CancelToken`] clone, keep the original, and `cancel()` it from any
+/// thread — the solver polls it per branch-and-bound node and every few
+/// simplex pivots:
+///
+/// ```
+/// use gmm_api::MapRequest;
+/// use gmm_ilp::control::CancelToken;
+/// use gmm_design::DesignBuilder;
+///
+/// let mut b = DesignBuilder::new("c");
+/// b.segment("s", 64, 8).unwrap();
+/// let design = b.build().unwrap();
+/// let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
+///
+/// let token = CancelToken::new();
+/// token.cancel(); // cancelled before it starts
+/// let report = MapRequest::new(design, board)
+///     .cancel_token(token)
+///     .execute()
+///     .unwrap();
+/// assert_eq!(report.termination, gmm_api::Termination::Cancelled);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MapRequest {
+    design: Design,
+    board: Board,
+    options: MapperOptions,
+}
+
+impl MapRequest {
+    /// A request with default options (see [`MapperOptions`] for the
+    /// documented defaults).
+    pub fn new(design: Design, board: Board) -> MapRequest {
+        MapRequest {
+            design,
+            board,
+            options: MapperOptions::new(),
+        }
+    }
+
+    /// Objective weights for the three-component cost (paper §4.1.3).
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.options.weights = weights;
+        self
+    }
+
+    /// Which MIP engine runs the global formulation.
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Simplex basis-factorization backend (shorthand that reaches into
+    /// whichever engine is configured).
+    pub fn lp_basis(mut self, basis: BasisBackend) -> Self {
+        self.options.backend.set_lp_basis(basis);
+        self
+    }
+
+    /// Which detailed mapper runs after global mapping.
+    pub fn strategy(mut self, strategy: DetailedStrategy) -> Self {
+        self.options.detailed = strategy;
+        self
+    }
+
+    /// Lifetime-based capacity modification (paper §4.1.2 note).
+    pub fn overlap_aware(mut self, on: bool) -> Self {
+        self.options.overlap_aware = on;
+        self
+    }
+
+    /// Retry budget for the global/detailed loop (paper §4.1).
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.options.max_retries = n;
+        self
+    }
+
+    /// Wall-clock budget for the whole session. When it expires the
+    /// session returns [`Termination::DeadlineExceeded`] promptly (the
+    /// solver polls the deadline every few simplex pivots), carrying
+    /// whatever incumbent it had.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.options.deadline = Some(budget);
+        self
+    }
+
+    /// Branch-and-bound node budget across all global solves.
+    pub fn node_budget(mut self, nodes: u64) -> Self {
+        self.options.node_budget = Some(nodes);
+        self
+    }
+
+    /// Cooperative cancellation: keep a clone of the token and
+    /// `cancel()` it from any thread to stop the session.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.options.control.cancel = Some(token);
+        self
+    }
+
+    /// Progress sink: phase transitions, incumbent updates, and a node
+    /// heartbeat.
+    pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.options.control.observer = Some(observer);
+        self
+    }
+
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    pub fn options(&self) -> &MapperOptions {
+        &self.options
+    }
+
+    /// Run the session.
+    ///
+    /// Legitimate outcomes — optimality, feasibility, deadline,
+    /// cancellation, infeasibility — all return `Ok` with the
+    /// [`Termination`] inside the report; `Err` is reserved for engine
+    /// failures (see [`ApiError`]).
+    pub fn execute(&self) -> Result<MapReport, ApiError> {
+        let t0 = Instant::now();
+        let run = Mapper::new(self.options.clone()).map_run(&self.design, &self.board);
+        let total_time = t0.elapsed();
+        let stats = run.stats;
+
+        let mut report = MapReport {
+            termination: Termination::Infeasible,
+            outcome: None,
+            diagnostic: None,
+            objective: None,
+            retries: stats.retries,
+            global_time: stats.global_time,
+            detailed_time: stats.detailed_time,
+            total_time,
+            nodes_explored: stats.nodes_explored,
+            lp_iterations: stats.lp_iterations,
+            warm_started_nodes: stats.warm_started_nodes,
+        };
+        match run.result {
+            Ok(outcome) => {
+                report.termination = MapReport::success_termination(&stats);
+                report.objective = Some(outcome.cost.weighted(&self.options.weights));
+                report.outcome = Some(outcome);
+                Ok(report)
+            }
+            Err(MapError::Infeasible) => {
+                report.termination = Termination::Infeasible;
+                report.diagnostic =
+                    Some("the design's port/capacity demand exceeds the board".into());
+                Ok(report)
+            }
+            Err(MapError::Unmappable(segs)) => {
+                report.termination = Termination::Infeasible;
+                report.diagnostic = Some(format!(
+                    "{} segment(s) fit no bank type on this board (first: segment {})",
+                    segs.len(),
+                    segs.first().map(|s| s.0).unwrap_or(0)
+                ));
+                Ok(report)
+            }
+            Err(MapError::Deadline) => {
+                report.termination = Termination::DeadlineExceeded;
+                Ok(report)
+            }
+            Err(MapError::Cancelled) => {
+                report.termination = Termination::Cancelled;
+                Ok(report)
+            }
+            Err(e) => Err(ApiError::Map(e)),
+        }
+    }
+}

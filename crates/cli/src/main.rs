@@ -2,7 +2,8 @@
 //!
 //! Subcommands:
 //!
-//! * `map`      — map a design onto a board (global/detailed or complete)
+//! * `solve`    — map a design onto a board through the `gmm-api` facade
+//!   (deadlines, node budgets, cancellation, progress); `map` is an alias
 //! * `gen`      — generate designs/boards (random, kernels, Table 3)
 //! * `simulate` — map a design and replay a trace on the result
 //! * `serve`    — run the `mapsrv` batch daemon (JSON-lines over TCP)
@@ -13,6 +14,8 @@
 //! * `fig2`     — run the paper's Figure 2 worked example
 //! * `table3`   — regenerate Table 3 / Figure 4 (complete vs global)
 //!
+//! Every subcommand also answers `--help` with its own usage text.
+//!
 //! ## Exit codes
 //!
 //! | code | meaning |
@@ -22,15 +25,17 @@
 //! | 2 | usage error (unknown command, bad flag value) |
 //! | 3 | bad input (unreadable or malformed design/board/mapping file) |
 //! | 4 | infeasible instance (the board provably cannot host the design) |
+//! | 5 | deadline exceeded or cancelled (solve stopped by `--deadline-secs`, a job deadline, or a cancellation) |
 //!
 //! The distinction lets scripts separate "fix the invocation" (2), "fix
-//! the file" (3), and "fix the design or pick a bigger board" (4) without
-//! parsing stderr.
+//! the file" (3), "fix the design or pick a bigger board" (4), and "give
+//! it more time" (5) without parsing stderr.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gmm_api::{MapRequest, StderrProgress, Termination};
 use gmm_arch::Board;
 use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
 use gmm_core::{
@@ -39,6 +44,7 @@ use gmm_core::{
 use gmm_design::Design;
 use gmm_ilp::branch::MipOptions;
 use gmm_ilp::parallel::ParallelOptions;
+use gmm_ilp::StopReason;
 use gmm_service::{
     JobConfig, JobQueue, JobState, LpBasis, MapClient, MapServer, QueueOptions,
 };
@@ -57,6 +63,8 @@ enum CliError {
     Input(String),
     /// The instance is provably unmappable on this board (exit 4).
     Infeasible(String),
+    /// The solve was stopped by a deadline or cancellation (exit 5).
+    Interrupted(String),
     /// Everything else: solver failures, output I/O, failed validation
     /// (exit 1).
     Internal(String),
@@ -79,6 +87,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Input(_) => 3,
             CliError::Infeasible(_) => 4,
+            CliError::Interrupted(_) => 5,
         }
     }
 
@@ -87,6 +96,7 @@ impl CliError {
             CliError::Usage(m)
             | CliError::Input(m)
             | CliError::Infeasible(m)
+            | CliError::Interrupted(m)
             | CliError::Internal(m) => m,
         }
     }
@@ -104,6 +114,10 @@ fn classify_map_err(e: MapError) -> CliError {
             segs.len(),
             segs.first().map(|s| s.0).unwrap_or(0)
         )),
+        MapError::Deadline => {
+            CliError::Interrupted("deadline exceeded before any solution was found".into())
+        }
+        MapError::Cancelled => CliError::Interrupted("solve cancelled".into()),
         _ => CliError::Internal(e.to_string()),
     }
 }
@@ -115,8 +129,17 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let rest = &args[1..];
+    // `gmm <subcommand> --help` prints that subcommand's own usage text
+    // (golden-tested), without running anything.
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        if let Some(text) = subcommand_help(cmd) {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+    }
     let result = match cmd.as_str() {
-        "map" => cmd_map(rest),
+        // `map` is the historical spelling; both go through the facade.
+        "solve" | "map" => cmd_solve(rest),
         "gen" => cmd_gen(rest),
         "simulate" => cmd_simulate(rest),
         "validate" => cmd_validate(rest),
@@ -146,9 +169,10 @@ const USAGE: &str = "\
 gmm — global/detailed memory mapping for FPGA-based reconfigurable systems
 
 USAGE:
-  gmm map --design <d.json> --board <b.json> [--complete] [--parallel N]
-          [--overlap] [--ilp-detailed] [--lp-basis dense|lu]
-          [--out <mapping.json>]
+  gmm solve --design <d.json> --board <b.json> [--complete] [--parallel N]
+            [--overlap] [--ilp-detailed] [--lp-basis dense|lu]
+            [--deadline-secs T] [--node-budget N] [--progress]
+            [--out <mapping.json>]          (alias: gmm map)
   gmm gen design --segments N [--seed S] [--out <f.json>]
   gmm gen board (--device XCV1000 [--srams N] | --table3-point I) [--out f]
   gmm gen kernel <fir|conv2d|fft|matmul|histogram> [--out <f.json>]
@@ -164,33 +188,162 @@ USAGE:
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
             [--verify] [--cache-cap K] [--retain-jobs N] [--retain-secs T]
             [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
+            [--job-deadline-secs T]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
   gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
              [--lp-basis dense|lu]
 
+Every subcommand answers `--help` with its own usage text.
+
+Solves run through the gmm-api facade: --deadline-secs bounds the whole
+solve session (a deadline that fires mid-tree still reports timing and
+node counters, plus the best mapping found in time), --node-budget
+bounds branch-and-bound nodes, and --progress streams phase/incumbent/
+node events to stderr.
+
 The LP engine factorizes the simplex basis; `--lp-basis` picks the
 backend: `lu` (sparse LU + eta updates, default) or `dense` (explicit
 inverse, reference).
 
 `serve` runs the mapsrv daemon: a JSON-lines TCP protocol with submit /
-poll / result / stats / shutdown verbs, a sharded work-stealing job
-queue, and a content-addressed solution cache. `batch` pushes a set of
-instances through the same queue — in-process by default, or against a
-running daemon with --addr — and prints a per-instance summary table.
+poll / result / cancel / stats / shutdown verbs, a sharded work-stealing
+job queue, and a content-addressed solution cache. `batch` pushes a set
+of instances through the same queue — in-process by default, or against
+a running daemon with --addr — and prints a per-instance summary table;
+--job-deadline-secs attaches a per-job deadline to every submission.
 
 Retention (bounded daemon memory): --cache-cap bounds live cached
 solutions (LRU eviction; default 4096, 0 = unbounded), --retain-jobs
 bounds terminal job records per record shard (default 1024, 0 =
 unbounded), --retain-secs additionally expires terminal records by
-age. Polling a pruned job id returns the structured state `expired`.
-`batch --stream N --distinct D` cycles N submissions through D
-distinct instances to exercise eviction and re-solve paths.
+age (swept opportunistically on submit and on job completion, not just
+on the stats verb). Polling a pruned job id returns the structured
+state `expired`. `batch --stream N --distinct D` cycles N submissions
+through D distinct instances to exercise eviction and re-solve paths.
 
 Exit codes: 0 ok, 1 internal failure, 2 usage error, 3 malformed input,
-4 infeasible instance.
+4 infeasible instance, 5 deadline exceeded or cancelled.
 ";
+
+/// Per-subcommand `--help` text (golden-tested; see
+/// `crates/cli/tests/help_golden.rs`).
+fn subcommand_help(cmd: &str) -> Option<&'static str> {
+    Some(match cmd {
+        "solve" | "map" => {
+            "\
+gmm solve — map a design onto a board (alias: gmm map)
+
+USAGE:
+  gmm solve --design <d.json> --board <b.json> [options]
+
+OPTIONS:
+  --design <file>       design JSON (required)
+  --board <file>        board JSON (required)
+  --complete            one-step complete formulation (Table 3 baseline)
+  --parallel N          work-stealing parallel branch-and-bound, N threads
+  --overlap             lifetime-based capacity modification
+  --ilp-detailed        ILP detailed mapper instead of the constructive packer
+  --lp-basis dense|lu   simplex basis factorization backend (default lu)
+  --deadline-secs T     wall-clock budget; past it the solve stops and
+                        reports termination `deadline-exceeded` (exit 5)
+  --node-budget N       branch-and-bound node budget across the session
+  --progress            stream phase/incumbent/node events to stderr
+  --out <file>          write the detailed mapping JSON
+
+Exit codes: 0 ok, 1 internal, 2 usage, 3 bad input, 4 infeasible,
+5 deadline exceeded or cancelled."
+        }
+        "gen" => {
+            "\
+gmm gen — generate designs and boards
+
+USAGE:
+  gmm gen design --segments N [--seed S] [--out <f.json>]
+  gmm gen board (--device XCV1000 [--srams N] | --table3-point I) [--out f]
+  gmm gen kernel <fir|conv2d|fft|matmul|histogram> [--out <f.json>]"
+        }
+        "simulate" => {
+            "\
+gmm simulate — map a design and replay an access trace on the result
+
+USAGE:
+  gmm simulate --design <d.json> --board <b.json> [--random N]
+
+OPTIONS:
+  --random N   replay N random accesses instead of the profile trace"
+        }
+        "validate" => {
+            "\
+gmm validate — check a detailed mapping against a design and board
+
+USAGE:
+  gmm validate --design <d.json> --board <b.json> --mapping <m.json>
+               [--max-sharing N]
+
+OPTIONS:
+  --max-sharing N   allow up to N segments per port (default 1)"
+        }
+        "export" => {
+            "\
+gmm export — write the global (or complete) ILP in MPS or LP format
+
+USAGE:
+  gmm export --design <d.json> --board <b.json> [--complete]
+             [--format mps|lp] [--out <file>]"
+        }
+        "serve" => {
+            "\
+gmm serve — run the mapsrv batch daemon (JSON-lines over TCP)
+
+USAGE:
+  gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
+            [--cache-cap K] [--retain-jobs N] [--retain-secs T]
+            [--time-limit-secs T]
+
+Verbs: submit (optional deadline_ms) / poll / result / cancel / stats /
+shutdown. Jobs past their deadline answer `deadline`; cancelled jobs
+answer `cancelled`; pruned job ids answer `expired`."
+        }
+        "batch" => {
+            "\
+gmm batch — stream instances through the job queue, print a summary
+
+USAGE:
+  gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
+            [--seed S] [--addr host:port] [--workers N] [--repeat K]
+            [--verify] [--cache-cap K] [--retain-jobs N] [--retain-secs T]
+            [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
+            [--job-deadline-secs T]
+
+OPTIONS:
+  --job-deadline-secs T   per-job solve deadline; jobs past it terminate
+                          in the structured `deadline` state (exit 5 when
+                          any job was deadline'd/cancelled and none failed)
+
+Exit codes: 0 ok, 1 any job failed, 5 deadline'd/cancelled jobs only."
+        }
+        "table1" => "gmm table1 — print the paper's Table 1 device catalog\n\nUSAGE:\n  gmm table1",
+        "table2" => {
+            "\
+gmm table2 — print the paper's Table 2 allocation options
+
+USAGE:
+  gmm table2 [--ports 3] [--depth 16]"
+        }
+        "fig2" => "gmm fig2 — run the paper's Figure 2 worked example\n\nUSAGE:\n  gmm fig2",
+        "table3" => {
+            "\
+gmm table3 — regenerate Table 3 / Figure 4 (complete vs global)
+
+USAGE:
+  gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
+             [--lp-basis dense|lu]"
+        }
+        _ => return None,
+    })
+}
 
 /// Tiny flag parser: `--key value` and boolean `--key`.
 struct Flags<'a> {
@@ -287,58 +440,125 @@ fn backend_from_flags(f: &Flags) -> Result<SolverBackend, CliError> {
     Ok(backend)
 }
 
-fn cmd_map(args: &[String]) -> Result<(), CliError> {
+fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     let f = Flags::new(args);
     let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
     let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
 
-    let mut opts = MapperOptions::new();
-    opts.backend = backend_from_flags(&f)?;
-    opts.overlap_aware = f.has("--overlap");
-    if f.has("--ilp-detailed") {
-        opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
-    }
-    let mapper = Mapper::new(opts);
-
     if f.has("--complete") {
+        // The complete one-step baseline bypasses the two-phase facade,
+        // but the session limits still apply to its (single) MIP solve.
+        let mut opts = MapperOptions::new();
+        opts.backend = backend_from_flags(&f)?;
+        opts.overlap_aware = f.has("--overlap");
+        let mut control = gmm_ilp::control::SolveControl::default();
+        if f.has("--progress") {
+            control.observer = Some(Arc::new(StderrProgress::new()));
+        }
+        let deadline = f.parse_secs("--deadline-secs")?;
+        opts.backend
+            .apply_control(deadline, f.parse::<u64>("--node-budget")?, &control);
         let t0 = Instant::now();
-        let (assignment, stats) = mapper
-            .map_complete(&design, &board)
+        let (assignment, stats, telemetry) = Mapper::new(opts)
+            .map_complete_run(&design, &board)
             .map_err(classify_map_err)?;
+        let elapsed = t0.elapsed();
         println!(
             "complete formulation: {} vars, {} constraints, {} nonzeros",
             stats.variables, stats.constraints, stats.nonzeros
         );
-        println!("solved in {:?}", t0.elapsed());
+        println!("solved in {elapsed:?}");
         print_assignment(&design, &board, &assignment.type_of);
+        // The solver's own stop reason decides the exit: a deadline that
+        // fired mid-solve left a best-effort incumbent, not a proven
+        // optimum — same exit-5 contract as the facade path.
+        if let Some(reason @ (StopReason::Deadline | StopReason::Cancelled)) =
+            telemetry.stop_reason
+        {
+            return Err(CliError::Interrupted(format!(
+                "{} after {elapsed:?}; the assignment above is best-effort, \
+                 not proven optimal",
+                reason.as_str()
+            )));
+        }
         return Ok(());
     }
 
-    let t0 = Instant::now();
-    let out = mapper.map(&design, &board).map_err(classify_map_err)?;
-    println!(
-        "mapped {} segments in {:?} (global {:?}, detailed {:?}, {} retries)",
-        design.num_segments(),
-        t0.elapsed(),
-        out.stats.global_time,
-        out.stats.detailed_time,
-        out.stats.retries
-    );
-    print_assignment(&design, &board, &out.global.type_of);
-    println!(
-        "cost: latency {:.0}, pin-delay {:.0}, pin-io {:.0}",
-        out.cost.latency, out.cost.pin_delay, out.cost.pin_io
-    );
-    println!(
-        "fragments: {}, instances used: {}",
-        out.detailed.fragments.len(),
-        out.detailed.instances_used()
-    );
-    if let Some(path) = f.get("--out") {
-        write_json(path, &out.detailed)?;
-        println!("detailed mapping written to {path}");
+    // Everything else goes through the unified facade.
+    let mut request = MapRequest::new(design.clone(), board.clone())
+        .backend(backend_from_flags(&f)?)
+        .overlap_aware(f.has("--overlap"));
+    if f.has("--ilp-detailed") {
+        request = request.strategy(DetailedStrategy::Ilp(DetailedIlpOptions::default()));
     }
-    Ok(())
+    if let Some(d) = f.parse_secs("--deadline-secs")? {
+        request = request.deadline(d);
+    }
+    if let Some(n) = f.parse::<u64>("--node-budget")? {
+        request = request.node_budget(n);
+    }
+    if f.has("--progress") {
+        request = request.observer(Arc::new(StderrProgress::new()));
+    }
+
+    let report = request.execute().map_err(|e| match e {
+        gmm_api::ApiError::Map(me) => classify_map_err(me),
+        other => CliError::internal(other.to_string()),
+    })?;
+
+    println!(
+        "termination: {} ({} nodes, {} pivots, {} warm-started, {} retries)",
+        report.termination,
+        report.nodes_explored,
+        report.lp_iterations,
+        report.warm_started_nodes,
+        report.retries
+    );
+    if let Some(out) = &report.outcome {
+        println!(
+            "mapped {} segments in {:?} (global {:?}, detailed {:?})",
+            design.num_segments(),
+            report.total_time,
+            report.global_time,
+            report.detailed_time,
+        );
+        print_assignment(&design, &board, &out.global.type_of);
+        println!(
+            "cost: latency {:.0}, pin-delay {:.0}, pin-io {:.0}",
+            out.cost.latency, out.cost.pin_delay, out.cost.pin_io
+        );
+        println!(
+            "fragments: {}, instances used: {}",
+            out.detailed.fragments.len(),
+            out.detailed.instances_used()
+        );
+        if let Some(path) = f.get("--out") {
+            write_json(path, &out.detailed)?;
+            println!("detailed mapping written to {path}");
+        }
+    }
+    match report.termination {
+        Termination::Optimal | Termination::Feasible => Ok(()),
+        Termination::Infeasible => Err(CliError::Infeasible(
+            report
+                .diagnostic
+                .unwrap_or_else(|| "board cannot host the design".into()),
+        )),
+        Termination::DeadlineExceeded => Err(CliError::Interrupted(format!(
+            "deadline exceeded after {:?} ({} nodes explored{})",
+            report.total_time,
+            report.nodes_explored,
+            if report.outcome.is_some() {
+                "; best-effort mapping printed above"
+            } else {
+                ""
+            }
+        ))),
+        Termination::Cancelled => Err(CliError::Interrupted(format!(
+            "cancelled after {:?}",
+            report.total_time
+        ))),
+    }
 }
 
 fn print_assignment(design: &Design, board: &Board, type_of: &[gmm_arch::BankTypeId]) {
@@ -533,15 +753,14 @@ fn job_config_from_flags(f: &Flags) -> Result<JobConfig, CliError> {
 }
 
 fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
-    let defaults = QueueOptions::default();
-    Ok(QueueOptions {
-        workers: f.parse("--workers")?.unwrap_or(0),
-        cache_shards: f.parse("--cache-shards")?.unwrap_or(defaults.cache_shards),
-        cache_cap: f.parse("--cache-cap")?.unwrap_or(defaults.cache_cap),
-        retain_jobs: f.parse("--retain-jobs")?.unwrap_or(defaults.retain_jobs),
-        retain_age: f.parse_secs("--retain-secs")?,
-        job_time_limit: f.parse_secs("--time-limit-secs")?,
-    })
+    let mut opts = QueueOptions::default();
+    opts.workers = f.parse("--workers")?.unwrap_or(0);
+    opts.cache_shards = f.parse("--cache-shards")?.unwrap_or(opts.cache_shards);
+    opts.cache_cap = f.parse("--cache-cap")?.unwrap_or(opts.cache_cap);
+    opts.retain_jobs = f.parse("--retain-jobs")?.unwrap_or(opts.retain_jobs);
+    opts.retain_age = f.parse_secs("--retain-secs")?;
+    opts.job_time_limit = f.parse_secs("--time-limit-secs")?;
+    Ok(opts)
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
@@ -695,6 +914,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     if verify && repeat < 2 {
         return Err(CliError::usage("--verify needs --repeat 2 or more"));
     }
+    let job_deadline = f.parse_secs("--job-deadline-secs")?;
 
     let t0 = Instant::now();
     let mut rounds: Vec<Vec<BatchRow>> = Vec::with_capacity(repeat);
@@ -727,7 +947,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             let mut jobs = Vec::with_capacity(instances.len());
             for inst in &instances {
                 let (job, _, _) = client
-                    .submit(inst.design.clone(), inst.board.clone(), config.clone())
+                    .submit_with_deadline(
+                        inst.design.clone(),
+                        inst.board.clone(),
+                        config.clone(),
+                        job_deadline,
+                    )
                     .map_err(|e| CliError::internal(e.to_string()))?;
                 jobs.push(job);
             }
@@ -752,11 +977,13 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         }
         if let Ok(s) = client.stats() {
             stats_line = format!(
-                "server: {} submitted, {} done, {} failed, {} pruned; cache {}/{} hits, \
-                 {} entries (cap {}), {} evictions",
+                "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
+                 {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions",
                 s.jobs_submitted,
                 s.jobs_completed,
                 s.jobs_failed,
+                s.jobs_cancelled,
+                s.jobs_deadline,
                 s.jobs_pruned,
                 s.cache_hits,
                 s.cache_hits + s.cache_misses,
@@ -770,7 +997,14 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         for _ in 0..repeat {
             let tickets: Vec<_> = instances
                 .iter()
-                .map(|inst| queue.submit(inst.design.clone(), inst.board.clone(), config.clone()))
+                .map(|inst| {
+                    queue.submit_with_deadline(
+                        inst.design.clone(),
+                        inst.board.clone(),
+                        config.clone(),
+                        job_deadline,
+                    )
+                })
                 .collect();
             if !queue.wait_idle(Duration::from_secs(600)) {
                 return Err(CliError::internal("batch timed out after 600s"));
@@ -794,11 +1028,13 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         }
         let s = queue.stats();
         stats_line = format!(
-            "queue: {} submitted, {} done, {} failed, {} pruned on {} workers; \
-             cache {}/{} hits, {} entries (cap {}), {} evictions",
+            "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
+             {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions",
             s.submitted,
             s.completed,
             s.failed,
+            s.cancelled,
+            s.deadline,
             s.pruned,
             s.workers,
             s.cache.hits,
@@ -875,22 +1111,48 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "{failed} of {total_jobs} jobs failed (see table)"
         )));
     }
+    // Deadline'd/cancelled jobs are structured outcomes, not failures —
+    // but scripts still deserve a dedicated signal (exit 5).
+    let interrupted: usize = rounds
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|r| matches!(r.state, JobState::Deadline | JobState::Cancelled))
+        .count();
+    if interrupted > 0 {
+        return Err(CliError::Interrupted(format!(
+            "{interrupted} of {total_jobs} jobs stopped by deadline/cancellation (see table)"
+        )));
+    }
     Ok(())
 }
 
 /// Check that every repeat round returned byte-identical payloads and that
 /// the cached mapping replays identically in the simulator.
+///
+/// Only `done` rows participate: a deadline'd/cancelled job's best-effort
+/// payload is a function of wall-clock timing, so byte-identity across
+/// rounds is not a promise the service makes for it.
 fn verify_rounds(instances: &[BatchInstance], rounds: &[Vec<BatchRow>]) -> Result<(), CliError> {
     let cold = &rounds[0];
     for (i, inst) in instances.iter().enumerate() {
+        if cold[i].state != JobState::Done {
+            continue; // failed/deadline'd/cancelled cold solves are the caller's report
+        }
         let Some(cold_json) = cold[i].solution_json.as_deref() else {
-            continue; // failed cold solve is reported by the caller
+            continue;
         };
         for round in &rounds[1..] {
+            // A done cold solve is cached; its resubmission must hit the
+            // cache and be done too — anything else is a real anomaly.
             let Some(warm_json) = round[i].solution_json.as_deref() else {
                 return Err(CliError::internal(format!(
-                    "{}: cold solve succeeded but a repeat round failed",
-                    inst.name
+                    "{}: cold solve succeeded but a repeat round {}",
+                    inst.name,
+                    if round[i].state == JobState::Done {
+                        "returned no payload".to_string()
+                    } else {
+                        format!("ended {}", round[i].state.as_str())
+                    }
                 )));
             };
             let cold_detailed = extract_detailed(cold_json, &inst.name)?;

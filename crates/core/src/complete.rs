@@ -265,12 +265,44 @@ pub fn solve_complete(
     backend: &SolverBackend,
     overlap_aware: bool,
 ) -> Result<(GlobalAssignment, ModelStats), MapError> {
+    solve_complete_with_stats(design, board, pre, matrix, weights, backend, overlap_aware)
+        .map(|(assignment, stats, _)| (assignment, stats))
+}
+
+/// [`solve_complete`] plus the engine's [`crate::global::SolveTelemetry`],
+/// so callers can distinguish a proven optimum from a limit-truncated
+/// feasible incumbent (the CLI's `--complete --deadline-secs` path does).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_complete_with_stats(
+    design: &Design,
+    board: &Board,
+    pre: &PreTable,
+    matrix: &CostMatrix,
+    weights: &CostWeights,
+    backend: &SolverBackend,
+    overlap_aware: bool,
+) -> Result<(GlobalAssignment, ModelStats, crate::global::SolveTelemetry), MapError> {
     let cm = build_complete_model(design, board, pre, matrix, weights, overlap_aware)?;
     let result = backend.solve(&cm.model)?;
+    let telemetry = crate::global::SolveTelemetry {
+        status: Some(result.status),
+        nodes_explored: result.nodes_explored,
+        lp_iterations: result.lp_iterations,
+        warm_started_nodes: result.warm_started_nodes,
+        stop_reason: result.stop_reason,
+    };
     match result.status {
         MipStatus::Optimal | MipStatus::Feasible => {}
         MipStatus::Infeasible => return Err(MapError::Infeasible),
-        MipStatus::Unbounded | MipStatus::Unknown => return Err(MapError::NoSolution),
+        MipStatus::Unbounded => return Err(MapError::NoSolution),
+        // Stopped before any integer solution: classify by the stopper.
+        MipStatus::Unknown => {
+            return Err(match result.stop_reason {
+                Some(gmm_ilp::error::StopReason::Deadline) => MapError::Deadline,
+                Some(gmm_ilp::error::StopReason::Cancelled) => MapError::Cancelled,
+                _ => MapError::NoSolution,
+            })
+        }
     }
     let sol = result.best_solution.expect("status has solution");
     let mut type_of = Vec::with_capacity(design.num_segments());
@@ -287,7 +319,7 @@ pub fn solve_complete(
         type_of.push(chosen.expect("uniqueness guarantees a type"));
     }
     let cost = assignment_cost(matrix, &type_of);
-    Ok((GlobalAssignment { type_of, cost }, cm.stats))
+    Ok((GlobalAssignment { type_of, cost }, cm.stats, telemetry))
 }
 
 #[cfg(test)]

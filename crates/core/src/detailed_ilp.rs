@@ -23,6 +23,7 @@ use crate::preprocess::PreTable;
 use gmm_arch::{BankTypeId, Board};
 use gmm_design::Design;
 use gmm_ilp::branch::{solve_mip, MipOptions};
+use gmm_ilp::control::SolveControl;
 use gmm_ilp::model::{LinExpr, Model, Objective, Sense};
 
 /// Options for the ILP detailed mapper.
@@ -35,6 +36,17 @@ pub struct DetailedIlpOptions {
     /// packing model (small slack keeps the model tiny without cutting off
     /// feasible packings).
     pub instance_slack: u32,
+    /// Absolute wall-clock deadline shared by *all* per-type packing
+    /// ILPs; the pipeline injects the session deadline here. Each
+    /// packing solve derives its time limit from what remains when it
+    /// starts, so a board with many bank types cannot overshoot the
+    /// session budget by a per-type factor. Expiry falls back to the
+    /// constructive packer, like the node budget.
+    pub deadline: Option<std::time::Instant>,
+    /// Cancellation/progress bundle; the pipeline injects the session's
+    /// control so a cancel stops the packing ILP within milliseconds
+    /// (and the constructive fallback finishes the job).
+    pub control: SolveControl,
 }
 
 impl Default for DetailedIlpOptions {
@@ -42,6 +54,8 @@ impl Default for DetailedIlpOptions {
         DetailedIlpOptions {
             node_limit: 20_000,
             instance_slack: 3,
+            deadline: None,
+            control: SolveControl::default(),
         }
     }
 }
@@ -165,6 +179,12 @@ fn pack_with_ilp(
 
     let mip = MipOptions {
         node_limit: Some(opts.node_limit),
+        // Re-derive from the absolute deadline at the moment this
+        // packing starts: earlier per-type solves already spent budget.
+        time_limit: opts
+            .deadline
+            .map(|dl| dl.saturating_duration_since(std::time::Instant::now())),
+        control: opts.control.clone(),
         ..MipOptions::default()
     };
     let result = solve_mip(&model, &mip).ok()?;

@@ -15,8 +15,9 @@ use crate::preprocess::PreTable;
 use gmm_arch::{BankTypeId, Board};
 use gmm_design::{Design, SegmentId};
 use gmm_ilp::branch::{solve_mip, MipOptions, MipResult};
+use gmm_ilp::control::SolveControl;
 use gmm_ilp::cuts::{solve_mip_with_cuts, CutOptions};
-use gmm_ilp::error::{IlpError, MipStatus};
+use gmm_ilp::error::{IlpError, MipStatus, StopReason};
 use gmm_ilp::model::{LinExpr, Model, Objective, Sense, VarId};
 use gmm_ilp::parallel::{solve_mip_parallel, ParallelOptions};
 
@@ -69,6 +70,40 @@ impl SolverBackend {
             SolverBackend::Parallel(popts) => popts.mip.simplex.basis,
         }
     }
+
+    /// Mutable access to the underlying MIP options, whichever engine is
+    /// configured.
+    pub fn mip_options_mut(&mut self) -> &mut MipOptions {
+        match self {
+            SolverBackend::Serial(opts) | SolverBackend::SerialWithCuts(opts, _) => opts,
+            SolverBackend::Parallel(popts) => &mut popts.mip,
+        }
+    }
+
+    /// Thread a remaining time budget, node budget, and control bundle
+    /// into the engine options (tightening, never loosening, existing
+    /// limits). The pipeline calls this once per global/detailed retry
+    /// attempt so limits shrink as the retry loop consumes budget.
+    pub fn apply_control(
+        &mut self,
+        time_left: Option<std::time::Duration>,
+        nodes_left: Option<u64>,
+        control: &SolveControl,
+    ) {
+        let mip = self.mip_options_mut();
+        if let Some(t) = time_left {
+            mip.time_limit = Some(mip.time_limit.map_or(t, |existing| existing.min(t)));
+        }
+        if let Some(n) = nodes_left {
+            mip.node_limit = Some(mip.node_limit.map_or(n, |existing| existing.min(n)));
+        }
+        if mip.control.cancel.is_none() {
+            mip.control.cancel = control.cancel.clone();
+        }
+        if mip.control.observer.is_none() {
+            mip.control.observer = control.observer.clone();
+        }
+    }
 }
 
 /// Errors of the mapping pipeline.
@@ -86,6 +121,11 @@ pub enum MapError {
     /// for banks with more than two ports, where the Figure-3 accounting
     /// is conservative but not exact — paper §4.1.1 and §6).
     DetailedFailed { retries: usize },
+    /// The wall-clock deadline expired before any integer solution was
+    /// found (a deadline with a feasible incumbent still returns `Ok`).
+    Deadline,
+    /// The solve's [`gmm_ilp::control::CancelToken`] was cancelled.
+    Cancelled,
 }
 
 impl std::fmt::Display for MapError {
@@ -98,6 +138,8 @@ impl std::fmt::Display for MapError {
             MapError::DetailedFailed { retries } => {
                 write!(f, "detailed mapping failed after {retries} retries")
             }
+            MapError::Deadline => write!(f, "deadline exceeded with no solution"),
+            MapError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }
@@ -106,8 +148,26 @@ impl std::error::Error for MapError {}
 
 impl From<IlpError> for MapError {
     fn from(e: IlpError) -> Self {
-        MapError::Solver(e)
+        match e {
+            IlpError::Deadline => MapError::Deadline,
+            IlpError::Cancelled => MapError::Cancelled,
+            other => MapError::Solver(other),
+        }
     }
+}
+
+/// Solver-side counters of one global ILP solve, accumulated by the
+/// pipeline across retry attempts and surfaced in
+/// [`crate::pipeline::MapStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveTelemetry {
+    /// Final MIP status of the solve (`None` before any solve ran).
+    pub status: Option<MipStatus>,
+    pub nodes_explored: u64,
+    pub lp_iterations: u64,
+    pub warm_started_nodes: u64,
+    /// Why the engine stopped early, if it did.
+    pub stop_reason: Option<StopReason>,
 }
 
 /// A no-good cut: forbid assigning this exact segment set to this type
@@ -251,12 +311,55 @@ pub fn solve_global(
     overlap_aware: bool,
     no_goods: &[NoGood],
 ) -> Result<GlobalAssignment, MapError> {
-    let gm = build_global_model(design, board, pre, matrix, weights, overlap_aware, no_goods)?;
-    let result = backend.solve(&gm.model)?;
+    solve_global_with_stats(design, board, pre, matrix, weights, backend, overlap_aware, no_goods)
+        .map(|(assignment, _)| assignment)
+        .map_err(|(e, _)| e)
+}
+
+/// [`solve_global`] plus the engine's [`SolveTelemetry`]. On failure the
+/// telemetry rides inside the error-side tuple so deadline/cancel
+/// terminations still report how far the search got.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_global_with_stats(
+    design: &Design,
+    board: &Board,
+    pre: &PreTable,
+    matrix: &CostMatrix,
+    weights: &CostWeights,
+    backend: &SolverBackend,
+    overlap_aware: bool,
+    no_goods: &[NoGood],
+) -> Result<(GlobalAssignment, SolveTelemetry), (MapError, SolveTelemetry)> {
+    let gm = match build_global_model(design, board, pre, matrix, weights, overlap_aware, no_goods)
+    {
+        Ok(gm) => gm,
+        Err(e) => return Err((e, SolveTelemetry::default())),
+    };
+    let result = match backend.solve(&gm.model) {
+        Ok(r) => r,
+        Err(e) => return Err((MapError::from(e), SolveTelemetry::default())),
+    };
+    let telemetry = SolveTelemetry {
+        status: Some(result.status),
+        nodes_explored: result.nodes_explored,
+        lp_iterations: result.lp_iterations,
+        warm_started_nodes: result.warm_started_nodes,
+        stop_reason: result.stop_reason,
+    };
     match result.status {
         MipStatus::Optimal | MipStatus::Feasible => {}
-        MipStatus::Infeasible => return Err(MapError::Infeasible),
-        MipStatus::Unbounded | MipStatus::Unknown => return Err(MapError::NoSolution),
+        MipStatus::Infeasible => return Err((MapError::Infeasible, telemetry)),
+        MipStatus::Unbounded => return Err((MapError::NoSolution, telemetry)),
+        MipStatus::Unknown => {
+            // A limit stopped the search before *any* integer solution:
+            // classify by what stopped it.
+            let e = match result.stop_reason {
+                Some(StopReason::Deadline) => MapError::Deadline,
+                Some(StopReason::Cancelled) => MapError::Cancelled,
+                _ => MapError::NoSolution,
+            };
+            return Err((e, telemetry));
+        }
     }
     let x = result.best_solution.expect("status has solution");
     let mut type_of = Vec::with_capacity(design.num_segments());
@@ -273,7 +376,7 @@ pub fn solve_global(
         type_of.push(chosen.expect("uniqueness constraint guarantees a type"));
     }
     let cost = assignment_cost(matrix, &type_of);
-    Ok(GlobalAssignment { type_of, cost })
+    Ok((GlobalAssignment { type_of, cost }, telemetry))
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::error::{IlpError, LpStatus, MipStatus};
+use crate::control::SolveControl;
+use crate::error::{IlpError, LpStatus, MipStatus, StopReason};
 use crate::model::Model;
 use crate::simplex::{solve_lp_warm, SimplexOptions, WarmStart};
 use crate::standard::LpCore;
@@ -61,6 +62,10 @@ pub struct MipOptions {
     /// (skipping phase 1 via a short dual-simplex repair). Disable to
     /// cold-start every node, e.g. for ablation runs.
     pub warm_start: bool,
+    /// Cooperative cancellation and progress reporting. The token is
+    /// polled once per node here and every few pivots inside the LP;
+    /// the observer hears incumbent updates and a node heartbeat.
+    pub control: SolveControl,
 }
 
 impl Default for MipOptions {
@@ -76,6 +81,7 @@ impl Default for MipOptions {
             rounding_heuristic: true,
             diving: true,
             warm_start: true,
+            control: SolveControl::default(),
         }
     }
 }
@@ -97,6 +103,9 @@ pub struct MipResult {
     /// Nodes whose LP accepted a parent warm-start basis and skipped
     /// phase 1 entirely.
     pub warm_started_nodes: u64,
+    /// Why the search stopped early; `None` when the tree was exhausted
+    /// (or the gap target met) normally.
+    pub stop_reason: Option<StopReason>,
     pub wall_time: Duration,
 }
 
@@ -354,6 +363,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 nodes_explored: 0,
                 lp_iterations: 0,
                 warm_started_nodes: 0,
+                stop_reason: None,
                 wall_time: start.elapsed(),
             });
         }
@@ -367,6 +377,9 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             None => dl,
         });
     }
+    if simplex_opts.cancel.is_none() {
+        simplex_opts.cancel = opts.control.cancel.clone();
+    }
 
     let mut pseudo = PseudoCosts::new(n);
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -379,6 +392,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
     let mut lp_iters: u64 = 0;
     let mut warm_nodes: u64 = 0;
     let mut status_limit_hit = false;
+    let mut stop_reason: Option<StopReason> = None;
 
     let root = Node {
         delta: None,
@@ -411,16 +425,24 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
     let mut root_unbounded = false;
 
     loop {
-        // Respect limits.
+        // Respect limits (cancellation first: it is the cheapest check
+        // and the most urgent to honor).
+        if opts.control.is_cancelled() {
+            status_limit_hit = true;
+            stop_reason = Some(StopReason::Cancelled);
+            break;
+        }
         if let Some(tl) = opts.time_limit {
             if start.elapsed() >= tl {
                 status_limit_hit = true;
+                stop_reason = Some(StopReason::Deadline);
                 break;
             }
         }
         if let Some(nl) = opts.node_limit {
             if nodes >= nl {
                 status_limit_hit = true;
+                stop_reason = Some(StopReason::NodeLimit);
                 break;
             }
         }
@@ -447,6 +469,12 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             Ok(s) => s,
             Err(crate::error::IlpError::Deadline) => {
                 status_limit_hit = true;
+                stop_reason = Some(StopReason::Deadline);
+                break;
+            }
+            Err(crate::error::IlpError::Cancelled) => {
+                status_limit_hit = true;
+                stop_reason = Some(StopReason::Cancelled);
                 break;
             }
             Err(e) => return Err(e),
@@ -456,6 +484,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         if sol.warm_started {
             warm_nodes += 1;
         }
+        opts.control.node_tick(nodes);
 
         match sol.status {
             LpStatus::Infeasible => {
@@ -504,6 +533,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                         x[v] = x[v].round();
                     }
                     incumbent = Some(x);
+                    opts.control.incumbent(to_user(incumbent_obj), nodes);
                 }
             }
             Some((bv, xv)) => {
@@ -523,6 +553,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                         if obj < incumbent_obj {
                             incumbent_obj = obj;
                             incumbent = Some(cand);
+                            opts.control.incumbent(to_user(incumbent_obj), nodes);
                         }
                     }
                 }
@@ -532,6 +563,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                         if obj < incumbent_obj {
                             incumbent_obj = obj;
                             incumbent = Some(cand);
+                            opts.control.incumbent(to_user(incumbent_obj), nodes);
                         }
                     }
                 }
@@ -638,6 +670,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             nodes_explored: nodes,
             lp_iterations: lp_iters,
             warm_started_nodes: warm_nodes,
+            stop_reason: None,
             wall_time: wall,
         });
     }
@@ -661,6 +694,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 nodes_explored: nodes,
                 lp_iterations: lp_iters,
                 warm_started_nodes: warm_nodes,
+                stop_reason: if status_limit_hit { stop_reason } else { None },
                 wall_time: wall,
             })
         }
@@ -683,6 +717,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             nodes_explored: nodes,
             lp_iterations: lp_iters,
             warm_started_nodes: warm_nodes,
+            stop_reason: if status_limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),
     }
@@ -909,6 +944,104 @@ mod tests {
             warm.lp_iterations,
             cold.lp_iterations
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_node() {
+        use crate::control::{CancelToken, SolveControl};
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.5)
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let r = solve_mip(
+            &m,
+            &MipOptions {
+                control: SolveControl::with_cancel(token),
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Unknown);
+        assert_eq!(r.stop_reason, Some(crate::error::StopReason::Cancelled));
+        assert_eq!(r.nodes_explored, 0);
+    }
+
+    #[test]
+    fn zero_time_limit_reports_deadline_stop() {
+        let mut m = Model::new();
+        let x = m.add_binary(1.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 1.0).unwrap();
+        let r = solve_mip(
+            &m,
+            &MipOptions {
+                time_limit: Some(Duration::ZERO),
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stop_reason, Some(crate::error::StopReason::Deadline));
+        assert_eq!(r.nodes_explored, 0);
+    }
+
+    #[test]
+    fn node_limit_reports_node_limit_stop() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..12).map(|i| m.add_binary(1.0 + (i % 3) as f64)).collect();
+        m.set_objective_direction(Objective::Maximize);
+        let mut e = crate::model::LinExpr::new();
+        for (i, x) in xs.iter().enumerate() {
+            e.push(*x, 1.0 + (i % 4) as f64);
+        }
+        m.add_constraint(e, Sense::Le, 11.3).unwrap();
+        let r = solve_mip(
+            &m,
+            &MipOptions {
+                node_limit: Some(1),
+                rounding_heuristic: false,
+                diving: false,
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        // The instance needs branching, so one node cannot close the tree.
+        assert_eq!(r.stop_reason, Some(crate::error::StopReason::NodeLimit));
+    }
+
+    #[test]
+    fn observer_hears_incumbents_on_a_clean_solve() {
+        use crate::control::{CollectingObserver, SolveControl};
+        use std::sync::Arc;
+        let obs = Arc::new(CollectingObserver::default());
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Sense::Le, 6.0)
+            .unwrap();
+        let r = solve_mip(
+            &m,
+            &MipOptions {
+                control: SolveControl {
+                    cancel: None,
+                    observer: Some(obs.clone()),
+                },
+                ..MipOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!(r.stop_reason.is_none());
+        let incumbents = obs.incumbents();
+        assert!(!incumbents.is_empty(), "optimal solve must report an incumbent");
+        // The last reported incumbent is the final objective.
+        let (last_obj, _) = incumbents.last().unwrap();
+        assert!((last_obj - r.best_objective.unwrap()).abs() < 1e-6);
     }
 
     #[test]

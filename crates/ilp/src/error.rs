@@ -20,6 +20,8 @@ pub enum IlpError {
     IterationLimit,
     /// The simplex engine hit its wall-clock deadline mid-solve.
     Deadline,
+    /// A [`crate::control::CancelToken`] was cancelled mid-solve.
+    Cancelled,
     /// Numerical trouble the engine could not recover from.
     Numerical(String),
 }
@@ -36,6 +38,7 @@ impl fmt::Display for IlpError {
             IlpError::EmptyModel => write!(f, "model has no variables"),
             IlpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             IlpError::Deadline => write!(f, "simplex wall-clock deadline exceeded"),
+            IlpError::Cancelled => write!(f, "solve cancelled"),
             IlpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
         }
     }
@@ -74,5 +77,29 @@ impl MipStatus {
     /// Whether a usable solution vector is attached to the result.
     pub fn has_solution(self) -> bool {
         matches!(self, MipStatus::Optimal | MipStatus::Feasible)
+    }
+}
+
+/// Why a branch-and-bound run stopped before proving optimality or
+/// infeasibility. `None` in [`crate::branch::MipResult::stop_reason`]
+/// means the tree was exhausted (or the gap target met) normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock limit ([`crate::branch::MipOptions::time_limit`] or
+    /// a simplex deadline) expired.
+    Deadline,
+    /// A [`crate::control::CancelToken`] was cancelled.
+    Cancelled,
+    /// The node budget ([`crate::branch::MipOptions::node_limit`]) ran out.
+    NodeLimit,
+}
+
+impl StopReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+            StopReason::NodeLimit => "node-limit",
+        }
     }
 }

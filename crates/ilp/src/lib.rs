@@ -25,6 +25,7 @@
 
 pub mod branch;
 pub mod brute;
+pub mod control;
 pub mod cuts;
 pub mod error;
 pub mod io;
@@ -35,6 +36,7 @@ pub mod presolve;
 pub mod simplex;
 pub mod standard;
 
-pub use error::{IlpError, LpStatus, MipStatus};
+pub use control::{CancelToken, NullObserver, ProgressObserver, SolveControl};
+pub use error::{IlpError, LpStatus, MipStatus, StopReason};
 pub use linalg::BasisBackend;
 pub use model::{lin, LinExpr, Model, Objective, Sense, VarId, VarKind};

@@ -12,7 +12,7 @@
 //! Determinism note: the *optimal objective* is deterministic; the tie-set
 //! of optimal solutions explored may differ run to run.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,7 +20,7 @@ use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
 
 use crate::branch::{rounding_heuristic, select_branch_var, BranchRule, MipOptions, MipResult, PseudoCosts};
-use crate::error::{IlpError, LpStatus, MipStatus};
+use crate::error::{IlpError, LpStatus, MipStatus, StopReason};
 use crate::model::Model;
 use crate::simplex::{solve_lp_warm, WarmStart};
 use crate::standard::LpCore;
@@ -112,10 +112,29 @@ struct Shared {
     warm_nodes: AtomicU64,
     abort: AtomicBool,
     limit_hit: AtomicBool,
+    /// First stop reason observed (0 = none; see `encode_stop`).
+    stop: AtomicU8,
     error: Mutex<Option<IlpError>>,
     injector: Injector<PNode>,
     start: Instant,
     deadline: Option<Instant>,
+}
+
+fn encode_stop(r: StopReason) -> u8 {
+    match r {
+        StopReason::Deadline => 1,
+        StopReason::Cancelled => 2,
+        StopReason::NodeLimit => 3,
+    }
+}
+
+fn decode_stop(v: u8) -> Option<StopReason> {
+    match v {
+        1 => Some(StopReason::Deadline),
+        2 => Some(StopReason::Cancelled),
+        3 => Some(StopReason::NodeLimit),
+        _ => None,
+    }
 }
 
 impl Shared {
@@ -126,6 +145,18 @@ impl Shared {
         } else {
             v
         }
+    }
+
+    /// Latch the limit flags; the first reason recorded wins.
+    fn hit_limit(&self, reason: StopReason) {
+        self.limit_hit.store(true, Ordering::Release);
+        let _ = self.stop.compare_exchange(
+            0,
+            encode_stop(reason),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.abort.store(true, Ordering::Release);
     }
 }
 
@@ -174,17 +205,18 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
             }
         };
 
-        // Deadline / node limits.
+        // Cancellation / deadline / node limits.
+        if shared.opts.control.is_cancelled() {
+            shared.hit_limit(StopReason::Cancelled);
+        }
         if let Some(dl) = shared.deadline {
             if Instant::now() >= dl {
-                shared.limit_hit.store(true, Ordering::Release);
-                shared.abort.store(true, Ordering::Release);
+                shared.hit_limit(StopReason::Deadline);
             }
         }
         if let Some(nl) = shared.opts.node_limit {
             if shared.nodes.load(Ordering::Acquire) >= nl {
-                shared.limit_hit.store(true, Ordering::Release);
-                shared.abort.store(true, Ordering::Release);
+                shared.hit_limit(StopReason::NodeLimit);
             }
         }
         if shared.abort.load(Ordering::Acquire) {
@@ -203,8 +235,12 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
         let sol = match solve_lp_warm(&shared.core, &lb, &ub, &shared.opts.simplex, warm_basis) {
             Ok(s) => s,
             Err(IlpError::Deadline) => {
-                shared.limit_hit.store(true, Ordering::Release);
-                shared.abort.store(true, Ordering::Release);
+                shared.hit_limit(StopReason::Deadline);
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            Err(IlpError::Cancelled) => {
+                shared.hit_limit(StopReason::Cancelled);
                 shared.outstanding.fetch_sub(1, Ordering::AcqRel);
                 continue;
             }
@@ -215,7 +251,8 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                 continue;
             }
         };
-        shared.nodes.fetch_add(1, Ordering::AcqRel);
+        let node_count = shared.nodes.fetch_add(1, Ordering::AcqRel) + 1;
+        shared.opts.control.node_tick(node_count);
         shared
             .lp_iters
             .fetch_add(sol.iterations as u64, Ordering::AcqRel);
@@ -247,6 +284,10 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                 }
                 if shared.incumbent_obj.fetch_min(node_bound) {
                     *shared.incumbent.lock() = Some(x);
+                    shared
+                        .opts
+                        .control
+                        .incumbent(shared.core.user_objective(node_bound), node_count);
                 }
             }
             Some((bv, xv)) => {
@@ -256,6 +297,10 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
                         let obj = shared.to_internal(shared.model.objective_value(&cand));
                         if shared.incumbent_obj.fetch_min(obj) {
                             *shared.incumbent.lock() = Some(cand);
+                            shared
+                                .opts
+                                .control
+                                .incumbent(shared.core.user_objective(obj), node_count);
                         }
                     }
                 }
@@ -336,6 +381,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
                 nodes_explored: 0,
                 lp_iterations: 0,
                 warm_started_nodes: 0,
+                stop_reason: None,
                 wall_time: start.elapsed(),
             });
         }
@@ -348,6 +394,9 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             Some(existing) => existing.min(dl),
             None => dl,
         });
+    }
+    if mip_opts.simplex.cancel.is_none() {
+        mip_opts.simplex.cancel = mip_opts.control.cancel.clone();
     }
     let shared = Shared {
         core,
@@ -364,6 +413,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         warm_nodes: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
+        stop: AtomicU8::new(0),
         error: Mutex::new(None),
         injector: Injector::new(),
         start,
@@ -391,6 +441,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
     }
 
     let limit_hit = shared.limit_hit.load(Ordering::Acquire);
+    let stop_reason = decode_stop(shared.stop.load(Ordering::Acquire));
     let incumbent = shared.incumbent.lock().take();
     let incumbent_obj = shared.incumbent_obj.load();
     let to_user = |internal: f64| shared.core.user_objective(internal);
@@ -413,6 +464,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
             warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
+            stop_reason: if limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),
         None => Ok(MipResult {
@@ -428,6 +480,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
             warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
+            stop_reason: if limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),
     }
@@ -493,6 +546,27 @@ mod tests {
             .unwrap();
         let r = solve_mip_parallel(&m, &ParallelOptions::default()).unwrap();
         assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn parallel_pre_cancelled_token_stops_immediately() {
+        use crate::control::{CancelToken, SolveControl};
+        let token = CancelToken::new();
+        token.cancel();
+        let m = knapsack(12, 7);
+        let r = solve_mip_parallel(
+            &m,
+            &ParallelOptions {
+                threads: 2,
+                mip: MipOptions {
+                    control: SolveControl::with_cancel(token),
+                    ..MipOptions::default()
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Unknown);
+        assert_eq!(r.stop_reason, Some(crate::error::StopReason::Cancelled));
     }
 
     #[test]

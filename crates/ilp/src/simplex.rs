@@ -73,6 +73,10 @@ pub struct SimplexOptions {
     /// Abort with [`IlpError::Deadline`] past this instant (checked every
     /// few pivots, so a single long LP cannot overshoot a MIP time limit).
     pub deadline: Option<std::time::Instant>,
+    /// Abort with [`IlpError::Cancelled`] once this token is cancelled
+    /// (polled alongside the deadline — one atomic load every few
+    /// pivots, never per-iteration syscalls).
+    pub cancel: Option<crate::control::CancelToken>,
 }
 
 impl Default for SimplexOptions {
@@ -86,6 +90,7 @@ impl Default for SimplexOptions {
             stall_limit: 256,
             basis: BasisBackend::default(),
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -585,6 +590,9 @@ impl<'a> Solver<'a> {
                     return Err(IlpError::Deadline);
                 }
             }
+            if self.opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return Err(IlpError::Cancelled);
+            }
             // Leaving choice: the basic variable with the worst violation.
             let mut leave: Option<(usize, bool)> = None;
             let mut worst = feas_tol;
@@ -834,6 +842,9 @@ impl<'a> Solver<'a> {
                     if std::time::Instant::now() >= dl {
                         return Err(IlpError::Deadline);
                     }
+                }
+                if self.opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(IlpError::Cancelled);
                 }
             }
             // BTRAN: y = B⁻ᵀ c_B.

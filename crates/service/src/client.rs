@@ -105,15 +105,38 @@ impl MapClient {
         board: Board,
         config: JobConfig,
     ) -> Result<(u64, JobState, bool), ClientError> {
+        self.submit_with_deadline(design, board, config, None)
+    }
+
+    /// [`MapClient::submit`] with a per-job solve deadline: past it the
+    /// job terminates in the structured `deadline` state.
+    pub fn submit_with_deadline(
+        &mut self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+    ) -> Result<(u64, JobState, bool), ClientError> {
         match self.roundtrip(&Request::Submit {
             design,
             board,
             config,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
         })? {
             Response::Submitted {
                 job, state, cached, ..
             } => Ok((job, state, cached)),
             other => Err(unexpected("submit", &other)),
+        }
+    }
+
+    /// Cancel a job: a queued job transitions to `cancelled` outright, a
+    /// running job's token is fired (poll until terminal). Returns the
+    /// job's state as of the call.
+    pub fn cancel(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.roundtrip(&Request::Cancel { job })? {
+            Response::CancelState { state, .. } => Ok(state),
+            other => Err(unexpected("cancel", &other)),
         }
     }
 

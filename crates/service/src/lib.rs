@@ -20,8 +20,18 @@
 //!   `QueueOptions::retain_jobs` for the cache and job-record bounds —
 //!   a pruned job id answers with the structured `expired` state);
 //! * [`server`] / [`client`] / [`protocol`] — the `mapsrv` daemon: a
-//!   JSON-lines TCP protocol with `submit` / `poll` / `result` / `stats` /
+//!   JSON-lines TCP protocol with `submit` (optional per-job
+//!   `deadline_ms`) / `poll` / `result` / `cancel` / `stats` /
 //!   `shutdown` verbs.
+//!
+//! Workers execute every job through the `gmm_api::MapRequest` facade —
+//! the same entry point the CLI and library callers use — so per-job
+//! deadlines and cancellation behave identically everywhere: a job past
+//! its deadline terminates in the structured `deadline` state (carrying
+//! the best-effort solution when one existed, uncached), and the
+//! `cancel` verb transitions queued jobs to `cancelled` immediately and
+//! running jobs within milliseconds (the solver polls its token per
+//! branch-and-bound node and every few simplex pivots).
 //!
 //! ## In-process batch solving
 //!
@@ -29,7 +39,9 @@
 //! use gmm_service::{JobConfig, JobQueue, JobState, QueueOptions};
 //! use gmm_workloads::{random_design, RandomDesignSpec};
 //!
-//! let queue = JobQueue::new(QueueOptions { workers: 2, ..QueueOptions::default() });
+//! let mut opts = QueueOptions::default();
+//! opts.workers = 2;
+//! let queue = JobQueue::new(opts);
 //! let design = random_design(&RandomDesignSpec { segments: 4, ..RandomDesignSpec::default() });
 //! let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
 //!

@@ -1,22 +1,31 @@
 //! The `mapsrv` JSON-lines wire protocol.
 //!
 //! One JSON object per line in each direction. Requests carry a `"verb"`
-//! field (`submit`, `poll`, `result`, `stats`, `shutdown`); responses echo
-//! the verb and carry `"ok": true`, or are `{"ok": false, "error": …}`.
+//! field (`submit`, `poll`, `result`, `cancel`, `stats`, `shutdown`);
+//! responses echo the verb and carry `"ok": true`, or are
+//! `{"ok": false, "error": …}`.
 //!
 //! ```text
-//! → {"verb":"submit","design":{…},"board":{…},"config":{…}}
+//! → {"verb":"submit","design":{…},"board":{…},"config":{…},"deadline_ms":5000}
 //! ← {"ok":true,"verb":"submit","job":1,"state":"queued","cached":false,"key":"…"}
 //! → {"verb":"poll","job":1}
 //! ← {"ok":true,"verb":"poll","job":1,"state":"done"}
 //! → {"verb":"result","job":1}
 //! ← {"ok":true,"verb":"result","job":1,"state":"done","cached":false,
 //!    "objective":123.0,"solution":{…},"error":null}
+//! → {"verb":"cancel","job":1}
+//! ← {"ok":true,"verb":"cancel","job":1,"state":"cancelled"}
 //! → {"verb":"stats"}
 //! ← {"ok":true,"verb":"stats","jobs_submitted":…,…}
 //! → {"verb":"shutdown"}
 //! ← {"ok":true,"verb":"shutdown"}
 //! ```
+//!
+//! `deadline_ms` (optional) bounds that one job's solve wall-clock; a
+//! job past its deadline answers `poll` with the structured `deadline`
+//! state. `cancel` transitions a queued job to `cancelled` immediately
+//! and fires a running job's cancellation token (the solver notices
+//! within milliseconds); the response reports the state as of the call.
 //!
 //! The `solution` field of a `result` response embeds the cached canonical
 //! JSON as a raw tree: the deterministic writer guarantees that re-rendering
@@ -41,11 +50,16 @@ pub enum Request {
         design: Design,
         board: Board,
         config: JobConfig,
+        /// Optional per-job solve deadline in milliseconds.
+        deadline_ms: Option<u64>,
     },
     Poll {
         job: u64,
     },
     Result {
+        job: u64,
+    },
+    Cancel {
         job: u64,
     },
     Stats,
@@ -74,6 +88,12 @@ pub enum Response {
         solution: Option<Value>,
         error: Option<String>,
     },
+    /// Answer to `cancel`: the job's state as of the call (`cancelled`
+    /// for a queued job, `running` for one whose token was just fired).
+    CancelState {
+        job: u64,
+        state: JobState,
+    },
     Stats(ServiceStats),
     Error {
         message: String,
@@ -93,6 +113,10 @@ pub struct ServiceStats {
     pub jobs_submitted: u64,
     pub jobs_completed: u64,
     pub jobs_failed: u64,
+    /// Jobs that terminated in the structured `cancelled` state.
+    pub jobs_cancelled: u64,
+    /// Jobs whose per-job/queue-wide deadline expired mid-solve.
+    pub jobs_deadline: u64,
     pub jobs_pruned: u64,
     pub retain_jobs: u64,
     pub cache_hits: u64,
@@ -126,18 +150,31 @@ impl Serialize for Request {
                 design,
                 board,
                 config,
-            } => obj(vec![
-                ("verb", Value::Str("submit".into())),
-                ("design", design.to_value()),
-                ("board", board.to_value()),
-                ("config", config.to_value()),
-            ]),
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("verb", Value::Str("submit".into())),
+                    ("design", design.to_value()),
+                    ("board", board.to_value()),
+                    ("config", config.to_value()),
+                ];
+                // Omitted (not null) when absent, so old servers and
+                // scripted clients are byte-compatible.
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", Value::UInt(*ms)));
+                }
+                obj(pairs)
+            }
             Request::Poll { job } => obj(vec![
                 ("verb", Value::Str("poll".into())),
                 ("job", Value::UInt(*job)),
             ]),
             Request::Result { job } => obj(vec![
                 ("verb", Value::Str("result".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Cancel { job } => obj(vec![
+                ("verb", Value::Str("cancel".into())),
                 ("job", Value::UInt(*job)),
             ]),
             Request::Stats => obj(vec![("verb", Value::Str("stats".into()))]),
@@ -155,11 +192,15 @@ impl Deserialize for Request {
                 board: field(v, "board")?,
                 // Optional so scripted clients can omit solver knobs.
                 config: opt_field(v, "config")?.unwrap_or_default(),
+                deadline_ms: opt_field(v, "deadline_ms")?,
             }),
             "poll" => Ok(Request::Poll {
                 job: field(v, "job")?,
             }),
             "result" => Ok(Request::Result {
+                job: field(v, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
                 job: field(v, "job")?,
             }),
             "stats" => Ok(Request::Stats),
@@ -207,6 +248,12 @@ impl Serialize for Response {
                 ("objective", objective.to_value()),
                 ("solution", solution.clone().unwrap_or(Value::Null)),
                 ("error", error.to_value()),
+            ]),
+            Response::CancelState { job, state } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("cancel".into())),
+                ("job", Value::UInt(*job)),
+                ("state", state.to_value()),
             ]),
             Response::Stats(stats) => {
                 let mut pairs = vec![
@@ -261,6 +308,10 @@ impl Deserialize for Response {
                 },
                 error: opt_field(v, "error")?,
             }),
+            "cancel" => Ok(Response::CancelState {
+                job: field(v, "job")?,
+                state: field(v, "state")?,
+            }),
             "stats" => Ok(Response::Stats(ServiceStats::from_value(v)?)),
             "shutdown" => Ok(Response::Bye),
             other => Err(DeError::new(format!("unknown response verb `{other}`"))),
@@ -295,9 +346,17 @@ mod tests {
     fn submit_round_trips() {
         let (design, board) = tiny_instance();
         round_trip_request(Request::Submit {
+            design: design.clone(),
+            board: board.clone(),
+            config: JobConfig::default(),
+            deadline_ms: None,
+        });
+        // With a per-job deadline attached.
+        round_trip_request(Request::Submit {
             design,
             board,
             config: JobConfig::default(),
+            deadline_ms: Some(2_500),
         });
         round_trip_response(Response::Submitted {
             job: 3,
@@ -305,6 +364,22 @@ mod tests {
             cached: false,
             key: "00ff".into(),
         });
+    }
+
+    #[test]
+    fn submit_without_deadline_omits_the_field() {
+        let (design, board) = tiny_instance();
+        let line = serde_json::to_string(&Request::Submit {
+            design,
+            board,
+            config: JobConfig::default(),
+            deadline_ms: None,
+        })
+        .unwrap();
+        assert!(
+            !line.contains("deadline_ms"),
+            "absent deadline must be omitted, not null: {line}"
+        );
     }
 
     #[test]
@@ -360,6 +435,8 @@ mod tests {
             jobs_submitted: 10,
             jobs_completed: 8,
             jobs_failed: 1,
+            jobs_cancelled: 2,
+            jobs_deadline: 1,
             jobs_pruned: 3,
             retain_jobs: 64,
             cache_hits: 5,
@@ -392,6 +469,46 @@ mod tests {
         // The wire token parses back.
         assert_eq!(JobState::from_name("expired"), Some(JobState::Expired));
         assert!(JobState::Expired.is_terminal());
+    }
+
+    #[test]
+    fn cancel_round_trips() {
+        round_trip_request(Request::Cancel { job: 12 });
+        // Queued job: cancelled outright.
+        round_trip_response(Response::CancelState {
+            job: 12,
+            state: JobState::Cancelled,
+        });
+        // Running job: token fired, state still running as of the call.
+        round_trip_response(Response::CancelState {
+            job: 12,
+            state: JobState::Running,
+        });
+        // Both new terminal states parse from their wire tokens.
+        assert_eq!(JobState::from_name("cancelled"), Some(JobState::Cancelled));
+        assert_eq!(JobState::from_name("deadline"), Some(JobState::Deadline));
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Deadline.is_terminal());
+    }
+
+    #[test]
+    fn deadline_states_round_trip() {
+        round_trip_response(Response::PollState {
+            job: 5,
+            state: JobState::Deadline,
+        });
+        // A deadline'd job may still ship its best-effort solution.
+        round_trip_response(Response::ResultReady {
+            job: 5,
+            state: JobState::Deadline,
+            cached: false,
+            objective: Some(99.0),
+            solution: Some(Value::Object(vec![(
+                "global".to_string(),
+                Value::Array(vec![Value::UInt(1)]),
+            )])),
+            error: Some("job 5 deadline exceeded".into()),
+        });
     }
 
     #[test]

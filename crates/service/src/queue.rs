@@ -13,6 +13,20 @@
 //! [`SolutionCache`]; a hit completes the job instantly with the original
 //! solve's byte-identical payload.
 //!
+//! ## Deadlines and cancellation
+//!
+//! Workers execute jobs through the `gmm_api::MapRequest` facade. Each
+//! job owns a [`CancelToken`] (created at submit): [`JobQueue::cancel`]
+//! fires it, transitioning queued jobs to the structured
+//! [`JobState::Cancelled`] immediately and running jobs when the solver
+//! notices (it polls per branch-and-bound node and every few simplex
+//! pivots). [`JobQueue::submit_with_deadline`] attaches a per-job
+//! wall-clock budget (min-combined with [`QueueOptions::job_time_limit`]);
+//! a job past it terminates in [`JobState::Deadline`], keeping its
+//! best-effort solution when one was found in time. Only *optimal*
+//! terminations enter the cache — a deadline-shaped incumbent is not a
+//! deterministic function of the instance.
+//!
 //! ## Retention
 //!
 //! A long-running daemon must hold **bounded** memory, so both stores the
@@ -43,11 +57,13 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
+use gmm_api::{MapRequest, Termination};
 use gmm_arch::Board;
-use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
-use gmm_core::{CostWeights, DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBackend};
+use gmm_core::pipeline::DetailedStrategy;
+use gmm_core::{DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBackend};
 use gmm_design::Design;
 use gmm_ilp::branch::MipOptions;
+use gmm_ilp::control::CancelToken;
 use gmm_ilp::BasisBackend;
 
 use crate::cache::{CacheEntry, CacheStats, SolutionCache};
@@ -104,14 +120,20 @@ impl Default for JobConfig {
 /// Lifecycle of a job as observed through [`JobQueue::poll`].
 ///
 /// `Expired` is a *lookup* answer, never a stored state: it means the job
-/// reached `Done` or `Failed` long enough ago that its terminal record
-/// was pruned by the retention policy.
+/// reached a terminal state long enough ago that its record was pruned
+/// by the retention policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     Queued,
     Running,
     Done,
     Failed,
+    /// The job was cancelled (while queued, or mid-solve via the
+    /// `cancel` verb); a structured terminal state, not a failure.
+    Cancelled,
+    /// The job's deadline expired mid-solve. The outcome may still carry
+    /// a best-effort solution (uncached).
+    Deadline,
     /// The terminal record was pruned by retention; the outcome is gone.
     Expired,
 }
@@ -123,6 +145,8 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Deadline => "deadline",
             JobState::Expired => "expired",
         }
     }
@@ -133,6 +157,8 @@ impl JobState {
             "running" => Some(JobState::Running),
             "done" => Some(JobState::Done),
             "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            "deadline" => Some(JobState::Deadline),
             "expired" => Some(JobState::Expired),
             _ => None,
         }
@@ -141,7 +167,14 @@ impl JobState {
     /// Whether the job has reached a final state (an expired record was
     /// terminal before it was pruned).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Expired)
+        matches!(
+            self,
+            JobState::Done
+                | JobState::Failed
+                | JobState::Cancelled
+                | JobState::Deadline
+                | JobState::Expired
+        )
     }
 }
 
@@ -153,9 +186,9 @@ impl serde::Serialize for JobState {
 
 impl serde::Deserialize for JobState {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
-        v.as_str()
-            .and_then(JobState::from_name)
-            .ok_or_else(|| serde::DeError::new("expected queued|running|done|failed|expired"))
+        v.as_str().and_then(JobState::from_name).ok_or_else(|| {
+            serde::DeError::new("expected queued|running|done|failed|cancelled|deadline|expired")
+        })
     }
 }
 
@@ -200,6 +233,9 @@ struct Job {
     design: Design,
     board: Board,
     config: JobConfig,
+    /// Per-job wall-clock budget (min-combined with the queue-wide
+    /// [`QueueOptions::job_time_limit`]).
+    deadline: Option<Duration>,
     key: InstanceKey,
 }
 
@@ -211,14 +247,21 @@ struct JobRecord {
     finished: Option<Instant>,
     solution: Option<Arc<CacheEntry>>,
     error: Option<String>,
+    /// Cancels this job's solve; shared with the worker executing it.
+    cancel: CancelToken,
 }
 
 /// Aggregate queue counters.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct QueueStats {
     pub submitted: u64,
     pub completed: u64,
     pub failed: u64,
+    /// Jobs that reached the structured `cancelled` terminal state.
+    pub cancelled: u64,
+    /// Jobs whose per-job (or queue-wide) deadline expired mid-solve.
+    pub deadline: u64,
     /// Terminal job records removed by retention so far.
     pub pruned: u64,
     /// Configured per-record-shard terminal retention (0 = unbounded).
@@ -230,20 +273,25 @@ pub struct QueueStats {
 
 /// Queue construction knobs.
 ///
+/// `#[non_exhaustive]`: start from [`QueueOptions::default`] and assign
+/// the fields you care about, so new knobs never break callers.
+/// Documented defaults: `workers = 0` (auto, capped at 8),
+/// `cache_shards = 16`, `cache_cap = 4096`, `retain_jobs = 1024`,
+/// `retain_age = None`, `job_time_limit = None`.
+///
 /// ```
 /// use gmm_service::QueueOptions;
 ///
 /// // A long-running daemon: ≤ 256 cached solutions, ≤ 32 terminal job
 /// // records per record shard, nothing older than an hour.
-/// let opts = QueueOptions {
-///     cache_cap: 256,
-///     retain_jobs: 32,
-///     retain_age: Some(std::time::Duration::from_secs(3600)),
-///     ..QueueOptions::default()
-/// };
+/// let mut opts = QueueOptions::default();
+/// opts.cache_cap = 256;
+/// opts.retain_jobs = 32;
+/// opts.retain_age = Some(std::time::Duration::from_secs(3600));
 /// assert_eq!(opts.cache_cap, 256);
 /// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct QueueOptions {
     /// Worker thread count; 0 picks the available parallelism (capped at 8
     /// — each worker runs a full serial MIP solve, so oversubscription
@@ -301,6 +349,8 @@ struct Inner {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_hit: AtomicU64,
     pruned: AtomicU64,
     shutdown: AtomicBool,
     /// Bumped on every push into a shard injector; lets idle workers
@@ -364,32 +414,74 @@ impl Inner {
         removed
     }
 
-    /// Mark a job terminal, store its result, run retention, and wake
-    /// every waiter.
-    fn finish(&self, id: u64, result: Result<Arc<CacheEntry>, String>, cached: bool) {
-        let sync = self.record_shard(id);
-        {
-            let mut shard = sync.state.lock();
-            let Some(r) = shard.records.get_mut(&id) else { return };
-            r.finished = Some(Instant::now());
-            r.cached = cached;
-            match result {
-                Ok(entry) => {
-                    r.state = JobState::Done;
-                    r.solution = Some(entry);
-                    self.completed.fetch_add(1, Ordering::AcqRel);
-                }
-                Err(msg) => {
-                    r.state = JobState::Failed;
-                    r.error = Some(msg);
-                    self.failed.fetch_add(1, Ordering::AcqRel);
-                }
-            }
-            shard.terminal.push_back(id);
-            self.prune_locked(&mut shard);
+    /// The terminal-transition protocol, under the caller's shard lock:
+    /// store the result, count it, append to the completion-order list,
+    /// run retention. Returns whether the transition happened — a no-op
+    /// (`false`) if the record is already terminal (e.g. a
+    /// cancelled-while-queued job raced the worker) or was pruned, so
+    /// terminal counters never double-count. The caller must notify the
+    /// shard condvar and the idle condvar after dropping the lock iff
+    /// this returns `true`.
+    fn finish_locked(
+        &self,
+        shard: &mut RecordShard,
+        id: u64,
+        state: JobState,
+        solution: Option<Arc<CacheEntry>>,
+        error: Option<String>,
+        cached: bool,
+    ) -> bool {
+        debug_assert!(state.is_terminal() && state != JobState::Expired);
+        let Some(r) = shard.records.get_mut(&id) else {
+            return false;
+        };
+        if r.state.is_terminal() {
+            return false;
         }
-        sync.cond.notify_all();
-        self.notify_idle();
+        r.finished = Some(Instant::now());
+        r.cached = cached;
+        r.state = state;
+        r.solution = solution;
+        r.error = error;
+        match state {
+            JobState::Done => self.completed.fetch_add(1, Ordering::AcqRel),
+            JobState::Failed => self.failed.fetch_add(1, Ordering::AcqRel),
+            JobState::Cancelled => self.cancelled.fetch_add(1, Ordering::AcqRel),
+            JobState::Deadline => self.deadline_hit.fetch_add(1, Ordering::AcqRel),
+            _ => unreachable!("finish requires a storable terminal state"),
+        };
+        shard.terminal.push_back(id);
+        self.prune_locked(shard);
+        true
+    }
+
+    /// Mark a job terminal in `state`, store its result, run retention,
+    /// and wake every waiter.
+    fn finish(
+        &self,
+        id: u64,
+        state: JobState,
+        solution: Option<Arc<CacheEntry>>,
+        error: Option<String>,
+        cached: bool,
+    ) {
+        let sync = self.record_shard(id);
+        let transitioned = {
+            let mut shard = sync.state.lock();
+            self.finish_locked(&mut shard, id, state, solution, error, cached)
+        };
+        if transitioned {
+            sync.cond.notify_all();
+            self.notify_idle();
+        }
+    }
+
+    /// Sum of jobs in any terminal state (the `wait_idle` drain check).
+    fn terminal_total(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+            + self.failed.load(Ordering::Acquire)
+            + self.cancelled.load(Ordering::Acquire)
+            + self.deadline_hit.load(Ordering::Acquire)
     }
 
     /// Wake `wait_idle` callers. Taking the idle lock (even empty) before
@@ -473,6 +565,8 @@ impl JobQueue {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_hit: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
@@ -517,6 +611,20 @@ impl JobQueue {
     /// job without touching a worker. After [`JobQueue::shutdown`] the job
     /// is recorded as `Failed` immediately — no worker will ever pop it.
     pub fn submit(&self, design: Design, board: Board, config: JobConfig) -> JobTicket {
+        self.submit_with_deadline(design, board, config, None)
+    }
+
+    /// [`JobQueue::submit`] with a per-job wall-clock budget: past it the
+    /// solve terminates in the structured `deadline` state (carrying a
+    /// best-effort solution when one was found in time). Combined (min)
+    /// with the queue-wide [`QueueOptions::job_time_limit`].
+    pub fn submit_with_deadline(
+        &self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+    ) -> JobTicket {
         let key = instance_key(&design, &board, &config);
         let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
         self.inner.submitted.fetch_add(1, Ordering::AcqRel);
@@ -526,22 +634,35 @@ impl JobQueue {
         // any work between allocation and insertion would be a window in
         // which a concurrent poll of this id misreads an in-flight
         // submission as a terminal state.
-        self.inner.record_shard(id).state.lock().records.insert(
-            id,
-            JobRecord {
-                state: JobState::Queued,
-                cached: false,
-                key,
-                submitted: Instant::now(),
-                finished: None,
-                solution: None,
-                error: None,
-            },
-        );
+        {
+            let mut shard = self.inner.record_shard(id).state.lock();
+            shard.records.insert(
+                id,
+                JobRecord {
+                    state: JobState::Queued,
+                    cached: false,
+                    key,
+                    submitted: Instant::now(),
+                    finished: None,
+                    solution: None,
+                    error: None,
+                    cancel: CancelToken::new(),
+                },
+            );
+            // Opportunistic retention tick: sequential ids rotate through
+            // every record shard, so steady submission traffic keeps the
+            // age cap enforced even on a daemon nobody polls for stats.
+            self.inner.prune_locked(&mut shard);
+        }
 
         if self.inner.shutdown.load(Ordering::Acquire) {
-            self.inner
-                .finish(id, Err("queue is shut down".into()), false);
+            self.inner.finish(
+                id,
+                JobState::Failed,
+                None,
+                Some("queue is shut down".into()),
+                false,
+            );
             return JobTicket {
                 id,
                 state: JobState::Failed,
@@ -551,7 +672,7 @@ impl JobQueue {
         }
 
         if let Some(entry) = self.inner.cache.get(key) {
-            self.inner.finish(id, Ok(entry), true);
+            self.inner.finish(id, JobState::Done, Some(entry), None, true);
             return JobTicket {
                 id,
                 state: JobState::Done,
@@ -565,6 +686,7 @@ impl JobQueue {
             design,
             board,
             config,
+            deadline,
             key,
         });
         JobTicket {
@@ -572,6 +694,56 @@ impl JobQueue {
             state: JobState::Queued,
             cached: false,
             key,
+        }
+    }
+
+    /// Cancel a job. Queued jobs transition to the structured
+    /// `cancelled` terminal state immediately; running jobs have their
+    /// [`CancelToken`] fired and transition when the solver notices
+    /// (milliseconds — it polls per node and every few pivots). Already
+    /// terminal jobs are left as they are.
+    ///
+    /// Returns the job's state as of this call (`Cancelled` for a
+    /// queued job, `Running` for an in-flight one, the terminal state
+    /// otherwise); `None` only for ids this queue never issued.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let sync = self.inner.record_shard(id);
+        let mut shard = sync.state.lock();
+        // Fire the token whatever the state (harmless once terminal): a
+        // running solve notices within milliseconds.
+        let state = shard.records.get(&id).map(|r| {
+            r.cancel.cancel();
+            r.state
+        });
+        match state {
+            Some(JobState::Queued) => {
+                // Same terminal-transition protocol as a worker finish;
+                // the worker that eventually pops this job sees a
+                // terminal record and skips it.
+                let transitioned = self.inner.finish_locked(
+                    &mut shard,
+                    id,
+                    JobState::Cancelled,
+                    None,
+                    Some(format!("job {id} cancelled while queued")),
+                    false,
+                );
+                drop(shard);
+                if transitioned {
+                    sync.cond.notify_all();
+                    self.inner.notify_idle();
+                }
+                Some(JobState::Cancelled)
+            }
+            Some(state) => Some(state),
+            None => {
+                drop(shard);
+                match self.inner.lookup(id, |r| r.state) {
+                    Lookup::Found(state) => Some(state),
+                    Lookup::Expired => Some(JobState::Expired),
+                    Lookup::Unknown => None,
+                }
+            }
         }
     }
 
@@ -644,8 +816,7 @@ impl JobQueue {
         let deadline = Instant::now() + timeout;
         let mut guard = self.inner.idle_lock.lock();
         loop {
-            let done = self.inner.completed.load(Ordering::Acquire)
-                + self.inner.failed.load(Ordering::Acquire);
+            let done = self.inner.terminal_total();
             if done >= self.inner.submitted.load(Ordering::Acquire) {
                 return true;
             }
@@ -663,6 +834,8 @@ impl JobQueue {
             submitted: self.inner.submitted.load(Ordering::Acquire),
             completed: self.inner.completed.load(Ordering::Acquire),
             failed: self.inner.failed.load(Ordering::Acquire),
+            cancelled: self.inner.cancelled.load(Ordering::Acquire),
+            deadline: self.inner.deadline_hit.load(Ordering::Acquire),
             pruned: self.inner.pruned.load(Ordering::Relaxed),
             retain_jobs: self.inner.retain_jobs,
             workers: self.num_workers,
@@ -676,8 +849,11 @@ impl JobQueue {
     }
 
     /// Sweep age-based retention across all record shards now. Terminal
-    /// transitions prune opportunistically; a quiet queue can call this
-    /// (the `stats` verb does) so old records do not linger idle.
+    /// transitions and submissions prune their own shard
+    /// opportunistically (sequential ids rotate submissions through
+    /// every shard, so steady traffic keeps age caps enforced without
+    /// anyone calling `stats`); this full sweep is for quiet queues —
+    /// the `stats` verb calls it so old records do not linger idle.
     pub fn sweep_retention(&self) -> u64 {
         let mut removed = 0;
         for sync in &self.inner.records {
@@ -779,52 +955,102 @@ fn worker_loop(me: usize, local: Worker<Job>, inner: &Inner, stealers: &[Stealer
 }
 
 fn process(job: Job, inner: &Inner) {
-    if let Some(r) = inner
-        .record_shard(job.id)
-        .state
-        .lock()
-        .records
-        .get_mut(&job.id)
-    {
-        r.state = JobState::Running;
-    }
+    // Claim the job: only a still-Queued record may start running. A
+    // cancel that landed while the job sat in the deque already made the
+    // record terminal — skip it without touching any counter.
+    let cancel = {
+        let mut shard = inner.record_shard(job.id).state.lock();
+        match shard.records.get_mut(&job.id) {
+            Some(r) if r.state == JobState::Queued => {
+                r.state = JobState::Running;
+                r.cancel.clone()
+            }
+            _ => return,
+        }
+    };
 
     // A duplicate instance may have been solved while this one sat queued;
     // `peek` keeps the hit/miss counters a pure per-submission signal.
     if let Some(entry) = inner.cache.peek(job.key) {
-        inner.finish(job.id, Ok(entry), true);
+        inner.finish(job.id, JobState::Done, Some(entry), None, true);
         return;
     }
 
-    let mut opts = MapperOptions::new();
-    let mut mip = MipOptions {
-        time_limit: inner.job_time_limit,
-        ..MipOptions::default()
-    };
+    // Everything below the queue goes through the one facade the CLI and
+    // in-process callers use, so deadlines and cancellation behave
+    // identically no matter how the solve was started.
+    let mut mip = MipOptions::default();
     mip.simplex.basis = job.config.lp_basis.into();
-    opts.backend = SolverBackend::Serial(mip);
-    opts.overlap_aware = job.config.overlap_aware;
+    let deadline = match (job.deadline, inner.job_time_limit) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let mut request = MapRequest::new(job.design, job.board)
+        .backend(SolverBackend::Serial(mip))
+        .overlap_aware(job.config.overlap_aware)
+        .cancel_token(cancel);
     if job.config.detailed_ilp {
-        opts.detailed = DetailedStrategy::Ilp(DetailedIlpOptions::default());
+        request = request.strategy(DetailedStrategy::Ilp(DetailedIlpOptions::default()));
+    }
+    if let Some(d) = deadline {
+        request = request.deadline(d);
     }
 
-    let result = Mapper::new(opts).map(&job.design, &job.board);
-    match result {
-        Ok(outcome) => {
-            let solution = JobSolution {
-                global: outcome.global,
-                detailed: outcome.detailed,
-            };
-            let entry = CacheEntry {
-                solution_json: canonical_json(&solution),
-                objective: outcome.cost.weighted(&CostWeights::default()),
-            };
-            // First writer wins, so a lost race still hands out the
-            // byte-identical original payload.
-            let stored = inner.cache.insert(job.key, entry);
-            inner.finish(job.id, Ok(stored), false);
+    let report = match request.execute() {
+        Ok(report) => report,
+        Err(e) => {
+            inner.finish(job.id, JobState::Failed, None, Some(e.to_string()), false);
+            return;
         }
-        Err(e) => inner.finish(job.id, Err(e.to_string()), false),
+    };
+    let entry = report.outcome.map(|outcome| {
+        let solution = JobSolution {
+            global: outcome.global,
+            detailed: outcome.detailed,
+        };
+        CacheEntry {
+            solution_json: canonical_json(&solution),
+            objective: report.objective.expect("outcome implies objective"),
+        }
+    });
+    match report.termination {
+        Termination::Optimal => {
+            // First writer wins, so a lost race still hands out the
+            // byte-identical original payload. Only *optimal* solves are
+            // cached: a deadline- or budget-shaped incumbent is not a
+            // deterministic function of the instance.
+            let entry = entry.expect("optimal termination carries an outcome");
+            let stored = inner.cache.insert(job.key, entry);
+            inner.finish(job.id, JobState::Done, Some(stored), None, false);
+        }
+        Termination::Feasible => {
+            inner.finish(job.id, JobState::Done, entry.map(Arc::new), None, false);
+        }
+        Termination::DeadlineExceeded => inner.finish(
+            job.id,
+            JobState::Deadline,
+            entry.map(Arc::new),
+            Some(format!("job {} deadline exceeded", job.id)),
+            false,
+        ),
+        Termination::Cancelled => inner.finish(
+            job.id,
+            JobState::Cancelled,
+            None,
+            Some(format!("job {} cancelled", job.id)),
+            false,
+        ),
+        Termination::Infeasible => inner.finish(
+            job.id,
+            JobState::Failed,
+            None,
+            Some(
+                report
+                    .diagnostic
+                    .unwrap_or_else(|| "board cannot host the design".into()),
+            ),
+            false,
+        ),
     }
 }
 
@@ -947,6 +1173,80 @@ mod tests {
         assert!(out.error.as_deref().unwrap().contains("shut down"));
     }
 
+    /// Second-scale instance, so cancels/deadlines land mid-solve.
+    fn slow_instance() -> (Design, Board) {
+        gmm_workloads::slow_table3_instance()
+    }
+
+    #[test]
+    fn cancel_queued_and_running_jobs_is_structured() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        // Occupy the single worker with a second-scale solve…
+        let (big_design, big_board) = slow_instance();
+        let running = q.submit(big_design, big_board, JobConfig::default());
+        // …then park a second job behind it and cancel it while queued.
+        let (design, board) = small_instance(42);
+        let queued = q.submit(design, board, JobConfig::default());
+        // Give the worker a beat to pop the big job (not the small one:
+        // FIFO within the shard scan, and the big job was pushed first).
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(q.cancel(queued.id), Some(JobState::Cancelled));
+        assert_eq!(q.poll(queued.id), Some(JobState::Cancelled));
+        let out = q.outcome(queued.id).unwrap();
+        assert_eq!(out.state, JobState::Cancelled);
+        assert!(out.error.as_deref().unwrap().contains("cancelled"));
+        assert!(out.solution_json.is_none());
+
+        // Cancelling the running job fires its token; the solver notices
+        // within milliseconds and the job terminates cancelled (or the
+        // solve won the race and finished).
+        let first = q.cancel(running.id).unwrap();
+        assert!(
+            matches!(first, JobState::Running | JobState::Done),
+            "big job should have been running, was {first:?}"
+        );
+        let out = q.wait(running.id, Duration::from_secs(60)).unwrap();
+        assert!(
+            matches!(out.state, JobState::Cancelled | JobState::Done),
+            "unexpected state {:?}",
+            out.state
+        );
+        // Cancelling a terminal job is a no-op reporting its state.
+        assert_eq!(q.cancel(running.id), Some(out.state));
+        assert!(q.cancel(999_999).is_none(), "unissued id");
+
+        let s = q.stats();
+        assert!(s.cancelled >= 1, "stats must count cancellations: {s:?}");
+        assert!(q.wait_idle(Duration::from_secs(60)), "cancelled jobs drain");
+    }
+
+    #[test]
+    fn deadline_job_terminates_in_the_structured_deadline_state() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        let (design, board) = slow_instance();
+        let t = q.submit_with_deadline(
+            design,
+            board,
+            JobConfig::default(),
+            Some(Duration::from_millis(50)),
+        );
+        let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Deadline, "err: {:?}", out.error);
+        assert!(out.error.as_deref().unwrap().contains("deadline"));
+        let s = q.stats();
+        assert_eq!(s.deadline, 1);
+        assert_eq!(s.failed, 0, "a deadline is not a failure");
+        // Deadline-shaped results are never cached.
+        assert_eq!(s.cache.entries, 0);
+        assert!(q.wait_idle(Duration::from_secs(5)));
+    }
+
     #[test]
     fn unknown_job_polls_none() {
         let q = JobQueue::new(QueueOptions {
@@ -1022,6 +1322,36 @@ mod tests {
         let removed = q.sweep_retention();
         assert!(removed >= 1, "aged-out record must be sweepable");
         assert_eq!(q.poll(t.id), Some(JobState::Expired));
+    }
+
+    #[test]
+    fn age_retention_runs_on_submit_without_anyone_calling_stats() {
+        // A daemon that is never polled for stats must still honor
+        // --retain-secs: the submit path prunes the record shard it
+        // touches, and sequential ids rotate through every shard.
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            retain_age: Some(Duration::from_millis(20)),
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(9);
+        let first = q.submit(design.clone(), board.clone(), JobConfig::default());
+        assert_eq!(
+            q.wait(first.id, Duration::from_secs(60)).unwrap().state,
+            JobState::Done
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        // One full lap of the record shards: some later submission lands
+        // in `first`'s shard and its insert-time prune evicts the aged
+        // record. (Cache hits, so these complete instantly.)
+        for _ in 0..RECORD_SHARDS {
+            q.submit(design.clone(), board.clone(), JobConfig::default());
+        }
+        assert_eq!(
+            q.poll(first.id),
+            Some(JobState::Expired),
+            "aged-out record must be pruned by submission traffic alone"
+        );
     }
 
     #[test]

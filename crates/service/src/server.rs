@@ -166,8 +166,10 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
             design,
             board,
             config,
+            deadline_ms,
         } => {
-            let ticket = queue.submit(design, board, config);
+            let deadline = deadline_ms.map(std::time::Duration::from_millis);
+            let ticket = queue.submit_with_deadline(design, board, config, deadline);
             Response::Submitted {
                 job: ticket.id,
                 state: ticket.state,
@@ -200,6 +202,12 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
                 message: format!("unknown job {job}"),
             },
         },
+        Request::Cancel { job } => match queue.cancel(job) {
+            Some(state) => Response::CancelState { job, state },
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
         Request::Stats => {
             // Stats doubles as the idle-time retention tick: age-based
             // pruning otherwise only runs on terminal transitions, so a
@@ -210,6 +218,8 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
                 jobs_submitted: s.submitted,
                 jobs_completed: s.completed,
                 jobs_failed: s.failed,
+                jobs_cancelled: s.cancelled,
+                jobs_deadline: s.deadline,
                 jobs_pruned: s.pruned,
                 retain_jobs: s.retain_jobs as u64,
                 cache_hits: s.cache.hits,

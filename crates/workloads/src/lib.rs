@@ -20,4 +20,6 @@ pub mod table3;
 
 pub use random::{board_from_specs, random_design, RandomDesignSpec, TypeSpec};
 pub use stream::{cycling_instances, stream_instances, CyclingStream, InstanceStream, StreamInstance, StreamSpec};
-pub use table3::{table3_board, table3_design, table3_instance, Table3Point, TABLE3};
+pub use table3::{
+    slow_table3_instance, table3_board, table3_design, table3_instance, Table3Point, TABLE3,
+};

@@ -187,6 +187,22 @@ pub fn table3_instance(index: usize) -> (Design, Board, Table3Point) {
     (table3_design(&point, 0xF00D), table3_board(&point), point)
 }
 
+/// Point 9 scaled ×16: a Table-3-shaped instance whose global ILP runs
+/// for on the order of a *second* on current hardware (the unscaled
+/// points solve in milliseconds through the two-phase pipeline). The
+/// test suite's standard target for deadline and cancellation races —
+/// one place to retune if solver speedups ever make those tests racy.
+pub fn slow_table3_instance() -> (Design, Board) {
+    let p9 = TABLE3[8];
+    let point = Table3Point {
+        segments: p9.segments * 16,
+        banks: p9.banks * 16,
+        ports: p9.ports * 16,
+        ..p9
+    };
+    (table3_design(&point, 0xF00D), table3_board(&point))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,9 +31,18 @@ fn main() {
         );
     }
 
-    // 3. Run the two-phase mapper (global ILP, then detailed placement).
-    let mapper = Mapper::new(MapperOptions::new());
-    let outcome = mapper.map(&design, &board).expect("design fits this board");
+    // 3. Run the two-phase mapper through the solve-session facade
+    //    (global ILP, then detailed placement), bounded to 30 seconds.
+    let report = MapRequest::new(design.clone(), board.clone())
+        .deadline(std::time::Duration::from_secs(30))
+        .execute()
+        .expect("engine failure");
+    println!(
+        "\ntermination: {} in {:?} ({} B&B nodes, {} pivots)",
+        report.termination, report.total_time, report.nodes_explored, report.lp_iterations
+    );
+    assert_eq!(report.termination, Termination::Optimal);
+    let outcome = report.outcome.expect("optimal solves carry a mapping");
 
     // 4. Inspect the global assignment ...
     println!("\nglobal assignment:");

@@ -12,6 +12,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`gmm_api`] | the unified solve-session facade: `MapRequest`/`MapReport`, deadlines, cancellation, progress events |
 //! | [`gmm_core`] | pre-processing (Fig. 2/3), global ILP (§4.1), detailed mappers (§4.2), complete one-step baseline, cost model, pipeline |
 //! | [`gmm_ilp`] | MILP solver: bounded simplex, presolve, serial + work-stealing parallel branch-and-bound, cuts (replaces CPLEX) |
 //! | [`gmm_arch`] | bank types, Table 1 device catalog, boards |
@@ -34,12 +35,19 @@
 //! // The platform: a Virtex part plus two off-chip SRAMs.
 //! let board = Board::prototyping("XCV300", 2).unwrap();
 //!
-//! // Map: global ILP, then detailed placement.
-//! let outcome = Mapper::new(MapperOptions::new()).map(&design, &board).unwrap();
+//! // Map through the solve-session facade: global ILP, then detailed
+//! // placement, with the session bounded to 30 seconds.
+//! let report = MapRequest::new(design.clone(), board.clone())
+//!     .deadline(std::time::Duration::from_secs(30))
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(report.termination, Termination::Optimal);
+//! let outcome = report.outcome.unwrap();
 //! println!("latency cost: {}", outcome.cost.latency);
 //! assert!(validate_detailed(&design, &board, &outcome.detailed).is_empty());
 //! ```
 
+pub use gmm_api as api;
 pub use gmm_arch as arch;
 pub use gmm_core as core;
 pub use gmm_design as design;
@@ -50,6 +58,7 @@ pub use gmm_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use gmm_api::{ApiError, CancelToken, MapReport, MapRequest, ProgressObserver, Termination};
     pub use gmm_arch::{BankType, BankTypeId, Board, BoardBuilder, Placement, RamConfig};
     pub use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions, MappingOutcome};
     pub use gmm_core::{

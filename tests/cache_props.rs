@@ -41,10 +41,11 @@ proptest! {
             detailed: reference.detailed,
         });
 
-        let queue = JobQueue::new(QueueOptions {
-            workers: 1,
-            cache_shards: 4,
-            ..QueueOptions::default()
+        let queue = JobQueue::new({
+            let mut o = QueueOptions::default();
+            o.workers = 1;
+            o.cache_shards = 4;
+            o
         });
 
         // Cold solve through the queue.

@@ -20,10 +20,11 @@ const BATCH: usize = 20;
 const WAIT: Duration = Duration::from_secs(300);
 
 fn start_server() -> (MapServer, MapClient) {
-    let queue = Arc::new(JobQueue::new(QueueOptions {
-        workers: 4,
-        cache_shards: 8,
-        ..QueueOptions::default()
+    let queue = Arc::new(JobQueue::new({
+        let mut o = QueueOptions::default();
+        o.workers = 4;
+        o.cache_shards = 8;
+        o
     }));
     let server = MapServer::start("127.0.0.1:0", queue).expect("bind ephemeral port");
     let client = MapClient::connect(server.local_addr()).expect("connect");
@@ -128,6 +129,67 @@ fn mapsrv_end_to_end_batch_with_cache_hits() {
 
     // Clean shutdown over the wire.
     client.shutdown().expect("shutdown verb");
+    server.join();
+}
+
+#[test]
+fn mapsrv_cancel_verb_and_job_deadlines_over_tcp() {
+    let (server, mut client) = start_server();
+    // Second-scale instance, so the cancel/deadline lands mid-solve.
+    let (design, board) = gmm_workloads::slow_table3_instance();
+
+    // Cancel a running job: submit, let a worker claim it, fire cancel.
+    let (job, _, cached) = client
+        .submit(design.clone(), board.clone(), JobConfig::default())
+        .expect("submit");
+    assert!(!cached);
+    std::thread::sleep(Duration::from_millis(200));
+    let at_call = client.cancel(job).expect("cancel verb");
+    assert!(
+        matches!(
+            at_call,
+            JobState::Running | JobState::Queued | JobState::Cancelled | JobState::Done
+        ),
+        "unexpected cancel-time state {at_call:?}"
+    );
+    // The job must reach a structured terminal state observable via poll
+    // (`cancelled` unless the solve won the race).
+    let out = client.wait(job, WAIT).expect("wait after cancel");
+    assert!(
+        matches!(out.state, JobState::Cancelled | JobState::Done),
+        "unexpected terminal state {:?}",
+        out.state
+    );
+    if out.state == JobState::Cancelled {
+        assert!(out.error.as_deref().unwrap().contains("cancelled"));
+        assert!(out.solution.is_none(), "cancelled jobs ship no payload");
+        let stats = client.stats().expect("stats");
+        assert!(stats.jobs_cancelled >= 1, "stats must count the cancel");
+        assert_eq!(stats.jobs_failed, 0, "cancellation is not a failure");
+    }
+
+    // Cancelling an unknown id is a structured remote error.
+    match client.cancel(424_242) {
+        Err(gmm_service::ClientError::Remote(msg)) => assert!(msg.contains("unknown job")),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    // Per-job deadline over the wire: 50ms against a second-scale solve.
+    let (job2, _, _) = client
+        .submit_with_deadline(
+            design,
+            board,
+            JobConfig::default(),
+            Some(Duration::from_millis(50)),
+        )
+        .expect("submit with deadline");
+    let out2 = client.wait(job2, WAIT).expect("wait for deadline'd job");
+    assert_eq!(out2.state, JobState::Deadline, "err: {:?}", out2.error);
+    assert!(out2.error.as_deref().unwrap().contains("deadline"));
+    let stats = client.stats().expect("stats");
+    assert!(stats.jobs_deadline >= 1);
+
+    client.shutdown().expect("shutdown");
     server.join();
 }
 

@@ -31,12 +31,13 @@ const SUBMISSIONS: usize = 45;
 
 #[test]
 fn eviction_soak_over_tcp_stays_bounded_and_byte_identical() {
-    let queue = Arc::new(JobQueue::new(QueueOptions {
-        workers: 4,
-        cache_shards: 4,
-        cache_cap: CACHE_CAP,
-        retain_jobs: RETAIN_JOBS,
-        ..QueueOptions::default()
+    let queue = Arc::new(JobQueue::new({
+        let mut o = QueueOptions::default();
+        o.workers = 4;
+        o.cache_shards = 4;
+        o.cache_cap = CACHE_CAP;
+        o.retain_jobs = RETAIN_JOBS;
+        o
     }));
     let server = MapServer::start("127.0.0.1:0", queue).expect("bind ephemeral port");
     let mut client = MapClient::connect(server.local_addr()).expect("connect");
@@ -143,11 +144,12 @@ fn eviction_soak_over_tcp_stays_bounded_and_byte_identical() {
 
 #[test]
 fn concurrent_submitters_keep_stats_truthful_under_eviction() {
-    let queue = Arc::new(JobQueue::new(QueueOptions {
-        workers: 4,
-        cache_shards: 4,
-        cache_cap: CACHE_CAP,
-        ..QueueOptions::default()
+    let queue = Arc::new(JobQueue::new({
+        let mut o = QueueOptions::default();
+        o.workers = 4;
+        o.cache_shards = 4;
+        o.cache_cap = CACHE_CAP;
+        o
     }));
 
     // Two submitters race the same cycling pool through the queue: every
