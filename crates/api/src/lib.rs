@@ -55,7 +55,7 @@ mod report;
 mod request;
 
 pub use error::ApiError;
-pub use progress::{LatestProgress, StderrProgress};
+pub use progress::{ForwardProgress, LatestProgress, ProgressEvent, StderrProgress};
 pub use report::{MapReport, Termination};
 pub use request::MapRequest;
 

@@ -1,9 +1,75 @@
-//! Ready-made [`ProgressObserver`] sinks.
+//! Ready-made [`ProgressObserver`] sinks and the value-typed
+//! [`ProgressEvent`] bridge.
 
 use std::sync::Mutex;
 use std::time::Instant;
 
 use gmm_ilp::control::ProgressObserver;
+
+/// One progress notification as a plain value.
+///
+/// [`ProgressObserver`] is a push trait wired straight into the solver's
+/// hot loops; `ProgressEvent` is the same information reified so it can
+/// be queued, sent over a wire, or handed to a closure. The mapsrv
+/// protocol-v2 `watch` stream is built on exactly this bridge: a
+/// [`ForwardProgress`] observer rides inside each queue job and forwards
+/// every event as a value into the server's per-connection event queues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEvent {
+    /// A named pipeline/solver phase began.
+    Phase(&'static str),
+    /// A new best integer-feasible solution was accepted.
+    Incumbent { objective: f64, nodes: u64 },
+    /// Low-frequency node-count heartbeat.
+    Nodes(u64),
+}
+
+/// Observer adapter that forwards each event as a [`ProgressEvent`]
+/// value to a closure — the building block for bridging solver progress
+/// onto channels, event queues, and wire protocols.
+///
+/// ```
+/// use std::sync::Mutex;
+/// use gmm_api::{ForwardProgress, ProgressEvent};
+/// use gmm_ilp::control::ProgressObserver;
+///
+/// let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+/// let sink = seen.clone();
+/// let obs = ForwardProgress::new(move |ev| sink.lock().unwrap().push(ev));
+/// obs.on_phase("global");
+/// obs.on_incumbent(12.5, 64);
+/// assert_eq!(seen.lock().unwrap().len(), 2);
+/// assert_eq!(seen.lock().unwrap()[0], ProgressEvent::Phase("global"));
+/// ```
+pub struct ForwardProgress<F: Fn(ProgressEvent) + Send + Sync> {
+    forward: F,
+}
+
+impl<F: Fn(ProgressEvent) + Send + Sync> ForwardProgress<F> {
+    pub fn new(forward: F) -> Self {
+        ForwardProgress { forward }
+    }
+}
+
+impl<F: Fn(ProgressEvent) + Send + Sync> std::fmt::Debug for ForwardProgress<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ForwardProgress")
+    }
+}
+
+impl<F: Fn(ProgressEvent) + Send + Sync> ProgressObserver for ForwardProgress<F> {
+    fn on_phase(&self, phase: &'static str) {
+        (self.forward)(ProgressEvent::Phase(phase));
+    }
+
+    fn on_incumbent(&self, objective: f64, nodes: u64) {
+        (self.forward)(ProgressEvent::Incumbent { objective, nodes });
+    }
+
+    fn on_nodes(&self, nodes: u64) {
+        (self.forward)(ProgressEvent::Nodes(nodes));
+    }
+}
 
 /// Line-oriented progress sink for terminals: one `stderr` line per
 /// phase transition, incumbent improvement, and node heartbeat, each

@@ -36,6 +36,19 @@ impl Termination {
         }
     }
 
+    /// Parse a [`Termination::as_str`] token back; the wire direction of
+    /// the same mapping (protocol-v2 state events carry these tokens).
+    pub fn from_name(s: &str) -> Option<Termination> {
+        match s {
+            "optimal" => Some(Termination::Optimal),
+            "feasible" => Some(Termination::Feasible),
+            "deadline-exceeded" => Some(Termination::DeadlineExceeded),
+            "cancelled" => Some(Termination::Cancelled),
+            "infeasible" => Some(Termination::Infeasible),
+            _ => None,
+        }
+    }
+
     /// Whether the session produced a usable mapping *guarantee* — note
     /// that [`Termination::DeadlineExceeded`] reports may still carry a
     /// best-effort mapping (check [`MapReport::outcome`]).
@@ -137,7 +150,9 @@ mod tests {
         ] {
             assert_eq!(t.as_str(), s);
             assert_eq!(format!("{t}"), s);
+            assert_eq!(Termination::from_name(s), Some(t), "token {s} must parse back");
         }
+        assert_eq!(Termination::from_name("frobnicated"), None);
         assert!(Termination::Optimal.is_success());
         assert!(!Termination::Cancelled.is_success());
     }

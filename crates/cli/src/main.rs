@@ -46,7 +46,8 @@ use gmm_ilp::branch::MipOptions;
 use gmm_ilp::parallel::ParallelOptions;
 use gmm_ilp::StopReason;
 use gmm_service::{
-    JobConfig, JobQueue, JobState, LpBasis, MapClient, MapServer, QueueOptions,
+    JobConfig, JobEvent, JobQueue, JobState, LpBasis, MapServer, ProgressFrame, QueueOptions,
+    Session, SubmitSpec,
 };
 use gmm_sim::{render_report, simulate_mapping, Trace};
 use gmm_workloads::{
@@ -186,9 +187,9 @@ USAGE:
             [--time-limit-secs T]
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
-            [--verify] [--cache-cap K] [--retain-jobs N] [--retain-secs T]
-            [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
-            [--job-deadline-secs T]
+            [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
+            [--retain-secs T] [--lp-basis dense|lu] [--overlap]
+            [--ilp-detailed] [--job-deadline-secs T]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
@@ -207,12 +208,16 @@ The LP engine factorizes the simplex basis; `--lp-basis` picks the
 backend: `lu` (sparse LU + eta updates, default) or `dense` (explicit
 inverse, reference).
 
-`serve` runs the mapsrv daemon: a JSON-lines TCP protocol with submit /
-poll / result / cancel / stats / shutdown verbs, a sharded work-stealing
-job queue, and a content-addressed solution cache. `batch` pushes a set
-of instances through the same queue — in-process by default, or against
-a running daemon with --addr — and prints a per-instance summary table;
---job-deadline-secs attaches a per-job deadline to every submission.
+`serve` runs the mapsrv daemon: a JSON-lines TCP protocol (v1 verbs
+submit / poll / result / cancel / stats / shutdown, plus the v2 session
+surface: hello handshake, submit_batch, and watch streams pushing state
+and solver-progress events), a sharded work-stealing job queue, and a
+content-addressed solution cache. `batch` pushes a set of instances
+through the same queue — in-process by default, or against a running
+daemon with --addr — over one multiplexed session, waits on the event
+stream (no polling), and prints a per-instance summary table with each
+job's Termination; --job-deadline-secs attaches a per-job deadline to
+every submission, --progress renders live per-job state/phase events.
 
 Retention (bounded daemon memory): --cache-cap bounds live cached
 solutions (LRU eviction; default 4096, 0 = unbounded), --retain-jobs
@@ -302,9 +307,18 @@ USAGE:
             [--cache-cap K] [--retain-jobs N] [--retain-secs T]
             [--time-limit-secs T]
 
-Verbs: submit (optional deadline_ms) / poll / result / cancel / stats /
-shutdown. Jobs past their deadline answer `deadline`; cancelled jobs
-answer `cancelled`; pruned job ids answer `expired`."
+Verbs (v1): submit (optional deadline_ms) / poll / result / cancel /
+stats / shutdown. Jobs past their deadline answer `deadline`; cancelled
+jobs answer `cancelled`; pruned job ids answer `expired`.
+
+Protocol v2 (negotiated per connection, v1 stays available): `hello`
+negotiates {proto:2} and advertises capabilities, `submit_batch` takes
+many jobs per round-trip, and `watch` turns the connection into a
+server-push stream of JSON-lines events — `state` transitions
+(terminal ones carry the full termination) and solver `progress`
+frames. Event delivery is bounded per connection (drop-oldest progress,
+counted in stats as events_dropped), so slow readers never stall
+workers."
         }
         "batch" => {
             "\
@@ -313,14 +327,22 @@ gmm batch — stream instances through the job queue, print a summary
 USAGE:
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
-            [--verify] [--cache-cap K] [--retain-jobs N] [--retain-secs T]
-            [--lp-basis dense|lu] [--overlap] [--ilp-detailed]
-            [--job-deadline-secs T]
+            [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
+            [--retain-secs T] [--lp-basis dense|lu] [--overlap]
+            [--ilp-detailed] [--job-deadline-secs T]
 
 OPTIONS:
+  --progress              render live per-job state/phase/incumbent
+                          events to stderr (local and --addr sessions
+                          both stream; remote events ride the protocol-v2
+                          watch stream)
   --job-deadline-secs T   per-job solve deadline; jobs past it terminate
                           in the structured `deadline` state (exit 5 when
                           any job was deadline'd/cancelled and none failed)
+
+The summary table carries each job's full Termination (optimal /
+feasible / deadline-exceeded / cancelled / infeasible) plus per-round
+termination counts.
 
 Exit codes: 0 ok, 1 any job failed, 5 deadline'd/cancelled jobs only."
         }
@@ -901,8 +923,53 @@ struct BatchRow {
     cached: bool,
     objective: Option<f64>,
     error: Option<String>,
-    /// Full canonical solution JSON (local mode) for verification.
+    /// Full termination of the solve session, when known.
+    termination: Option<Termination>,
+    /// Full canonical solution JSON for verification.
     solution_json: Option<String>,
+}
+
+/// Render one live event to stderr (`batch --progress`).
+fn render_batch_event(ev: &JobEvent, names: &std::collections::HashMap<u64, String>, t0: Instant) {
+    let stamp = t0.elapsed().as_secs_f64();
+    let name = |job: u64| {
+        names
+            .get(&job)
+            .map(String::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    match ev {
+        JobEvent::State {
+            job,
+            state,
+            termination,
+        } => match termination {
+            Some(t) => eprintln!(
+                "[{stamp:>7.3}s] job {job} ({}) state    {} [{}]",
+                name(*job),
+                state.as_str(),
+                t.as_str()
+            ),
+            None => eprintln!(
+                "[{stamp:>7.3}s] job {job} ({}) state    {}",
+                name(*job),
+                state.as_str()
+            ),
+        },
+        JobEvent::Progress { job, frame } => match frame {
+            ProgressFrame::Phase { phase } => {
+                eprintln!("[{stamp:>7.3}s] job {job} ({}) phase    {phase}", name(*job))
+            }
+            ProgressFrame::Incumbent { objective, nodes } => eprintln!(
+                "[{stamp:>7.3}s] job {job} ({}) incumbent {objective:.3} (node {nodes})",
+                name(*job)
+            ),
+            ProgressFrame::Nodes { nodes } => {
+                eprintln!("[{stamp:>7.3}s] job {job} ({}) nodes    {nodes}", name(*job))
+            }
+        },
+    }
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
@@ -915,17 +982,16 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("--verify needs --repeat 2 or more"));
     }
     let job_deadline = f.parse_secs("--job-deadline-secs")?;
+    let progress = f.has("--progress");
+    let round_timeout = Duration::from_secs(600);
 
     let t0 = Instant::now();
-    let mut rounds: Vec<Vec<BatchRow>> = Vec::with_capacity(repeat);
-    let mut stats_line = String::new();
-    // In-process runs own the queue, so its failure counter is
-    // authoritative even when aggressive --retain-jobs prunes a Failed
-    // record to `expired` before this table reads it. (Against --addr the
-    // daemon's counter covers every client, so rows are used instead.)
-    let mut queue_failed: Option<u64> = None;
-
-    if let Some(addr) = f.get("--addr") {
+    // Local and remote runs share one code path: a multiplexed Session
+    // that submits the whole round in one batch, watches every job, and
+    // waits by consuming the event stream — no sleep-polling in either
+    // mode, and remote --progress renders the same live events local
+    // runs see.
+    let mut session = if let Some(addr) = f.get("--addr") {
         for local_only in [
             "--workers",
             "--cache-shards",
@@ -941,95 +1007,82 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                 );
             }
         }
-        let mut client = MapClient::connect(addr)
-            .map_err(|e| CliError::internal(format!("connecting to {addr}: {e}")))?;
-        for _ in 0..repeat {
-            let mut jobs = Vec::with_capacity(instances.len());
-            for inst in &instances {
-                let (job, _, _) = client
-                    .submit_with_deadline(
-                        inst.design.clone(),
-                        inst.board.clone(),
-                        config.clone(),
-                        job_deadline,
-                    )
-                    .map_err(|e| CliError::internal(e.to_string()))?;
-                jobs.push(job);
-            }
-            let mut rows = Vec::with_capacity(jobs.len());
-            for (inst, job) in instances.iter().zip(jobs) {
-                let out = client
-                    .wait(job, Duration::from_secs(600))
-                    .map_err(|e| CliError::internal(e.to_string()))?;
-                rows.push(BatchRow {
-                    name: inst.name.clone(),
-                    state: out.state,
-                    cached: out.cached,
-                    objective: out.objective,
-                    error: out.error,
-                    solution_json: out
-                        .solution
-                        .as_ref()
-                        .map(|s| serde_json::to_string(s).expect("canonical render")),
-                });
-            }
-            rounds.push(rows);
-        }
-        if let Ok(s) = client.stats() {
-            stats_line = format!(
-                "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
-                 {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions",
-                s.jobs_submitted,
-                s.jobs_completed,
-                s.jobs_failed,
-                s.jobs_cancelled,
-                s.jobs_deadline,
-                s.jobs_pruned,
-                s.cache_hits,
-                s.cache_hits + s.cache_misses,
-                s.cache_entries,
-                s.cache_cap,
-                s.cache_evictions
-            );
-        }
+        Session::connect(addr)
+            .map_err(|e| CliError::internal(format!("connecting to {addr}: {e}")))?
     } else {
-        let queue = JobQueue::new(queue_options_from_flags(&f)?);
-        for _ in 0..repeat {
-            let tickets: Vec<_> = instances
+        Session::local(Arc::new(JobQueue::new(queue_options_from_flags(&f)?)))
+    };
+    // Without --progress only state frames are needed (they drive the
+    // waiting); skip generating/shipping solver progress traffic.
+    session.stream_progress(progress);
+
+    let client_err = |e: gmm_service::ClientError| CliError::internal(e.to_string());
+    let mut rounds: Vec<Vec<BatchRow>> = Vec::with_capacity(repeat);
+    for _ in 0..repeat {
+        let specs: Vec<SubmitSpec> = instances
+            .iter()
+            .map(|inst| {
+                let mut spec = SubmitSpec::new(
+                    inst.design.clone(),
+                    inst.board.clone(),
+                    config.clone(),
+                );
+                if let Some(d) = job_deadline {
+                    spec = spec.deadline_ms(d.as_millis() as u64);
+                }
+                spec
+            })
+            .collect();
+        let receipts = session.submit_batch(specs).map_err(client_err)?;
+        session.watch_all().map_err(client_err)?;
+        if progress {
+            let names: std::collections::HashMap<u64, String> = receipts
                 .iter()
-                .map(|inst| {
-                    queue.submit_with_deadline(
-                        inst.design.clone(),
-                        inst.board.clone(),
-                        config.clone(),
-                        job_deadline,
-                    )
-                })
+                .zip(&instances)
+                .map(|(r, inst)| (r.job, inst.name.clone()))
                 .collect();
-            if !queue.wait_idle(Duration::from_secs(600)) {
-                return Err(CliError::internal("batch timed out after 600s"));
-            }
-            let rows = instances
-                .iter()
-                .zip(tickets)
-                .map(|(inst, t)| {
-                    let out = queue.outcome(t.id).expect("submitted job is known");
-                    BatchRow {
-                        name: inst.name.clone(),
-                        state: out.state,
-                        cached: out.cached,
-                        objective: out.objective,
-                        error: out.error,
-                        solution_json: out.solution_json.map(|e| e.solution_json.clone()),
-                    }
-                })
-                .collect();
-            rounds.push(rows);
+            session
+                .for_each_event(round_timeout, |ev| render_batch_event(ev, &names, t0))
+                .map_err(client_err)?;
         }
+        let outcomes = session.wait_all(round_timeout).map_err(|e| match e {
+            gmm_service::ClientError::Expired { pending } => CliError::internal(format!(
+                "batch timed out after {}s with {pending} job(s) unfinished",
+                round_timeout.as_secs()
+            )),
+            other => client_err(other),
+        })?;
+        let rows = instances
+            .iter()
+            .zip(outcomes)
+            .map(|(inst, out)| BatchRow {
+                name: inst.name.clone(),
+                state: out.state,
+                cached: out.cached,
+                objective: out.objective,
+                error: out.error,
+                termination: out.termination,
+                solution_json: out
+                    .solution
+                    .as_ref()
+                    .map(|s| serde_json::to_string(s).expect("canonical render")),
+            })
+            .collect();
+        rounds.push(rows);
+    }
+
+    // In-process runs own the queue, so its failure counter is
+    // authoritative even when aggressive --retain-jobs prunes a Failed
+    // record to `expired` before this table reads it. (Against --addr the
+    // daemon's counter covers every client, so rows are used instead.)
+    let mut queue_failed: Option<u64> = None;
+    let stats_line = if let Some(queue) = session.queue().cloned() {
         let s = queue.stats();
-        stats_line = format!(
+        queue_failed = Some(s.failed);
+        let line = format!(
             "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
-             {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions",
+             {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions; \
+             {} events dropped",
             s.submitted,
             s.completed,
             s.failed,
@@ -1041,31 +1094,74 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.cache.hits + s.cache.misses,
             s.cache.entries,
             s.cache.capacity,
-            s.cache.evictions
+            s.cache.evictions,
+            s.events_dropped,
         );
-        queue_failed = Some(s.failed);
         queue.shutdown();
-    }
+        line
+    } else if let Ok(s) = session.stats() {
+        format!(
+            "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
+             {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions; \
+             conns v1/v2 {}/{}, {} events dropped",
+            s.jobs_submitted,
+            s.jobs_completed,
+            s.jobs_failed,
+            s.jobs_cancelled,
+            s.jobs_deadline,
+            s.jobs_pruned,
+            s.cache_hits,
+            s.cache_hits + s.cache_misses,
+            s.cache_entries,
+            s.cache_cap,
+            s.cache_evictions,
+            s.proto_versions.v1,
+            s.proto_versions.v2,
+            s.events_dropped,
+        )
+    } else {
+        String::new()
+    };
     let elapsed = t0.elapsed();
 
     // Per-instance table (final round's states; cache column counts rounds).
     println!(
-        "{:<28} {:>8} {:>7} {:>14}  note",
-        "instance", "state", "cached", "objective"
+        "{:<28} {:>8} {:>18} {:>7} {:>14}  note",
+        "instance", "state", "termination", "cached", "objective"
     );
     let last = rounds.last().expect("repeat >= 1");
     for (i, row) in last.iter().enumerate() {
         let cached_rounds = rounds.iter().filter(|r| r[i].cached).count();
         println!(
-            "{:<28} {:>8} {:>4}/{:<2} {:>14}  {}",
+            "{:<28} {:>8} {:>18} {:>4}/{:<2} {:>14}  {}",
             row.name,
             row.state.as_str(),
+            row.termination.map(|t| t.as_str()).unwrap_or("-"),
             cached_rounds,
             rounds.len(),
             row.objective
                 .map(|o| format!("{o:.1}"))
                 .unwrap_or_else(|| "-".into()),
             row.error.as_deref().unwrap_or(""),
+        );
+    }
+    // Per-round termination tallies (the ROADMAP's "Termination in the
+    // batch summary table" item).
+    for (i, round) in rounds.iter().enumerate() {
+        let count = |t: Termination| {
+            round
+                .iter()
+                .filter(|r| r.termination == Some(t))
+                .count()
+        };
+        println!(
+            "round {:>2}: {} optimal, {} feasible, {} deadline, {} cancelled, {} infeasible",
+            i + 1,
+            count(Termination::Optimal),
+            count(Termination::Feasible),
+            count(Termination::DeadlineExceeded),
+            count(Termination::Cancelled),
+            count(Termination::Infeasible),
         );
     }
 

@@ -1,20 +1,38 @@
-//! Blocking JSON-lines client for `mapsrv`.
+//! `mapsrv` clients: the multiplexed protocol-v2 [`Session`] and the
+//! minimal poll-oriented v1 [`MapClient`].
 //!
-//! Used by the CLI `batch` command and the end-to-end tests; the protocol
-//! is plain enough that any language's socket + JSON library can speak it
-//! (see [`crate::protocol`]), this is just the canonical Rust binding.
+//! [`Session`] is what `gmm batch` runs on, local and remote: it
+//! multiplexes many in-flight jobs over one connection (or one
+//! in-process [`JobQueue`]), submits many jobs per round-trip with
+//! `submit_batch`, subscribes to server-push events with `watch`, and
+//! waits by *consuming* the event stream ([`Session::for_each_event`] /
+//! [`Session::wait_all`]) instead of sleeping and polling. Against a
+//! server that does not speak protocol v2 it degrades to poll-based
+//! waiting with capped exponential backoff.
+//!
+//! [`MapClient`] remains the canonical one-verb-at-a-time v1 binding:
+//! the protocol is plain enough that any language's socket + JSON
+//! library can speak it (see [`crate::protocol`]), and `MapClient` is
+//! its reference implementation.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
+use gmm_api::Termination;
 use gmm_arch::Board;
 use gmm_design::Design;
 
-use crate::protocol::{Request, Response, ServiceStats};
-use crate::queue::{JobConfig, JobState};
+use crate::events::{Frame, Popped};
+use crate::protocol::{
+    JobEvent, Request, Response, ServiceStats, SubmitReceipt, SubmitSpec, PROTO_VERSION,
+};
+use crate::queue::{JobConfig, JobQueue, JobState};
+use crate::server::{service_stats, EVENT_QUEUE_CAP};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -26,6 +44,10 @@ pub enum ClientError {
     Remote(String),
     /// [`MapClient::wait`] ran out of time.
     Timeout { job: u64, last_state: JobState },
+    /// A session-level wait ([`Session::wait_all`] /
+    /// [`Session::for_each_event`]) hit its deadline with jobs still
+    /// pending.
+    Expired { pending: usize },
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,6 +58,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Remote(m) => write!(f, "server error: {m}"),
             ClientError::Timeout { job, last_state } => {
                 write!(f, "timed out waiting for job {job} (last state {})", last_state.as_str())
+            }
+            ClientError::Expired { pending } => {
+                write!(f, "session wait timed out with {pending} job(s) not yet terminal")
             }
         }
     }
@@ -60,9 +85,15 @@ pub struct RemoteOutcome {
     /// the canonical byte-identical payload.
     pub solution: Option<Value>,
     pub error: Option<String>,
+    /// Full termination of the solve session, when known: populated from
+    /// terminal `watch` events (v2), from the job record (local
+    /// sessions), and absent over bare v1 polling — the v1 `result`
+    /// response shape carries no termination and is kept byte-stable.
+    pub termination: Option<Termination>,
 }
 
-/// One connection to a `mapsrv` daemon.
+/// One connection to a `mapsrv` daemon (protocol v1: request/response
+/// only, no event streaming).
 pub struct MapClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -163,6 +194,7 @@ impl MapClient {
                 objective,
                 solution,
                 error,
+                termination: None,
             }),
             other => Err(unexpected("result", &other)),
         }
@@ -183,24 +215,761 @@ impl MapClient {
     }
 
     /// Poll until the job is terminal, then fetch its result.
+    ///
+    /// The timeout is measured against one deadline `Instant` armed at
+    /// entry, and the poll interval backs off exponentially (1 ms
+    /// doubling to a 100 ms cap) so long solves do not hammer the
+    /// server with polls.
     pub fn wait(&mut self, job: u64, timeout: Duration) -> Result<RemoteOutcome, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut interval = Duration::from_millis(1);
         loop {
             let state = self.poll(job)?;
             if state.is_terminal() {
                 return self.result(job);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ClientError::Timeout {
                     job,
                     last_state: state,
                 });
             }
-            std::thread::sleep(Duration::from_millis(1));
+            std::thread::sleep(interval.min(deadline - now));
+            interval = (interval * 2).min(Duration::from_millis(100));
         }
     }
 }
 
 fn unexpected(verb: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("unexpected response to `{verb}`: {got:?}"))
+}
+
+/// Which dialect a [`Session`] is speaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Poll-based fallback against a server without v2.
+    V1,
+    /// Negotiated streaming protocol.
+    V2,
+    /// In-process, directly on a [`JobQueue`] (same event machinery as
+    /// v2, no sockets).
+    Local,
+}
+
+/// Incremental line reader over a raw `TcpStream` that survives read
+/// timeouts mid-frame: bytes already received stay buffered, so a
+/// deadline that fires between two halves of a line loses nothing.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Next `\n`-terminated line, or [`ClientError::Expired`] once
+    /// `deadline` passes.
+    fn next_line(&mut self, deadline: Option<Instant>) -> Result<String, ClientError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                return String::from_utf8(line)
+                    .map_err(|_| ClientError::Protocol("non-utf8 frame".into()));
+            }
+            let timeout = match deadline {
+                None => None,
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(ClientError::Expired { pending: 0 });
+                    }
+                    Some(d - now)
+                }
+            };
+            self.stream.set_read_timeout(timeout)?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Protocol("server closed the connection".into()))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(ClientError::Expired { pending: 0 })
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+/// The remote (socket) half of a [`Session`].
+struct RemoteTransport {
+    reader: FrameReader,
+    writer: TcpStream,
+    proto: u64,
+    /// Event frames that arrived while a response was awaited; drained
+    /// by the next event-consuming call.
+    buffered: VecDeque<JobEvent>,
+}
+
+impl RemoteTransport {
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut text = serde_json::to_string(request)
+            .expect("in-tree serde_json cannot fail to render");
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read frames until a *response* arrives, buffering any event
+    /// frames that precede it.
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        loop {
+            let line = self.reader.next_line(None)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match classify(&line)? {
+                ServerFrame::Event(ev) => self.buffered.push_back(ev),
+                ServerFrame::Response(resp) => return Ok(resp),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.read_response()
+    }
+
+    /// Next event frame (buffered or from the wire) before `deadline`.
+    fn next_event(&mut self, deadline: Instant) -> Result<JobEvent, ClientError> {
+        if let Some(ev) = self.buffered.pop_front() {
+            return Ok(ev);
+        }
+        loop {
+            let line = self.reader.next_line(Some(deadline))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match classify(&line)? {
+                ServerFrame::Event(ev) => return Ok(ev),
+                ServerFrame::Response(resp) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unsolicited response in event stream: {resp:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+enum ServerFrame {
+    Response(Response),
+    Event(JobEvent),
+}
+
+/// Split the two server frame families on their tag field.
+fn classify(line: &str) -> Result<ServerFrame, ClientError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| ClientError::Protocol(format!("bad frame: {e}")))?;
+    if value.get("event").is_some() {
+        return serde_json::from_value::<JobEvent>(value)
+            .map(ServerFrame::Event)
+            .map_err(|e| ClientError::Protocol(format!("bad event frame: {e}")));
+    }
+    serde_json::from_value::<Response>(value)
+        .map(ServerFrame::Response)
+        .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))
+}
+
+/// The in-process half of a [`Session`]: the same event machinery a v2
+/// server connection uses, minus the sockets.
+struct LocalTransport {
+    queue: Arc<JobQueue>,
+    outbox: Arc<crate::events::Outbox>,
+    subscription: u64,
+}
+
+enum Transport {
+    Remote(RemoteTransport),
+    Local(LocalTransport),
+}
+
+/// A multiplexed mapsrv session: many in-flight jobs over one
+/// connection (or one in-process queue), waited on by consuming the
+/// server-push event stream instead of polling.
+///
+/// The session tracks every submitted job as *in-flight* until a
+/// [`Session::wait_all`] drains it, so repeat rounds compose naturally:
+/// submit a batch, wait it out, submit the next.
+///
+/// ```no_run
+/// use gmm_service::{JobConfig, Session, SubmitSpec};
+/// # let (design, board) = unimplemented!();
+/// let mut session = Session::connect("127.0.0.1:7171").unwrap();
+/// let receipts = session
+///     .submit_batch(vec![SubmitSpec::new(design, board, JobConfig::default())])
+///     .unwrap();
+/// session.watch(&receipts.iter().map(|r| r.job).collect::<Vec<_>>()).unwrap();
+/// let outcomes = session.wait_all(std::time::Duration::from_secs(60)).unwrap();
+/// assert!(outcomes[0].state.is_terminal());
+/// ```
+pub struct Session {
+    transport: Transport,
+    /// Jobs submitted through this session and not yet drained by
+    /// [`Session::wait_all`], in submission order.
+    inflight: Vec<u64>,
+    /// Jobs subscribed for events, with the last state seen (drives the
+    /// v1 fallback's transition synthesis too).
+    watched: HashMap<u64, JobState>,
+    /// Terminal states observed (from events or polls).
+    terminal: HashMap<u64, (JobState, Option<Termination>)>,
+    /// Whether watches subscribe to solver progress frames (default) or
+    /// state transitions only; see [`Session::stream_progress`].
+    want_progress: bool,
+}
+
+impl Session {
+    /// Connect and negotiate protocol v2. A server that rejects the
+    /// `hello` verb leaves the session in v1 fallback mode (poll-based
+    /// waiting with capped exponential backoff).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Session, ClientError> {
+        Session::connect_with_proto(addr, PROTO_VERSION)
+    }
+
+    /// [`Session::connect`] with an explicit protocol ceiling;
+    /// `max_proto <= 1` skips the handshake entirely and behaves as a
+    /// bare v1 client (useful for compatibility testing).
+    pub fn connect_with_proto(
+        addr: impl ToSocketAddrs,
+        max_proto: u64,
+    ) -> Result<Session, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut transport = RemoteTransport {
+            reader: FrameReader::new(stream),
+            writer,
+            proto: 1,
+            buffered: VecDeque::new(),
+        };
+        if max_proto >= 2 {
+            match transport.roundtrip(&Request::Hello { proto: max_proto }) {
+                Ok(Response::Welcome { proto, .. }) => transport.proto = proto.clamp(1, max_proto),
+                // An older server answers the unknown verb with an
+                // error; that *is* the negotiation — stay on v1.
+                Ok(Response::Error { .. }) | Err(ClientError::Remote(_)) => {}
+                Ok(other) => return Err(unexpected("hello", &other)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Session {
+            transport: Transport::Remote(transport),
+            inflight: Vec::new(),
+            watched: HashMap::new(),
+            terminal: HashMap::new(),
+            want_progress: true,
+        })
+    }
+
+    /// An in-process session over a [`JobQueue`]: the same submit /
+    /// watch / wait surface as a remote session, driven by the same
+    /// bounded event queues, with no sockets involved.
+    pub fn local(queue: Arc<JobQueue>) -> Session {
+        let outbox = queue.make_outbox(EVENT_QUEUE_CAP);
+        let subscription = queue.subscribe(outbox.clone());
+        Session {
+            transport: Transport::Local(LocalTransport {
+                queue,
+                outbox,
+                subscription,
+            }),
+            inflight: Vec::new(),
+            watched: HashMap::new(),
+            terminal: HashMap::new(),
+            want_progress: true,
+        }
+    }
+
+    /// Which dialect this session speaks.
+    pub fn proto(&self) -> Proto {
+        match &self.transport {
+            Transport::Remote(t) if t.proto >= 2 => Proto::V2,
+            Transport::Remote(_) => Proto::V1,
+            Transport::Local(_) => Proto::Local,
+        }
+    }
+
+    /// The in-process queue, when this is a local session.
+    pub fn queue(&self) -> Option<&Arc<JobQueue>> {
+        match &self.transport {
+            Transport::Local(t) => Some(&t.queue),
+            Transport::Remote(_) => None,
+        }
+    }
+
+    /// Jobs submitted and not yet drained by [`Session::wait_all`].
+    pub fn inflight(&self) -> &[u64] {
+        &self.inflight
+    }
+
+    /// Whether watches (including watch-at-submit) subscribe to bridged
+    /// solver progress frames. Defaults to `true`; turn it off when
+    /// only completion matters — state frames still stream (they are
+    /// what `wait_all` consumes), but no per-phase/incumbent/node
+    /// traffic is generated, serialized, or parsed. Applies to
+    /// subsequent `submit_batch`/`watch` calls.
+    pub fn stream_progress(&mut self, on: bool) {
+        self.want_progress = on;
+    }
+
+    /// Submit one instance (see [`Session::submit_batch`]).
+    pub fn submit(&mut self, spec: SubmitSpec) -> Result<SubmitReceipt, ClientError> {
+        Ok(self
+            .submit_batch(vec![spec])?
+            .into_iter()
+            .next()
+            .expect("one receipt per spec"))
+    }
+
+    /// Submit many instances. Over protocol v2 the whole batch rides
+    /// one `submit_batch` frame (one round-trip) and every job is
+    /// **watched from submission** — the server registers it with this
+    /// connection's event stream before a worker can claim it, so even
+    /// a microsecond-scale solve streams its full
+    /// queued→running→terminal sequence and progress frames. Local
+    /// sessions get the same guarantee in-process. Over the v1 fallback
+    /// each spec costs one `submit` round-trip and waiting degrades to
+    /// polls. Receipts come back in submission order and every job
+    /// joins the session's in-flight set.
+    pub fn submit_batch(
+        &mut self,
+        specs: Vec<SubmitSpec>,
+    ) -> Result<Vec<SubmitReceipt>, ClientError> {
+        let want_progress = self.want_progress;
+        let receipts = match &mut self.transport {
+            Transport::Local(t) => specs
+                .into_iter()
+                .map(|spec| {
+                    let deadline = spec.deadline_ms.map(Duration::from_millis);
+                    SubmitReceipt::from(&t.queue.submit_watched(
+                        spec.design,
+                        spec.board,
+                        spec.config,
+                        deadline,
+                        &t.outbox,
+                        want_progress,
+                    ))
+                })
+                .collect::<Vec<_>>(),
+            Transport::Remote(t) if t.proto >= 2 => {
+                match t.roundtrip(&Request::SubmitBatch {
+                    jobs: specs,
+                    watch: true,
+                    progress: want_progress,
+                })? {
+                    Response::Error { message } => return Err(ClientError::Remote(message)),
+                    Response::BatchSubmitted { jobs } => jobs,
+                    other => return Err(unexpected("submit_batch", &other)),
+                }
+            }
+            Transport::Remote(t) => {
+                let mut receipts = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    match t.roundtrip(&Request::Submit {
+                        design: spec.design,
+                        board: spec.board,
+                        config: spec.config,
+                        deadline_ms: spec.deadline_ms,
+                    })? {
+                        Response::Error { message } => return Err(ClientError::Remote(message)),
+                        Response::Submitted {
+                            job,
+                            state,
+                            cached,
+                            key,
+                        } => receipts.push(SubmitReceipt {
+                            job,
+                            state,
+                            cached,
+                            key,
+                        }),
+                        other => return Err(unexpected("submit", &other)),
+                    }
+                }
+                receipts
+            }
+        };
+        self.inflight.extend(receipts.iter().map(|r| r.job));
+        // Streaming transports watched the jobs at submission; mirror
+        // that in the session tables (the v1 fallback set is completed
+        // by `watch`/`wait_all`).
+        if !matches!(self.proto(), Proto::V1) {
+            for r in &receipts {
+                self.watched.entry(r.job).or_insert(JobState::Queued);
+            }
+        }
+        Ok(receipts)
+    }
+
+    /// Subscribe to events for `jobs`. Streaming transports (v2 and
+    /// local) immediately receive one synthetic `state` frame per job
+    /// carrying its current state, then live transitions and bridged
+    /// progress frames; the v1 fallback records the set and synthesizes
+    /// state events from poll transitions inside
+    /// [`Session::for_each_event`]. Returns the ids actually watched.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gmm_service::{JobConfig, JobEvent, JobQueue, QueueOptions, Session, SubmitSpec};
+    /// use gmm_workloads::{random_design, RandomDesignSpec};
+    ///
+    /// let mut opts = QueueOptions::default();
+    /// opts.workers = 1;
+    /// let mut session = Session::local(Arc::new(JobQueue::new(opts)));
+    ///
+    /// let design = random_design(&RandomDesignSpec {
+    ///     segments: 4,
+    ///     ..RandomDesignSpec::default()
+    /// });
+    /// let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
+    /// let receipt = session
+    ///     .submit(SubmitSpec::new(design, board, JobConfig::default()))
+    ///     .unwrap();
+    ///
+    /// session.watch(&[receipt.job]).unwrap();
+    /// let mut states = Vec::new();
+    /// session
+    ///     .for_each_event(std::time::Duration::from_secs(120), |ev| {
+    ///         if let JobEvent::State { state, .. } = ev {
+    ///             states.push(*state);
+    ///         }
+    ///     })
+    ///     .unwrap();
+    /// assert!(states.last().unwrap().is_terminal());
+    /// ```
+    pub fn watch(&mut self, jobs: &[u64]) -> Result<Vec<u64>, ClientError> {
+        let want_progress = self.want_progress;
+        let watching = match &mut self.transport {
+            Transport::Local(t) => {
+                let (watching, _unknown) =
+                    t.outbox
+                        .watch(jobs, want_progress, |id| t.queue.state_snapshot(id));
+                watching
+            }
+            Transport::Remote(t) if t.proto >= 2 => {
+                match t.roundtrip(&Request::Watch {
+                    jobs: jobs.to_vec(),
+                    progress: want_progress,
+                })? {
+                    Response::Error { message } => return Err(ClientError::Remote(message)),
+                    Response::Watching { watching, .. } => watching,
+                    other => return Err(unexpected("watch", &other)),
+                }
+            }
+            // v1: no wire support — poll-based synthesis covers the set.
+            Transport::Remote(_) => jobs.to_vec(),
+        };
+        for &job in &watching {
+            self.watched.entry(job).or_insert(JobState::Queued);
+        }
+        Ok(watching)
+    }
+
+    /// Watch every in-flight job not already watched. On streaming
+    /// transports `submit_batch` watches at submission, so this is
+    /// normally a no-op; it completes the set for the v1 fallback and
+    /// for jobs watched explicitly after the fact. Skipping
+    /// already-tracked jobs also avoids re-snapshotting terminal jobs
+    /// (whose watch entries are retired on delivery).
+    pub fn watch_all(&mut self) -> Result<Vec<u64>, ClientError> {
+        let jobs: Vec<u64> = self
+            .inflight
+            .iter()
+            .copied()
+            .filter(|j| !self.watched.contains_key(j) && !self.terminal.contains_key(j))
+            .collect();
+        if jobs.is_empty() {
+            return Ok(jobs);
+        }
+        self.watch(&jobs)
+    }
+
+    /// Consume events until every watched job is terminal (or the
+    /// deadline, armed once at entry, expires —
+    /// [`ClientError::Expired`]). `on_event` sees every frame: state
+    /// transitions (terminal ones carry the full [`Termination`]) and
+    /// bridged progress frames. On the v1 fallback, state transitions
+    /// are synthesized from polls with capped exponential backoff and
+    /// no progress frames exist.
+    pub fn for_each_event(
+        &mut self,
+        timeout: Duration,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<(), ClientError> {
+        let deadline = Instant::now() + timeout;
+        match &mut self.transport {
+            Transport::Local(t) => loop {
+                if pending_jobs(&self.watched, &self.terminal) == 0 {
+                    return Ok(());
+                }
+                match t.outbox.pop(Some(deadline)) {
+                    Popped::Frame(Frame::Event(ev)) => {
+                        note_event(&mut self.watched, &mut self.terminal, &ev);
+                        on_event(&ev);
+                    }
+                    Popped::Frame(Frame::Response(_)) => {
+                        return Err(ClientError::Protocol(
+                            "response frame in a local session".into(),
+                        ))
+                    }
+                    Popped::TimedOut => {
+                        return Err(ClientError::Expired {
+                            pending: pending_jobs(&self.watched, &self.terminal),
+                        })
+                    }
+                    Popped::Closed => {
+                        return Err(ClientError::Protocol("local outbox closed".into()))
+                    }
+                }
+            },
+            Transport::Remote(t) if t.proto >= 2 => loop {
+                if pending_jobs(&self.watched, &self.terminal) == 0 {
+                    return Ok(());
+                }
+                match t.next_event(deadline) {
+                    Ok(ev) => {
+                        note_event(&mut self.watched, &mut self.terminal, &ev);
+                        on_event(&ev);
+                    }
+                    Err(ClientError::Expired { .. }) => {
+                        return Err(ClientError::Expired {
+                            pending: pending_jobs(&self.watched, &self.terminal),
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            },
+            Transport::Remote(_) => {
+                // v1 fallback: poll with capped exponential backoff,
+                // synthesizing a state event per observed transition.
+                // The backoff resets whenever something moved, so bursts
+                // of completions drain quickly while long solves settle
+                // to one poll sweep per cap interval.
+                let mut interval = Duration::from_millis(1);
+                loop {
+                    let pending: Vec<u64> = self
+                        .watched
+                        .keys()
+                        .copied()
+                        .filter(|j| !self.terminal.contains_key(j))
+                        .collect();
+                    if pending.is_empty() {
+                        return Ok(());
+                    }
+                    let mut moved = false;
+                    for job in pending {
+                        let Transport::Remote(t) = &mut self.transport else {
+                            unreachable!("transport cannot change mid-call")
+                        };
+                        let state = match t.roundtrip(&Request::Poll { job })? {
+                            Response::Error { message } => {
+                                return Err(ClientError::Remote(message))
+                            }
+                            Response::PollState { state, .. } => state,
+                            other => return Err(unexpected("poll", &other)),
+                        };
+                        if self.watched.get(&job) != Some(&state) {
+                            moved = true;
+                            let ev = JobEvent::State {
+                                job,
+                                state,
+                                termination: None,
+                            };
+                            note_event(&mut self.watched, &mut self.terminal, &ev);
+                            on_event(&ev);
+                        }
+                    }
+                    if pending_jobs(&self.watched, &self.terminal) == 0 {
+                        return Ok(());
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ClientError::Expired {
+                            pending: pending_jobs(&self.watched, &self.terminal),
+                        });
+                    }
+                    interval = if moved {
+                        Duration::from_millis(1)
+                    } else {
+                        (interval * 2).min(Duration::from_millis(100))
+                    };
+                    std::thread::sleep(interval.min(deadline - now));
+                }
+            }
+        }
+    }
+
+    /// Wait for every in-flight job to reach a terminal state (watching
+    /// any that are not yet watched), fetch all results, and drain the
+    /// in-flight set. Outcomes come back in submission order with
+    /// `termination` filled from terminal events (v2/local).
+    pub fn wait_all(&mut self, timeout: Duration) -> Result<Vec<RemoteOutcome>, ClientError> {
+        self.watch_all()?;
+        self.for_each_event(timeout, |_| {})?;
+        let jobs = std::mem::take(&mut self.inflight);
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let mut out = self.result(job)?;
+            if out.termination.is_none() {
+                out.termination = self.terminal.get(&job).and_then(|(_, t)| *t);
+            }
+            self.watched.remove(&job);
+            self.terminal.remove(&job);
+            outcomes.push(out);
+        }
+        Ok(outcomes)
+    }
+
+    /// Fetch one job's result (any transport; does not touch the
+    /// in-flight set).
+    pub fn result(&mut self, job: u64) -> Result<RemoteOutcome, ClientError> {
+        match &mut self.transport {
+            Transport::Local(t) => {
+                let out = t
+                    .queue
+                    .outcome(job)
+                    .ok_or_else(|| ClientError::Remote(format!("unknown job {job}")))?;
+                let solution = out
+                    .solution_json
+                    .as_ref()
+                    .map(|entry| {
+                        serde_json::from_str::<Value>(&entry.solution_json)
+                            .expect("cache stores canonical JSON")
+                    });
+                Ok(RemoteOutcome {
+                    job,
+                    state: out.state,
+                    cached: out.cached,
+                    objective: out.objective,
+                    solution,
+                    error: out.error,
+                    termination: out.termination,
+                })
+            }
+            Transport::Remote(t) => match t.roundtrip(&Request::Result { job })? {
+                Response::Error { message } => Err(ClientError::Remote(message)),
+                Response::ResultReady {
+                    job,
+                    state,
+                    cached,
+                    objective,
+                    solution,
+                    error,
+                } => Ok(RemoteOutcome {
+                    job,
+                    state,
+                    cached,
+                    objective,
+                    solution,
+                    error,
+                    termination: self.terminal.get(&job).and_then(|(_, t)| *t),
+                }),
+                other => Err(unexpected("result", &other)),
+            },
+        }
+    }
+
+    /// Cancel a job; returns its state as of the call.
+    pub fn cancel(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match &mut self.transport {
+            Transport::Local(t) => t
+                .queue
+                .cancel(job)
+                .ok_or_else(|| ClientError::Remote(format!("unknown job {job}"))),
+            Transport::Remote(t) => match t.roundtrip(&Request::Cancel { job })? {
+                Response::Error { message } => Err(ClientError::Remote(message)),
+                Response::CancelState { state, .. } => Ok(state),
+                other => Err(unexpected("cancel", &other)),
+            },
+        }
+    }
+
+    /// Service statistics. Local sessions read the queue directly
+    /// (protocol counters are a wire concept and read zero).
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match &mut self.transport {
+            Transport::Local(t) => Ok(service_stats(&t.queue, Default::default())),
+            Transport::Remote(t) => match t.roundtrip(&Request::Stats)? {
+                Response::Error { message } => Err(ClientError::Remote(message)),
+                Response::Stats(s) => Ok(s),
+                other => Err(unexpected("stats", &other)),
+            },
+        }
+    }
+
+    /// Ask a remote server to shut down (local sessions shut their
+    /// queue down directly).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match &mut self.transport {
+            Transport::Local(t) => {
+                t.queue.shutdown();
+                Ok(())
+            }
+            Transport::Remote(t) => match t.roundtrip(&Request::Shutdown)? {
+                Response::Error { message } => Err(ClientError::Remote(message)),
+                Response::Bye => Ok(()),
+                other => Err(unexpected("shutdown", &other)),
+            },
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Transport::Local(t) = &self.transport {
+            t.queue.unsubscribe(t.subscription);
+            t.outbox.close();
+        }
+    }
+}
+
+/// Watched jobs that are not yet terminal.
+fn pending_jobs(
+    watched: &HashMap<u64, JobState>,
+    terminal: &HashMap<u64, (JobState, Option<Termination>)>,
+) -> usize {
+    watched.keys().filter(|j| !terminal.contains_key(j)).count()
+}
+
+/// Track a consumed event in the session's state tables.
+fn note_event(
+    watched: &mut HashMap<u64, JobState>,
+    terminal: &mut HashMap<u64, (JobState, Option<Termination>)>,
+    ev: &JobEvent,
+) {
+    if let JobEvent::State {
+        job,
+        state,
+        termination,
+    } = ev
+    {
+        watched.insert(*job, *state);
+        if state.is_terminal() {
+            terminal.insert(*job, (*state, *termination));
+        }
+    }
 }

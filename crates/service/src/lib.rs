@@ -19,10 +19,16 @@
 //!   holds steady-state memory (see `QueueOptions::cache_cap` and
 //!   `QueueOptions::retain_jobs` for the cache and job-record bounds —
 //!   a pruned job id answers with the structured `expired` state);
-//! * [`server`] / [`client`] / [`protocol`] — the `mapsrv` daemon: a
-//!   JSON-lines TCP protocol with `submit` (optional per-job
-//!   `deadline_ms`) / `poll` / `result` / `cancel` / `stats` /
-//!   `shutdown` verbs.
+//! * [`server`] / [`client`] / [`protocol`] / [`events`] — the `mapsrv`
+//!   daemon: a JSON-lines TCP protocol. The v1 dialect (`submit` with
+//!   optional per-job `deadline_ms`, `poll`, `result`, `cancel`,
+//!   `stats`, `shutdown`) stays available for scripting clients;
+//!   protocol v2 adds a `hello` handshake, many-jobs-per-round-trip
+//!   `submit_batch`, and server-push `watch` streams carrying state
+//!   transitions (with full [`gmm_api::Termination`]s) and bridged
+//!   solver progress, delivered through bounded drop-oldest [`Outbox`]
+//!   queues so slow readers never stall workers. [`Session`] is the
+//!   multiplexed client for both the wire and in-process use.
 //!
 //! Workers execute every job through the `gmm_api::MapRequest` facade —
 //! the same entry point the CLI and library callers use — so per-job
@@ -56,29 +62,43 @@
 //!
 //! ## Over TCP
 //!
+//! A protocol-v2 [`Session`] multiplexes many in-flight jobs over one
+//! connection and waits by consuming the server-push event stream:
+//!
 //! ```no_run
 //! use std::sync::Arc;
-//! use gmm_service::{JobQueue, MapClient, MapServer, QueueOptions, JobConfig};
+//! use gmm_service::{JobConfig, JobQueue, MapServer, QueueOptions, Session, SubmitSpec};
 //!
 //! let queue = Arc::new(JobQueue::new(QueueOptions::default()));
 //! let server = MapServer::start("127.0.0.1:7171", queue).unwrap();
-//! let mut client = MapClient::connect(server.local_addr()).unwrap();
+//! let mut session = Session::connect(server.local_addr()).unwrap();
 //! # let (design, board) = unimplemented!();
-//! let (job, _state, _cached) = client.submit(design, board, JobConfig::default()).unwrap();
-//! let outcome = client.wait(job, std::time::Duration::from_secs(60)).unwrap();
+//! let receipts = session
+//!     .submit_batch(vec![SubmitSpec::new(design, board, JobConfig::default())])
+//!     .unwrap();
+//! let outcomes = session.wait_all(std::time::Duration::from_secs(60)).unwrap();
+//! assert_eq!(outcomes.len(), receipts.len());
 //! ```
+//!
+//! The one-verb-at-a-time v1 [`MapClient`] remains for scripting-shaped
+//! uses and as the reference v1 binding.
 
 pub mod cache;
 pub mod client;
+pub mod events;
 pub mod hash;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{CacheEntry, CacheStats, SolutionCache};
-pub use client::{ClientError, MapClient, RemoteOutcome};
+pub use client::{ClientError, MapClient, Proto, RemoteOutcome, Session};
+pub use events::{Frame, Outbox, Popped};
 pub use hash::{canonical_json, instance_key, normalize_floats, InstanceKey};
-pub use protocol::{Request, Response, ServiceStats};
+pub use protocol::{
+    JobEvent, ProgressFrame, ProtoVersions, Request, Response, ServiceStats, SubmitReceipt,
+    SubmitSpec, CAPABILITIES, PROTO_VERSION,
+};
 pub use queue::{
     JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, QueueOptions,
     QueueStats, RECORD_SHARDS,

@@ -1,9 +1,13 @@
-//! The `mapsrv` JSON-lines wire protocol.
+//! The `mapsrv` JSON-lines wire protocol (v1 verbs + the v2 session
+//! surface).
 //!
 //! One JSON object per line in each direction. Requests carry a `"verb"`
-//! field (`submit`, `poll`, `result`, `cancel`, `stats`, `shutdown`);
-//! responses echo the verb and carry `"ok": true`, or are
-//! `{"ok": false, "error": …}`.
+//! field; responses echo the verb and carry `"ok": true`, or are
+//! `{"ok": false, "error": …}`. A protocol-v2 connection additionally
+//! receives server-push **event** frames (tagged `"event"`, never
+//! `"ok"`) once it `watch`es jobs.
+//!
+//! ## v1 (poll-oriented; the `nc`/scripting dialect — unchanged)
 //!
 //! ```text
 //! → {"verb":"submit","design":{…},"board":{…},"config":{…},"deadline_ms":5000}
@@ -20,6 +24,37 @@
 //! → {"verb":"shutdown"}
 //! ← {"ok":true,"verb":"shutdown"}
 //! ```
+//!
+//! ## v2 (session-oriented, negotiated, streaming)
+//!
+//! ```text
+//! → {"verb":"hello","proto":2}
+//! ← {"ok":true,"verb":"hello","proto":2,"capabilities":["submit_batch",…]}
+//! → {"verb":"submit_batch","jobs":[{"design":{…},"board":{…}}, …]}
+//! ← {"ok":true,"verb":"submit_batch","jobs":[{"job":1,"state":"queued",
+//!    "cached":false,"key":"…"}, …]}
+//! → {"verb":"watch","jobs":[1,2]}
+//! ← {"ok":true,"verb":"watch","watching":[1,2],"unknown":[]}
+//! ← {"event":"state","job":1,"state":"queued"}
+//! ← {"event":"state","job":1,"state":"running"}
+//! ← {"event":"progress","job":1,"phase":"global"}
+//! ← {"event":"progress","job":1,"incumbent":123.0,"nodes":70}
+//! ← {"event":"progress","job":1,"nodes":128}
+//! ← {"event":"state","job":1,"state":"done","termination":"optimal"}
+//! ```
+//!
+//! `hello` negotiates `min(client proto, 2)` and advertises the server's
+//! capability tokens; it is optional — a connection that never says
+//! hello is a v1 connection and sees only request/response frames.
+//! `watch` first answers with a normal response, then emits one
+//! synthetic `state` frame per watched job carrying its *current* state
+//! (so a watcher never misses a transition that happened before the
+//! watch), and from then on streams live transitions and bridged
+//! [`gmm_api::ProgressObserver`] events. Terminal `state` frames carry
+//! the full [`gmm_api::Termination`] token. Event delivery is bounded
+//! per connection: progress frames are dropped oldest-first past the
+//! queue cap (counted in `events_dropped` of `stats`) so a slow reader
+//! can never stall a solver worker; state frames are never dropped.
 //!
 //! `deadline_ms` (optional) bounds that one job's solve wall-clock; a
 //! job past its deadline answers `poll` with the structured `deadline`
@@ -38,20 +73,103 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
+use gmm_api::Termination;
 use gmm_arch::Board;
 use gmm_design::Design;
 
 use crate::queue::{JobConfig, JobState};
 
+/// Highest protocol version this build speaks.
+pub const PROTO_VERSION: u64 = 2;
+
+/// Capability tokens the server advertises in the `hello` response.
+pub const CAPABILITIES: &[&str] = &[
+    "submit_batch",
+    "watch",
+    "progress",
+    "cancel",
+    "deadline_ms",
+];
+
+/// One instance headed into `submit` or `submit_batch`: the body of the
+/// v1 `submit` verb, reified so many of them can ride one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSpec {
+    pub design: Design,
+    pub board: Board,
+    pub config: JobConfig,
+    /// Optional per-job solve deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SubmitSpec {
+    pub fn new(design: Design, board: Board, config: JobConfig) -> SubmitSpec {
+        SubmitSpec {
+            design,
+            board,
+            config,
+            deadline_ms: None,
+        }
+    }
+
+    pub fn deadline_ms(mut self, ms: u64) -> SubmitSpec {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// Per-job answer inside a `submit_batch` response (the same shape the
+/// v1 `submit` response carries inline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReceipt {
+    pub job: u64,
+    pub state: JobState,
+    /// Whether the submission was satisfied instantly from the cache.
+    pub cached: bool,
+    pub key: String,
+}
+
+impl From<&crate::queue::JobTicket> for SubmitReceipt {
+    fn from(ticket: &crate::queue::JobTicket) -> SubmitReceipt {
+        SubmitReceipt {
+            job: ticket.id,
+            state: ticket.state,
+            cached: ticket.cached,
+            key: ticket.key.to_hex(),
+        }
+    }
+}
+
 /// Client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// v2 handshake: the highest protocol version the client speaks.
+    Hello {
+        proto: u64,
+    },
     Submit {
         design: Design,
         board: Board,
         config: JobConfig,
         /// Optional per-job solve deadline in milliseconds.
         deadline_ms: Option<u64>,
+    },
+    /// Many submissions in one round-trip (v2). With `watch: true` the
+    /// connection is subscribed to each job *at submission time* —
+    /// before any worker can claim it — so no state transition or
+    /// progress frame can ever be missed between submit and a separate
+    /// `watch` round-trip. `progress: false` subscribes to state
+    /// transitions only (no solver progress frames on the wire).
+    SubmitBatch {
+        jobs: Vec<SubmitSpec>,
+        watch: bool,
+        progress: bool,
+    },
+    /// Subscribe this connection to server-push events for `jobs` (v2);
+    /// `progress: false` streams state transitions only.
+    Watch {
+        jobs: Vec<u64>,
+        progress: bool,
     },
     Poll {
         job: u64,
@@ -69,6 +187,22 @@ pub enum Request {
 /// Server → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// Answer to `hello`: the negotiated protocol version plus the
+    /// server's capability tokens.
+    Welcome {
+        proto: u64,
+        capabilities: Vec<String>,
+    },
+    /// Answer to `submit_batch`: one receipt per job, submission order.
+    BatchSubmitted {
+        jobs: Vec<SubmitReceipt>,
+    },
+    /// Answer to `watch`: which ids are now streaming and which were
+    /// never issued by this server.
+    Watching {
+        watching: Vec<u64>,
+        unknown: Vec<u64>,
+    },
     Submitted {
         job: u64,
         state: JobState,
@@ -126,6 +260,76 @@ pub struct ServiceStats {
     pub cache_cap: u64,
     pub workers: u64,
     pub uptime_ms: u64,
+    /// Connections classified by negotiated protocol version — streaming
+    /// adoption is observable per daemon.
+    pub proto_versions: ProtoVersions,
+    /// Progress frames dropped by bounded per-connection event queues
+    /// (slow watchers); state frames are never dropped.
+    pub events_dropped: u64,
+}
+
+/// Connection counters per negotiated protocol version. A connection
+/// counts as v2 once it negotiates `hello` with `proto >= 2`, and as v1
+/// when its first frame is any other verb.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProtoVersions {
+    pub v1: u64,
+    pub v2: u64,
+}
+
+/// A server-push frame on a watched connection (v2). Tagged `"event"`
+/// on the wire, so clients can split the stream from `"ok"` responses
+/// with one field check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// A job changed state. Terminal transitions carry the full
+    /// [`Termination`]; the synthetic snapshot emitted at `watch` time
+    /// carries whatever the job's current state is.
+    State {
+        job: u64,
+        state: JobState,
+        termination: Option<Termination>,
+    },
+    /// A bridged [`gmm_api::ProgressObserver`] notification from the
+    /// worker solving this job.
+    Progress { job: u64, frame: ProgressFrame },
+}
+
+impl JobEvent {
+    /// The job this frame concerns.
+    pub fn job(&self) -> u64 {
+        match self {
+            JobEvent::State { job, .. } | JobEvent::Progress { job, .. } => *job,
+        }
+    }
+
+    /// Whether a bounded event queue may drop this frame under pressure
+    /// (progress frames are droppable, state frames never).
+    pub fn droppable(&self) -> bool {
+        matches!(self, JobEvent::Progress { .. })
+    }
+}
+
+/// The owned, wire-shaped mirror of [`gmm_api::ProgressEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressFrame {
+    Phase { phase: String },
+    Incumbent { objective: f64, nodes: u64 },
+    Nodes { nodes: u64 },
+}
+
+impl From<gmm_api::ProgressEvent> for ProgressFrame {
+    fn from(ev: gmm_api::ProgressEvent) -> ProgressFrame {
+        match ev {
+            gmm_api::ProgressEvent::Phase(phase) => ProgressFrame::Phase {
+                phase: phase.to_string(),
+            },
+            gmm_api::ProgressEvent::Incumbent { objective, nodes } => {
+                ProgressFrame::Incumbent { objective, nodes }
+            }
+            gmm_api::ProgressEvent::Nodes(nodes) => ProgressFrame::Nodes { nodes },
+        }
+    }
 }
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
@@ -143,25 +347,120 @@ fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError
     }
 }
 
+/// The shared `design`/`board`/`config`/`deadline_ms` body of `submit`
+/// and each `submit_batch` entry.
+fn submit_body(
+    pairs: &mut Vec<(&str, Value)>,
+    design: &Design,
+    board: &Board,
+    config: &JobConfig,
+    deadline_ms: Option<u64>,
+) {
+    pairs.push(("design", design.to_value()));
+    pairs.push(("board", board.to_value()));
+    pairs.push(("config", config.to_value()));
+    // Omitted (not null) when absent, so old servers and scripted
+    // clients are byte-compatible.
+    if let Some(ms) = deadline_ms {
+        pairs.push(("deadline_ms", Value::UInt(ms)));
+    }
+}
+
+fn submit_body_from_value(v: &Value) -> Result<SubmitSpec, DeError> {
+    Ok(SubmitSpec {
+        design: field(v, "design")?,
+        board: field(v, "board")?,
+        // Optional so scripted clients can omit solver knobs.
+        config: opt_field(v, "config")?.unwrap_or_default(),
+        deadline_ms: opt_field(v, "deadline_ms")?,
+    })
+}
+
+impl Serialize for SubmitSpec {
+    fn to_value(&self) -> Value {
+        let mut pairs = Vec::new();
+        submit_body(&mut pairs, &self.design, &self.board, &self.config, self.deadline_ms);
+        obj(pairs)
+    }
+}
+
+impl Deserialize for SubmitSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        submit_body_from_value(v)
+    }
+}
+
+impl Serialize for SubmitReceipt {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("job", Value::UInt(self.job)),
+            ("state", self.state.to_value()),
+            ("cached", Value::Bool(self.cached)),
+            ("key", Value::Str(self.key.clone())),
+        ])
+    }
+}
+
+impl Deserialize for SubmitReceipt {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(SubmitReceipt {
+            job: field(v, "job")?,
+            state: field(v, "state")?,
+            cached: field(v, "cached")?,
+            key: field(v, "key")?,
+        })
+    }
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         match self {
+            Request::Hello { proto } => obj(vec![
+                ("verb", Value::Str("hello".into())),
+                ("proto", Value::UInt(*proto)),
+            ]),
             Request::Submit {
                 design,
                 board,
                 config,
                 deadline_ms,
             } => {
+                let mut pairs = vec![("verb", Value::Str("submit".into()))];
+                submit_body(&mut pairs, design, board, config, *deadline_ms);
+                obj(pairs)
+            }
+            Request::SubmitBatch {
+                jobs,
+                watch,
+                progress,
+            } => {
                 let mut pairs = vec![
-                    ("verb", Value::Str("submit".into())),
-                    ("design", design.to_value()),
-                    ("board", board.to_value()),
-                    ("config", config.to_value()),
+                    ("verb", Value::Str("submit_batch".into())),
+                    (
+                        "jobs",
+                        Value::Array(jobs.iter().map(Serialize::to_value).collect()),
+                    ),
                 ];
-                // Omitted (not null) when absent, so old servers and
-                // scripted clients are byte-compatible.
-                if let Some(ms) = deadline_ms {
-                    pairs.push(("deadline_ms", Value::UInt(*ms)));
+                // Both flags are omitted at their defaults (watch=false,
+                // progress=true), keeping the minimal frame minimal.
+                if *watch {
+                    pairs.push(("watch", Value::Bool(true)));
+                }
+                if !progress {
+                    pairs.push(("progress", Value::Bool(false)));
+                }
+                obj(pairs)
+            }
+            Request::Watch { jobs, progress } => {
+                let mut pairs = vec![
+                    ("verb", Value::Str("watch".into())),
+                    (
+                        "jobs",
+                        Value::Array(jobs.iter().map(|j| Value::UInt(*j)).collect()),
+                    ),
+                ];
+                if !progress {
+                    pairs.push(("progress", Value::Bool(false)));
                 }
                 obj(pairs)
             }
@@ -187,12 +486,26 @@ impl Deserialize for Request {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let verb: String = field(v, "verb")?;
         match verb.as_str() {
-            "submit" => Ok(Request::Submit {
-                design: field(v, "design")?,
-                board: field(v, "board")?,
-                // Optional so scripted clients can omit solver knobs.
-                config: opt_field(v, "config")?.unwrap_or_default(),
-                deadline_ms: opt_field(v, "deadline_ms")?,
+            "hello" => Ok(Request::Hello {
+                proto: field(v, "proto")?,
+            }),
+            "submit" => {
+                let spec = submit_body_from_value(v)?;
+                Ok(Request::Submit {
+                    design: spec.design,
+                    board: spec.board,
+                    config: spec.config,
+                    deadline_ms: spec.deadline_ms,
+                })
+            }
+            "submit_batch" => Ok(Request::SubmitBatch {
+                jobs: field(v, "jobs")?,
+                watch: opt_field(v, "watch")?.unwrap_or(false),
+                progress: opt_field(v, "progress")?.unwrap_or(true),
+            }),
+            "watch" => Ok(Request::Watch {
+                jobs: field(v, "jobs")?,
+                progress: opt_field(v, "progress")?.unwrap_or(true),
             }),
             "poll" => Ok(Request::Poll {
                 job: field(v, "job")?,
@@ -213,6 +526,43 @@ impl Deserialize for Request {
 impl Serialize for Response {
     fn to_value(&self) -> Value {
         match self {
+            Response::Welcome {
+                proto,
+                capabilities,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("hello".into())),
+                ("proto", Value::UInt(*proto)),
+                (
+                    "capabilities",
+                    Value::Array(
+                        capabilities
+                            .iter()
+                            .map(|c| Value::Str(c.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::BatchSubmitted { jobs } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("submit_batch".into())),
+                (
+                    "jobs",
+                    Value::Array(jobs.iter().map(Serialize::to_value).collect()),
+                ),
+            ]),
+            Response::Watching { watching, unknown } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("watch".into())),
+                (
+                    "watching",
+                    Value::Array(watching.iter().map(|j| Value::UInt(*j)).collect()),
+                ),
+                (
+                    "unknown",
+                    Value::Array(unknown.iter().map(|j| Value::UInt(*j)).collect()),
+                ),
+            ]),
             Response::Submitted {
                 job,
                 state,
@@ -287,6 +637,17 @@ impl Deserialize for Response {
         }
         let verb: String = field(v, "verb")?;
         match verb.as_str() {
+            "hello" => Ok(Response::Welcome {
+                proto: field(v, "proto")?,
+                capabilities: field(v, "capabilities")?,
+            }),
+            "submit_batch" => Ok(Response::BatchSubmitted {
+                jobs: field(v, "jobs")?,
+            }),
+            "watch" => Ok(Response::Watching {
+                watching: field(v, "watching")?,
+                unknown: field(v, "unknown")?,
+            }),
             "submit" => Ok(Response::Submitted {
                 job: field(v, "job")?,
                 state: field(v, "state")?,
@@ -315,6 +676,86 @@ impl Deserialize for Response {
             "stats" => Ok(Response::Stats(ServiceStats::from_value(v)?)),
             "shutdown" => Ok(Response::Bye),
             other => Err(DeError::new(format!("unknown response verb `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for JobEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            JobEvent::State {
+                job,
+                state,
+                termination,
+            } => {
+                let mut pairs = vec![
+                    ("event", Value::Str("state".into())),
+                    ("job", Value::UInt(*job)),
+                    ("state", state.to_value()),
+                ];
+                // Omitted (not null) for non-terminal frames.
+                if let Some(t) = termination {
+                    pairs.push(("termination", Value::Str(t.as_str().into())));
+                }
+                obj(pairs)
+            }
+            JobEvent::Progress { job, frame } => {
+                let mut pairs = vec![
+                    ("event", Value::Str("progress".into())),
+                    ("job", Value::UInt(*job)),
+                ];
+                match frame {
+                    ProgressFrame::Phase { phase } => {
+                        pairs.push(("phase", Value::Str(phase.clone())));
+                    }
+                    ProgressFrame::Incumbent { objective, nodes } => {
+                        pairs.push(("incumbent", Value::Float(*objective)));
+                        pairs.push(("nodes", Value::UInt(*nodes)));
+                    }
+                    ProgressFrame::Nodes { nodes } => {
+                        pairs.push(("nodes", Value::UInt(*nodes)));
+                    }
+                }
+                obj(pairs)
+            }
+        }
+    }
+}
+
+impl Deserialize for JobEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let event: String = field(v, "event")?;
+        let job: u64 = field(v, "job")?;
+        match event.as_str() {
+            "state" => {
+                let termination = match opt_field::<String>(v, "termination")? {
+                    None => None,
+                    Some(token) => Some(Termination::from_name(&token).ok_or_else(|| {
+                        DeError::new(format!("unknown termination token `{token}`"))
+                    })?),
+                };
+                Ok(JobEvent::State {
+                    job,
+                    state: field(v, "state")?,
+                    termination,
+                })
+            }
+            "progress" => {
+                let frame = if let Some(phase) = opt_field::<String>(v, "phase")? {
+                    ProgressFrame::Phase { phase }
+                } else if let Some(objective) = opt_field::<f64>(v, "incumbent")? {
+                    ProgressFrame::Incumbent {
+                        objective,
+                        nodes: field(v, "nodes")?,
+                    }
+                } else {
+                    ProgressFrame::Nodes {
+                        nodes: field(v, "nodes")?,
+                    }
+                };
+                Ok(JobEvent::Progress { job, frame })
+            }
+            other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
     }
 }
@@ -446,7 +887,135 @@ mod tests {
             cache_cap: 16,
             workers: 4,
             uptime_ms: 1234,
+            proto_versions: ProtoVersions { v1: 3, v2: 2 },
+            events_dropped: 7,
         }));
+    }
+
+    #[test]
+    fn hello_round_trips_and_negotiates() {
+        round_trip_request(Request::Hello { proto: 2 });
+        round_trip_response(Response::Welcome {
+            proto: PROTO_VERSION,
+            capabilities: CAPABILITIES.iter().map(|c| c.to_string()).collect(),
+        });
+    }
+
+    #[test]
+    fn submit_batch_round_trips() {
+        let (design, board) = tiny_instance();
+        round_trip_request(Request::SubmitBatch {
+            jobs: vec![
+                SubmitSpec::new(design.clone(), board.clone(), JobConfig::default()),
+                SubmitSpec::new(design.clone(), board.clone(), JobConfig::default())
+                    .deadline_ms(2_500),
+            ],
+            watch: false,
+            progress: true,
+        });
+        // Non-default flags ride the frame; defaults are omitted.
+        let watched = Request::SubmitBatch {
+            jobs: vec![SubmitSpec::new(design, board, JobConfig::default())],
+            watch: true,
+            progress: false,
+        };
+        let line = serde_json::to_string(&watched).unwrap();
+        assert!(line.contains("\"watch\":true"));
+        assert!(line.contains("\"progress\":false"));
+        round_trip_request(watched);
+        round_trip_response(Response::BatchSubmitted {
+            jobs: vec![
+                SubmitReceipt {
+                    job: 1,
+                    state: JobState::Queued,
+                    cached: false,
+                    key: "00ff".into(),
+                },
+                SubmitReceipt {
+                    job: 2,
+                    state: JobState::Done,
+                    cached: true,
+                    key: "00aa".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn watch_round_trips() {
+        let full = Request::Watch {
+            jobs: vec![1, 2, 9],
+            progress: true,
+        };
+        let line = serde_json::to_string(&full).unwrap();
+        assert!(
+            !line.contains("progress"),
+            "default progress=true is omitted: {line}"
+        );
+        round_trip_request(full);
+        round_trip_request(Request::Watch {
+            jobs: vec![3],
+            progress: false,
+        });
+        round_trip_response(Response::Watching {
+            watching: vec![1, 2],
+            unknown: vec![9],
+        });
+    }
+
+    fn round_trip_event(ev: JobEvent) -> String {
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: JobEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(ev, back, "event line: {text}");
+        text
+    }
+
+    #[test]
+    fn state_events_round_trip() {
+        let line = round_trip_event(JobEvent::State {
+            job: 4,
+            state: JobState::Running,
+            termination: None,
+        });
+        assert!(
+            !line.contains("termination"),
+            "non-terminal frames omit termination: {line}"
+        );
+        assert!(line.contains("\"event\":\"state\""));
+        let line = round_trip_event(JobEvent::State {
+            job: 4,
+            state: JobState::Done,
+            termination: Some(Termination::Optimal),
+        });
+        assert!(line.contains("\"termination\":\"optimal\""));
+        round_trip_event(JobEvent::State {
+            job: 5,
+            state: JobState::Deadline,
+            termination: Some(Termination::DeadlineExceeded),
+        });
+    }
+
+    #[test]
+    fn progress_events_round_trip() {
+        for frame in [
+            ProgressFrame::Phase { phase: "global".into() },
+            ProgressFrame::Incumbent { objective: 42.5, nodes: 70 },
+            ProgressFrame::Nodes { nodes: 128 },
+        ] {
+            let ev = JobEvent::Progress { job: 9, frame };
+            assert!(ev.droppable(), "progress frames are droppable");
+            assert_eq!(ev.job(), 9);
+            round_trip_event(ev);
+        }
+        assert!(
+            !JobEvent::State {
+                job: 1,
+                state: JobState::Done,
+                termination: Some(Termination::Optimal)
+            }
+            .droppable(),
+            "state frames are never droppable"
+        );
     }
 
     #[test]

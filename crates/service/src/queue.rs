@@ -46,9 +46,23 @@
 //! per-record-shard condvar ([`JobQueue::wait`]) and a queue-wide condvar
 //! ([`JobQueue::wait_idle`]); idle workers park on a third condvar that
 //! submissions signal, so nobody burns a core spinning.
+//!
+//! ## Events
+//!
+//! The queue is also an event source (the engine under the protocol-v2
+//! `watch` stream): subscribers register a bounded [`Outbox`] via
+//! [`JobQueue::subscribe`], and the workers fan out every state
+//! transition (queued→running→terminal, terminal frames carrying the
+//! full [`Termination`]) plus bridged `gmm_api::ProgressObserver`
+//! notifications. Delivery never blocks a worker: outboxes drop their
+//! oldest progress frames past their cap (counted in
+//! [`QueueStats::events_dropped`]); state frames are never dropped.
+//! [`JobQueue::submit_watched`] registers a job with an outbox *between*
+//! record publication and queue push, so a watcher misses nothing even
+//! for microsecond-scale solves.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,7 +71,7 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
-use gmm_api::{MapRequest, Termination};
+use gmm_api::{ForwardProgress, MapRequest, Termination};
 use gmm_arch::Board;
 use gmm_core::pipeline::DetailedStrategy;
 use gmm_core::{DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBackend};
@@ -67,7 +81,9 @@ use gmm_ilp::control::CancelToken;
 use gmm_ilp::BasisBackend;
 
 use crate::cache::{CacheEntry, CacheStats, SolutionCache};
+use crate::events::Outbox;
 use crate::hash::{canonical_json, instance_key, InstanceKey};
+use crate::protocol::JobEvent;
 
 /// Simplex basis backend selection, serializable for the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -223,6 +239,11 @@ pub struct JobOutcome {
     pub solution_json: Option<Arc<CacheEntry>>,
     /// Failure message, present when `state == Failed` or `Expired`.
     pub error: Option<String>,
+    /// Full termination of the solve session, when the job is terminal
+    /// and one exists (`Optimal` vs `Feasible` is only observable here
+    /// and in the v2 terminal state event — `JobState::Done` covers
+    /// both).
+    pub termination: Option<Termination>,
     /// Wall time from submission to completion (so far, if still running;
     /// zero for expired records).
     pub wall: Duration,
@@ -247,6 +268,9 @@ struct JobRecord {
     finished: Option<Instant>,
     solution: Option<Arc<CacheEntry>>,
     error: Option<String>,
+    /// Why the solve session ended; `None` until terminal (and for
+    /// engine failures, which have no structured termination).
+    termination: Option<Termination>,
     /// Cancels this job's solve; shared with the worker executing it.
     cancel: CancelToken,
 }
@@ -266,6 +290,9 @@ pub struct QueueStats {
     pub pruned: u64,
     /// Configured per-record-shard terminal retention (0 = unbounded).
     pub retain_jobs: usize,
+    /// Progress frames dropped by bounded subscriber outboxes (slow
+    /// `watch` readers); state frames are never dropped.
+    pub events_dropped: u64,
     pub workers: usize,
     pub cache: CacheStats,
     pub uptime: Duration,
@@ -361,6 +388,14 @@ struct Inner {
     idle_lock: Mutex<()>,
     /// Signaled on every terminal transition (for [`JobQueue::wait_idle`]).
     idle_cond: Condvar,
+    /// Event subscribers (watch streams), by subscription id.
+    watchers: Mutex<HashMap<u64, Arc<Outbox>>>,
+    /// Mirror of `watchers.len()`, so the emit fast path is one load.
+    watcher_count: AtomicUsize,
+    next_watcher: AtomicU64,
+    /// Shared with every outbox this queue creates; counts frames the
+    /// bounded queues discarded.
+    events_dropped: Arc<AtomicU64>,
     retain_jobs: usize,
     retain_age: Option<Duration>,
     job_time_limit: Option<Duration>,
@@ -427,6 +462,7 @@ impl Inner {
         shard: &mut RecordShard,
         id: u64,
         state: JobState,
+        termination: Option<Termination>,
         solution: Option<Arc<CacheEntry>>,
         error: Option<String>,
         cached: bool,
@@ -441,6 +477,7 @@ impl Inner {
         r.finished = Some(Instant::now());
         r.cached = cached;
         r.state = state;
+        r.termination = termination;
         r.solution = solution;
         r.error = error;
         match state {
@@ -456,11 +493,12 @@ impl Inner {
     }
 
     /// Mark a job terminal in `state`, store its result, run retention,
-    /// and wake every waiter.
+    /// wake every waiter, and emit the terminal state event to watchers.
     fn finish(
         &self,
         id: u64,
         state: JobState,
+        termination: Option<Termination>,
         solution: Option<Arc<CacheEntry>>,
         error: Option<String>,
         cached: bool,
@@ -468,12 +506,38 @@ impl Inner {
         let sync = self.record_shard(id);
         let transitioned = {
             let mut shard = sync.state.lock();
-            self.finish_locked(&mut shard, id, state, solution, error, cached)
+            self.finish_locked(&mut shard, id, state, termination, solution, error, cached)
         };
         if transitioned {
+            // Events first: by the time a wait()/wait_idle() waiter wakes
+            // and reads the outcome, the terminal frame is already in
+            // every subscriber's outbox.
+            self.emit_state(id, state, termination);
             sync.cond.notify_all();
             self.notify_idle();
         }
+    }
+
+    /// Fan one event out to every subscriber's outbox. Never called with
+    /// a record-shard lock held (the outbox may itself take shard locks
+    /// while snapshotting a `watch`), and never blocks on a consumer —
+    /// the outboxes are bounded drop-oldest queues.
+    fn emit(&self, ev: JobEvent) {
+        if self.watcher_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let sinks: Vec<Arc<Outbox>> = self.watchers.lock().values().cloned().collect();
+        for sink in sinks {
+            sink.push_event(&ev);
+        }
+    }
+
+    fn emit_state(&self, job: u64, state: JobState, termination: Option<Termination>) {
+        self.emit(JobEvent::State {
+            job,
+            state,
+            termination,
+        });
     }
 
     /// Sum of jobs in any terminal state (the `wait_idle` drain check).
@@ -574,6 +638,10 @@ impl JobQueue {
             work_cond: Condvar::new(),
             idle_lock: Mutex::new(()),
             idle_cond: Condvar::new(),
+            watchers: Mutex::new(HashMap::new()),
+            watcher_count: AtomicUsize::new(0),
+            next_watcher: AtomicU64::new(1),
+            events_dropped: Arc::new(AtomicU64::new(0)),
             retain_jobs: opts.retain_jobs,
             retain_age: opts.retain_age,
             job_time_limit: opts.job_time_limit,
@@ -625,6 +693,36 @@ impl JobQueue {
         config: JobConfig,
         deadline: Option<Duration>,
     ) -> JobTicket {
+        self.submit_inner(design, board, config, deadline, None)
+    }
+
+    /// [`JobQueue::submit_with_deadline`] that additionally registers
+    /// the job with `outbox`'s watch set *between* record publication
+    /// and queue push — before any worker can claim it — so the outbox
+    /// observes the complete queued→running→terminal sequence (and,
+    /// with `progress`, every bridged progress frame), with no
+    /// submit-then-watch race. The outbox must already be
+    /// [`JobQueue::subscribe`]d.
+    pub fn submit_watched(
+        &self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+        outbox: &Outbox,
+        progress: bool,
+    ) -> JobTicket {
+        self.submit_inner(design, board, config, deadline, Some((outbox, progress)))
+    }
+
+    fn submit_inner(
+        &self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+        watcher: Option<(&Outbox, bool)>,
+    ) -> JobTicket {
         let key = instance_key(&design, &board, &config);
         let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
         self.inner.submitted.fetch_add(1, Ordering::AcqRel);
@@ -646,6 +744,7 @@ impl JobQueue {
                     finished: None,
                     solution: None,
                     error: None,
+                    termination: None,
                     cancel: CancelToken::new(),
                 },
             );
@@ -655,10 +754,21 @@ impl JobQueue {
             self.inner.prune_locked(&mut shard);
         }
 
+        // The record exists but the job is not yet poppable (and a cache
+        // hit has not yet finished it), so the watch registration below
+        // cannot miss a transition. The snapshot re-reads the record
+        // rather than assuming `Queued`: a racing cancel of a guessed id
+        // may already have finished it, and the rank gate then suppresses
+        // the duplicate terminal event.
+        if let Some((outbox, progress)) = watcher {
+            outbox.watch(&[id], progress, |jid| self.state_snapshot(jid));
+        }
+
         if self.inner.shutdown.load(Ordering::Acquire) {
             self.inner.finish(
                 id,
                 JobState::Failed,
+                None,
                 None,
                 Some("queue is shut down".into()),
                 false,
@@ -672,7 +782,15 @@ impl JobQueue {
         }
 
         if let Some(entry) = self.inner.cache.get(key) {
-            self.inner.finish(id, JobState::Done, Some(entry), None, true);
+            // Only optimal solves enter the cache, so a hit is optimal.
+            self.inner.finish(
+                id,
+                JobState::Done,
+                Some(Termination::Optimal),
+                Some(entry),
+                None,
+                true,
+            );
             return JobTicket {
                 id,
                 state: JobState::Done,
@@ -724,12 +842,18 @@ impl JobQueue {
                     &mut shard,
                     id,
                     JobState::Cancelled,
+                    Some(Termination::Cancelled),
                     None,
                     Some(format!("job {id} cancelled while queued")),
                     false,
                 );
                 drop(shard);
                 if transitioned {
+                    self.inner.emit_state(
+                        id,
+                        JobState::Cancelled,
+                        Some(Termination::Cancelled),
+                    );
                     sync.cond.notify_all();
                     self.inner.notify_idle();
                 }
@@ -770,6 +894,7 @@ impl JobQueue {
             objective: r.solution.as_ref().map(|s| s.objective),
             solution_json: r.solution.clone(),
             error: r.error.clone(),
+            termination: r.termination,
             wall: r.finished.unwrap_or_else(Instant::now) - r.submitted,
         }) {
             Lookup::Found(out) => Some(out),
@@ -838,6 +963,7 @@ impl JobQueue {
             deadline: self.inner.deadline_hit.load(Ordering::Acquire),
             pruned: self.inner.pruned.load(Ordering::Relaxed),
             retain_jobs: self.inner.retain_jobs,
+            events_dropped: self.inner.events_dropped.load(Ordering::Relaxed),
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
             uptime: self.inner.started.elapsed(),
@@ -846,6 +972,48 @@ impl JobQueue {
 
     pub fn cache(&self) -> &SolutionCache {
         &self.inner.cache
+    }
+
+    /// Create an event outbox wired to this queue's `events_dropped`
+    /// counter. `cap` bounds queued progress frames (state frames are
+    /// never dropped); subscribe it with [`JobQueue::subscribe`] to
+    /// start receiving events.
+    pub fn make_outbox(&self, cap: usize) -> Arc<Outbox> {
+        Arc::new(Outbox::new(cap, self.inner.events_dropped.clone()))
+    }
+
+    /// Register an outbox with the event fan-out. Every job state
+    /// transition and bridged progress notification is offered to it
+    /// (the outbox filters by its watched set). Returns the
+    /// subscription id for [`JobQueue::unsubscribe`].
+    pub fn subscribe(&self, outbox: Arc<Outbox>) -> u64 {
+        let id = self.inner.next_watcher.fetch_add(1, Ordering::AcqRel);
+        let mut watchers = self.inner.watchers.lock();
+        watchers.insert(id, outbox);
+        self.inner
+            .watcher_count
+            .store(watchers.len(), Ordering::Release);
+        id
+    }
+
+    /// Remove a subscription; the outbox receives nothing further.
+    pub fn unsubscribe(&self, id: u64) {
+        let mut watchers = self.inner.watchers.lock();
+        watchers.remove(&id);
+        self.inner
+            .watcher_count
+            .store(watchers.len(), Ordering::Release);
+    }
+
+    /// Current state + termination of a job, for `watch` snapshots:
+    /// `Some((Expired, None))` for pruned ids, `None` only for ids this
+    /// queue never issued.
+    pub fn state_snapshot(&self, id: u64) -> Option<(JobState, Option<Termination>)> {
+        match self.inner.lookup(id, |r| (r.state, r.termination)) {
+            Lookup::Found(snap) => Some(snap),
+            Lookup::Expired => Some((JobState::Expired, None)),
+            Lookup::Unknown => None,
+        }
     }
 
     /// Sweep age-based retention across all record shards now. Terminal
@@ -895,6 +1063,7 @@ fn expired_outcome(id: u64) -> JobOutcome {
         error: Some(format!(
             "job {id} expired: its terminal record was pruned by the retention policy"
         )),
+        termination: None,
         wall: Duration::ZERO,
     }
 }
@@ -930,7 +1099,7 @@ fn find_job(me: usize, local: &Worker<Job>, inner: &Inner, stealers: &[Stealer<J
     None
 }
 
-fn worker_loop(me: usize, local: Worker<Job>, inner: &Inner, stealers: &[Stealer<Job>]) {
+fn worker_loop(me: usize, local: Worker<Job>, inner: &Arc<Inner>, stealers: &[Stealer<Job>]) {
     loop {
         // Snapshot the epoch *before* scanning: a submission that lands
         // mid-scan bumps it, and the parking check below notices.
@@ -954,7 +1123,7 @@ fn worker_loop(me: usize, local: Worker<Job>, inner: &Inner, stealers: &[Stealer
     }
 }
 
-fn process(job: Job, inner: &Inner) {
+fn process(job: Job, inner: &Arc<Inner>) {
     // Claim the job: only a still-Queued record may start running. A
     // cancel that landed while the job sat in the deque already made the
     // record terminal — skip it without touching any counter.
@@ -968,11 +1137,19 @@ fn process(job: Job, inner: &Inner) {
             _ => return,
         }
     };
+    inner.emit_state(job.id, JobState::Running, None);
 
     // A duplicate instance may have been solved while this one sat queued;
     // `peek` keeps the hit/miss counters a pure per-submission signal.
     if let Some(entry) = inner.cache.peek(job.key) {
-        inner.finish(job.id, JobState::Done, Some(entry), None, true);
+        inner.finish(
+            job.id,
+            JobState::Done,
+            Some(Termination::Optimal),
+            Some(entry),
+            None,
+            true,
+        );
         return;
     }
 
@@ -985,10 +1162,24 @@ fn process(job: Job, inner: &Inner) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
     };
+    // Bridge solver progress into the event fan-out: each notification
+    // becomes a value-typed frame offered to every subscriber's bounded
+    // outbox. With no subscribers this is one atomic load per event.
+    let progress = {
+        let inner = inner.clone();
+        let job_id = job.id;
+        ForwardProgress::new(move |ev: gmm_api::ProgressEvent| {
+            inner.emit(JobEvent::Progress {
+                job: job_id,
+                frame: ev.into(),
+            });
+        })
+    };
     let mut request = MapRequest::new(job.design, job.board)
         .backend(SolverBackend::Serial(mip))
         .overlap_aware(job.config.overlap_aware)
-        .cancel_token(cancel);
+        .cancel_token(cancel)
+        .observer(Arc::new(progress));
     if job.config.detailed_ilp {
         request = request.strategy(DetailedStrategy::Ilp(DetailedIlpOptions::default()));
     }
@@ -999,7 +1190,14 @@ fn process(job: Job, inner: &Inner) {
     let report = match request.execute() {
         Ok(report) => report,
         Err(e) => {
-            inner.finish(job.id, JobState::Failed, None, Some(e.to_string()), false);
+            inner.finish(
+                job.id,
+                JobState::Failed,
+                None,
+                None,
+                Some(e.to_string()),
+                false,
+            );
             return;
         }
     };
@@ -1021,14 +1219,29 @@ fn process(job: Job, inner: &Inner) {
             // deterministic function of the instance.
             let entry = entry.expect("optimal termination carries an outcome");
             let stored = inner.cache.insert(job.key, entry);
-            inner.finish(job.id, JobState::Done, Some(stored), None, false);
+            inner.finish(
+                job.id,
+                JobState::Done,
+                Some(Termination::Optimal),
+                Some(stored),
+                None,
+                false,
+            );
         }
         Termination::Feasible => {
-            inner.finish(job.id, JobState::Done, entry.map(Arc::new), None, false);
+            inner.finish(
+                job.id,
+                JobState::Done,
+                Some(Termination::Feasible),
+                entry.map(Arc::new),
+                None,
+                false,
+            );
         }
         Termination::DeadlineExceeded => inner.finish(
             job.id,
             JobState::Deadline,
+            Some(Termination::DeadlineExceeded),
             entry.map(Arc::new),
             Some(format!("job {} deadline exceeded", job.id)),
             false,
@@ -1036,6 +1249,7 @@ fn process(job: Job, inner: &Inner) {
         Termination::Cancelled => inner.finish(
             job.id,
             JobState::Cancelled,
+            Some(Termination::Cancelled),
             None,
             Some(format!("job {} cancelled", job.id)),
             false,
@@ -1043,6 +1257,7 @@ fn process(job: Job, inner: &Inner) {
         Termination::Infeasible => inner.finish(
             job.id,
             JobState::Failed,
+            Some(Termination::Infeasible),
             None,
             Some(
                 report
@@ -1245,6 +1460,75 @@ mod tests {
         // Deadline-shaped results are never cached.
         assert_eq!(s.cache.entries, 0);
         assert!(q.wait_idle(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn terminations_and_events_flow_through_the_queue() {
+        use crate::events::{Frame, Popped};
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            ..QueueOptions::default()
+        });
+        let outbox = q.make_outbox(64);
+        let sub = q.subscribe(outbox.clone());
+        let (design, board) = small_instance(11);
+        let t = q.submit_watched(
+            design.clone(),
+            board.clone(),
+            JobConfig::default(),
+            None,
+            &outbox,
+            true,
+        );
+        let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Done);
+        assert_eq!(out.termination, Some(Termination::Optimal));
+
+        // An instant cache-hit completion is an optimal termination too.
+        let t2 = q.submit(design, board, JobConfig::default());
+        assert!(t2.cached);
+        assert_eq!(
+            q.outcome(t2.id).unwrap().termination,
+            Some(Termination::Optimal)
+        );
+
+        // The watched job streamed its ordered lifecycle (events are
+        // queued before wait() wakes) plus ≥1 progress frame.
+        let mut states = Vec::new();
+        let mut progress = 0;
+        let deadline = Instant::now();
+        while let Popped::Frame(frame) = outbox.pop(Some(deadline)) {
+            match frame {
+                Frame::Event(JobEvent::State { job, state, .. }) if job == t.id => {
+                    states.push(state)
+                }
+                Frame::Event(JobEvent::Progress { job, .. }) if job == t.id => progress += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            states,
+            vec![JobState::Queued, JobState::Running, JobState::Done]
+        );
+        assert!(progress >= 1, "bridged progress frames expected");
+
+        // Snapshots classify exactly like poll, carrying terminations.
+        assert_eq!(
+            q.state_snapshot(t.id),
+            Some((JobState::Done, Some(Termination::Optimal)))
+        );
+        assert_eq!(q.state_snapshot(999_999), None, "unissued id");
+
+        // After unsubscribing, nothing further is delivered.
+        q.unsubscribe(sub);
+        let (design3, board3) = small_instance(12);
+        let t3 = q.submit(design3, board3, JobConfig::default());
+        q.wait(t3.id, Duration::from_secs(60)).unwrap();
+        assert!(
+            matches!(outbox.pop(Some(Instant::now())), Popped::TimedOut),
+            "unsubscribed outbox must stay silent"
+        );
+        assert_eq!(q.stats().events_dropped, 0);
     }
 
     #[test]

@@ -1,28 +1,56 @@
 //! `mapsrv` — the batch mapping daemon.
 //!
 //! Listens on a `std::net::TcpListener`, speaks the JSON-lines
-//! [`crate::protocol`], and drives a shared [`JobQueue`]. One thread per
-//! connection (connections are few and long-lived: a batch client holds
-//! one socket for its whole run); the solve parallelism lives in the queue
-//! workers, not in the connection handlers.
+//! [`crate::protocol`] (v1 verbs plus the v2 session surface), and
+//! drives a shared [`JobQueue`]. Each connection owns **two** threads:
+//!
+//! * a *reader* parsing request lines and producing responses, and
+//! * a *writer* draining the connection's [`Outbox`] — a single FIFO
+//!   that merges responses with server-push event frames, so write
+//!   order always matches production order and no two threads ever
+//!   interleave bytes on the socket.
+//!
+//! The event fan-out runs from the queue's worker callbacks into the
+//! bounded outboxes: a `watch`ed connection that stops reading fills
+//! its own outbox, drops its own oldest progress frames (counted in
+//! `events_dropped`), and affects nobody else — solver workers never
+//! block on a socket. Connections are few and long-lived (a batch
+//! client holds one socket for its whole run); the solve parallelism
+//! lives in the queue workers, not in the connection handlers.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use serde_json::Value;
 
-use crate::protocol::{Request, Response, ServiceStats};
+use crate::events::{Frame, Outbox, Popped};
+use crate::protocol::{
+    ProtoVersions, Request, Response, ServiceStats, SubmitReceipt, CAPABILITIES, PROTO_VERSION,
+};
 use crate::queue::JobQueue;
+
+/// Per-connection cap on queued progress frames (state frames and
+/// responses are never dropped; see [`Outbox`]).
+pub const EVENT_QUEUE_CAP: usize = 1024;
+
+/// State shared by the acceptor and every connection thread.
+struct Shared {
+    queue: Arc<JobQueue>,
+    stop: AtomicBool,
+    /// Connections whose first frame was a plain v1 verb.
+    proto_v1: AtomicU64,
+    /// Connections that negotiated `hello` to proto ≥ 2.
+    proto_v2: AtomicU64,
+}
 
 /// A running `mapsrv` instance.
 pub struct MapServer {
     addr: SocketAddr,
-    queue: Arc<JobQueue>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    stop: Arc<AtomicBool>,
 }
 
 impl MapServer {
@@ -31,21 +59,24 @@ impl MapServer {
     pub fn start(addr: impl ToSocketAddrs, queue: Arc<JobQueue>) -> std::io::Result<MapServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            queue,
+            stop: AtomicBool::new(false),
+            proto_v1: AtomicU64::new(0),
+            proto_v2: AtomicU64::new(0),
+        });
 
         let accept = {
-            let queue = queue.clone();
-            let stop = stop.clone();
+            let shared = shared.clone();
             std::thread::Builder::new()
                 .name("mapsrv-accept".into())
-                .spawn(move || accept_loop(listener, local, queue, stop))?
+                .spawn(move || accept_loop(listener, local, shared))?
         };
 
         Ok(MapServer {
             addr: local,
-            queue,
+            shared,
             accept: Some(accept),
-            stop,
         })
     }
 
@@ -54,12 +85,12 @@ impl MapServer {
     }
 
     pub fn queue(&self) -> &Arc<JobQueue> {
-        &self.queue
+        &self.shared.queue
     }
 
     /// Whether a `shutdown` verb has been received.
     pub fn is_stopping(&self) -> bool {
-        self.stop.load(Ordering::Acquire)
+        self.shared.stop.load(Ordering::Acquire)
     }
 
     /// Block until a client sends `shutdown`, then drain the queue.
@@ -67,13 +98,13 @@ impl MapServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        self.queue.shutdown();
+        self.shared.queue.shutdown();
     }
 
     /// Ask the acceptor to stop from this process (equivalent to a client
     /// sending the `shutdown` verb).
     pub fn request_stop(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         wake_acceptor(self.addr);
     }
 }
@@ -93,75 +124,233 @@ fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
-fn accept_loop(listener: TcpListener, local: SocketAddr, queue: Arc<JobQueue>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, local: SocketAddr, shared: Arc<Shared>) {
     for stream in listener.incoming() {
-        if stop.load(Ordering::Acquire) {
+        if shared.stop.load(Ordering::Acquire) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let queue = queue.clone();
-        let stop = stop.clone();
+        let shared = shared.clone();
         let _ = std::thread::Builder::new()
             .name("mapsrv-conn".into())
             .spawn(move || {
                 // Connection threads are detached; they die with their
                 // socket. Errors just end the connection.
-                let _ = serve_connection(stream, local, &queue, &stop);
+                let _ = serve_connection(stream, local, &shared);
             });
+    }
+}
+
+/// The writer half of one connection: drains the outbox to the socket
+/// until the outbox closes or the peer goes away. On a write failure it
+/// shuts the socket down both ways so a reader blocked mid-`read_line`
+/// unblocks too.
+fn writer_loop(mut stream: TcpStream, outbox: &Outbox) {
+    loop {
+        match outbox.pop(None) {
+            Popped::Frame(frame) => {
+                let mut text = match frame {
+                    Frame::Response(line) => line,
+                    Frame::Event(ev) => serde_json::to_string(&ev)
+                        .expect("in-tree serde_json cannot fail to render"),
+                };
+                text.push('\n');
+                if stream
+                    .write_all(text.as_bytes())
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Popped::Closed => return,
+            // No deadline is ever passed to this pop.
+            Popped::TimedOut => unreachable!("writer pops without a deadline"),
+        }
     }
 }
 
 fn serve_connection(
     stream: TcpStream,
     local: SocketAddr,
-    queue: &JobQueue,
-    stop: &AtomicBool,
+    shared: &Arc<Shared>,
 ) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    let queue = &shared.queue;
+    let outbox = queue.make_outbox(EVENT_QUEUE_CAP);
+    let writer = {
+        let stream = stream.try_clone()?;
+        let outbox = outbox.clone();
+        std::thread::Builder::new()
+            .name("mapsrv-conn-writer".into())
+            .spawn(move || writer_loop(stream, &outbox))?
+    };
+
+    // Once per connection: v2 on a successful hello, v1 on any other
+    // first verb.
+    let mut counted = false;
+    // Lazily created on the first `watch`.
+    let mut subscription: Option<u64> = None;
+
     let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutting_down) = match serde_json::from_str::<Request>(&line) {
-            // A connection that outlives another client's shutdown verb can
-            // still poll results, but its submits must fail loudly — the
-            // queue workers are (being) joined and would never pop them.
-            Ok(Request::Submit { .. }) if stop.load(Ordering::Acquire) => (
-                Response::Error {
-                    message: "server is shutting down".into(),
-                },
-                false,
-            ),
-            Ok(request) => {
-                let shutdown = matches!(request, Request::Shutdown);
-                (handle(request, queue), shutdown)
+    let result = (|| -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
             }
-            Err(e) => (
-                Response::Error {
-                    message: format!("bad request: {e}"),
-                },
-                false,
-            ),
-        };
-        let mut text = serde_json::to_string(&response)
-            .expect("in-tree serde_json cannot fail to render");
-        text.push('\n');
-        writer.write_all(text.as_bytes())?;
-        writer.flush()?;
-        if shutting_down {
-            stop.store(true, Ordering::Release);
-            wake_acceptor(local);
-            break;
+            let (response, shutting_down) = match serde_json::from_str::<Request>(&line) {
+                // A connection that outlives another client's shutdown verb
+                // can still poll results, but its submits must fail loudly —
+                // the queue workers are (being) joined and would never pop
+                // them.
+                Ok(Request::Submit { .. } | Request::SubmitBatch { .. })
+                    if shared.stop.load(Ordering::Acquire) =>
+                {
+                    (
+                        Response::Error {
+                            message: "server is shutting down".into(),
+                        },
+                        false,
+                    )
+                }
+                Ok(request) => {
+                    if !counted {
+                        counted = true;
+                        match &request {
+                            Request::Hello { proto } if *proto >= 2 => {
+                                shared.proto_v2.fetch_add(1, Ordering::Relaxed)
+                            }
+                            _ => shared.proto_v1.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    match request {
+                        Request::Watch { jobs, progress } => {
+                            if subscription.is_none() {
+                                // Subscribe *before* snapshotting, so no
+                                // transition can slip between the two.
+                                subscription = Some(queue.subscribe(outbox.clone()));
+                            }
+                            let (watching, unknown) =
+                                outbox.watch(&jobs, progress, |id| queue.state_snapshot(id));
+                            (Response::Watching { watching, unknown }, false)
+                        }
+                        // A watched batch registers each job with this
+                        // connection's outbox at submission time, so the
+                        // whole queued→running→terminal sequence (and,
+                        // when wanted, every progress frame) streams —
+                        // the generic `handle` path below covers
+                        // unwatched batches.
+                        Request::SubmitBatch {
+                            jobs,
+                            watch: true,
+                            progress,
+                        } => {
+                            if subscription.is_none() {
+                                subscription = Some(queue.subscribe(outbox.clone()));
+                            }
+                            let receipts = jobs
+                                .into_iter()
+                                .map(|spec| {
+                                    let deadline =
+                                        spec.deadline_ms.map(std::time::Duration::from_millis);
+                                    SubmitReceipt::from(&queue.submit_watched(
+                                        spec.design,
+                                        spec.board,
+                                        spec.config,
+                                        deadline,
+                                        &outbox,
+                                        progress,
+                                    ))
+                                })
+                                .collect();
+                            (Response::BatchSubmitted { jobs: receipts }, false)
+                        }
+                        Request::Stats => (stats_response(shared), false),
+                        Request::Shutdown => (Response::Bye, true),
+                        other => (handle(other, queue), false),
+                    }
+                }
+                Err(e) => (
+                    Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                    false,
+                ),
+            };
+            let text = serde_json::to_string(&response)
+                .expect("in-tree serde_json cannot fail to render");
+            outbox.push_response(text);
+            if shutting_down {
+                shared.stop.store(true, Ordering::Release);
+                wake_acceptor(local);
+                break;
+            }
         }
+        Ok(())
+    })();
+
+    if let Some(id) = subscription {
+        queue.unsubscribe(id);
     }
-    Ok(())
+    outbox.close();
+    let _ = writer.join();
+    result
+}
+
+/// The `stats` verb, including the server-level protocol counters.
+fn stats_response(shared: &Shared) -> Response {
+    Response::Stats(service_stats(
+        &shared.queue,
+        ProtoVersions {
+            v1: shared.proto_v1.load(Ordering::Relaxed),
+            v2: shared.proto_v2.load(Ordering::Relaxed),
+        },
+    ))
+}
+
+/// Assemble the wire stats payload from queue statistics — the one
+/// implementation behind the `stats` verb, the connection-less
+/// [`handle`] path, and local `Session::stats`.
+///
+/// Stats doubles as the idle-time retention tick: age-based pruning
+/// otherwise only runs on submissions and terminal transitions, so a
+/// quiet daemon sweeps whenever someone looks at it.
+pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> ServiceStats {
+    queue.sweep_retention();
+    let s = queue.stats();
+    ServiceStats {
+        jobs_submitted: s.submitted,
+        jobs_completed: s.completed,
+        jobs_failed: s.failed,
+        jobs_cancelled: s.cancelled,
+        jobs_deadline: s.deadline,
+        jobs_pruned: s.pruned,
+        retain_jobs: s.retain_jobs as u64,
+        cache_hits: s.cache.hits,
+        cache_misses: s.cache.misses,
+        cache_entries: s.cache.entries,
+        cache_evictions: s.cache.evictions,
+        cache_cap: s.cache.capacity,
+        workers: s.workers as u64,
+        uptime_ms: s.uptime.as_millis() as u64,
+        proto_versions,
+        events_dropped: s.events_dropped,
+    }
 }
 
 /// Map one request to its response against the queue.
+///
+/// This is the connection-independent core: every verb except `watch`
+/// (which needs a streaming connection and answers an error here) and
+/// the connection-counting side of `stats` (`proto_versions` reads as
+/// zero through this path) behaves exactly as over a socket.
 pub fn handle(request: Request, queue: &JobQueue) -> Response {
     match request {
+        Request::Hello { proto } => Response::Welcome {
+            proto: proto.clamp(1, PROTO_VERSION),
+            capabilities: CAPABILITIES.iter().map(|c| c.to_string()).collect(),
+        },
         Request::Submit {
             design,
             board,
@@ -177,6 +366,26 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
                 key: ticket.key.to_hex(),
             }
         }
+        Request::SubmitBatch { jobs, .. } => {
+            // `watch` needs a streaming connection; this connection-less
+            // path submits without watching.
+            let receipts = jobs
+                .into_iter()
+                .map(|spec| {
+                    let deadline = spec.deadline_ms.map(std::time::Duration::from_millis);
+                    SubmitReceipt::from(&queue.submit_with_deadline(
+                        spec.design,
+                        spec.board,
+                        spec.config,
+                        deadline,
+                    ))
+                })
+                .collect();
+            Response::BatchSubmitted { jobs: receipts }
+        }
+        Request::Watch { .. } => Response::Error {
+            message: "watch requires a streaming connection".into(),
+        },
         Request::Poll { job } => match queue.poll(job) {
             Some(state) => Response::PollState { job, state },
             None => Response::Error {
@@ -208,29 +417,7 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
                 message: format!("unknown job {job}"),
             },
         },
-        Request::Stats => {
-            // Stats doubles as the idle-time retention tick: age-based
-            // pruning otherwise only runs on terminal transitions, so a
-            // quiet daemon sweeps whenever someone looks at it.
-            queue.sweep_retention();
-            let s = queue.stats();
-            Response::Stats(ServiceStats {
-                jobs_submitted: s.submitted,
-                jobs_completed: s.completed,
-                jobs_failed: s.failed,
-                jobs_cancelled: s.cancelled,
-                jobs_deadline: s.deadline,
-                jobs_pruned: s.pruned,
-                retain_jobs: s.retain_jobs as u64,
-                cache_hits: s.cache.hits,
-                cache_misses: s.cache.misses,
-                cache_entries: s.cache.entries,
-                cache_evictions: s.cache.evictions,
-                cache_cap: s.cache.capacity,
-                workers: s.workers as u64,
-                uptime_ms: s.uptime.as_millis() as u64,
-            })
-        }
+        Request::Stats => Response::Stats(service_stats(queue, ProtoVersions::default())),
         Request::Shutdown => Response::Bye,
     }
 }
