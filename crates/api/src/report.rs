@@ -100,6 +100,10 @@ pub struct MapReport {
     pub lp_iterations: u64,
     /// Nodes that accepted a parent warm-start basis (skipped phase 1).
     pub warm_started_nodes: u64,
+    /// Basis refactorizations across all global solves.
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in any single node LP reached.
+    pub eta_nnz_peak: u64,
 }
 
 /// The default termination is the empty report's: a session that never

@@ -8,7 +8,7 @@ use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
 use gmm_core::{CostWeights, MapError, SolverBackend};
 use gmm_design::Design;
 use gmm_ilp::control::{CancelToken, ProgressObserver};
-use gmm_ilp::BasisBackend;
+use gmm_ilp::{BasisBackend, PricingRule};
 
 use crate::error::ApiError;
 use crate::report::{MapReport, Termination};
@@ -101,6 +101,13 @@ impl MapRequest {
         self
     }
 
+    /// Simplex entering-column pricing rule (shorthand that reaches into
+    /// whichever engine is configured).
+    pub fn lp_pricing(mut self, pricing: PricingRule) -> Self {
+        self.options.backend.set_lp_pricing(pricing);
+        self
+    }
+
     /// Which detailed mapper runs after global mapping.
     pub fn strategy(mut self, strategy: DetailedStrategy) -> Self {
         self.options.detailed = strategy;
@@ -184,6 +191,8 @@ impl MapRequest {
             nodes_explored: stats.nodes_explored,
             lp_iterations: stats.lp_iterations,
             warm_started_nodes: stats.warm_started_nodes,
+            refactorizations: stats.refactorizations,
+            eta_nnz_peak: stats.eta_nnz_peak,
         };
         match run.result {
             Ok(outcome) => {

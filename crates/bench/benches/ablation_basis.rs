@@ -8,6 +8,9 @@
 //! same shape as every other target (`target/criterion/<id>/new/`).
 //! A one-shot sanity pass asserts both backends reach identical optimal
 //! mapping costs before anything is timed.
+//!
+//! Set `GMM_LP_PRICING=dantzig|partial|devex` to run the whole target
+//! under a specific simplex pricing rule (default `dantzig`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmm_core::pipeline::{Mapper, MapperOptions};
@@ -23,6 +26,7 @@ const BACKENDS: [(&str, BasisBackend); 2] = [
 fn mapper_with(basis: BasisBackend) -> Mapper {
     let mut opts = MapperOptions::new();
     opts.backend.set_lp_basis(basis);
+    opts.backend.set_lp_pricing(gmm_bench::pricing_from_env());
     Mapper::new(opts)
 }
 

@@ -10,6 +10,10 @@
 //!    layout with the paper's own numbers alongside.
 //! 2. Criterion sampling of the global/detailed pipeline per design point
 //!    (the quantity that must stay fast as the problem grows).
+//!
+//! Both parts honor `GMM_LP_PRICING=dantzig|partial|devex` (via
+//! `compare_point`/`time_global`), so one binary produces per-pricing
+//! ablation numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmm_bench::{compare_point, render_rows, time_global};

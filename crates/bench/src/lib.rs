@@ -16,8 +16,31 @@
 use gmm_core::pipeline::{Mapper, MapperOptions};
 use gmm_core::{CostWeights, SolverBackend};
 use gmm_ilp::branch::MipOptions;
+use gmm_ilp::PricingRule;
 use gmm_workloads::{table3_board, table3_design, Table3Point};
 use std::time::{Duration, Instant};
+
+pub mod trajectory;
+
+pub use trajectory::{
+    run_trajectory, run_trajectory_with, BenchReport, RuleTrajectory, TrajectoryConfig,
+    BENCH_SCHEMA,
+};
+
+/// Pricing rule for the Criterion targets, from the `GMM_LP_PRICING`
+/// environment variable (`dantzig` / `partial` / `devex`; unset means
+/// `dantzig`). Lets one bench binary produce per-rule ablation numbers:
+/// `GMM_LP_PRICING=devex cargo bench --bench table3_solve_times`.
+/// Panics on an unrecognized value — a silently-defaulted typo would
+/// record an ablation under the wrong label.
+pub fn pricing_from_env() -> PricingRule {
+    match std::env::var("GMM_LP_PRICING") {
+        Err(_) => PricingRule::Dantzig,
+        Ok(name) => PricingRule::from_name(&name).unwrap_or_else(|| {
+            panic!("GMM_LP_PRICING must be `dantzig`, `partial`, or `devex`, got `{name}`")
+        }),
+    }
+}
 
 /// Result of running one Table 3 point through both formulations.
 #[derive(Debug, Clone)]
@@ -44,10 +67,11 @@ impl ComparisonRow {
 pub fn compare_point(point: &Table3Point, cap: Duration) -> ComparisonRow {
     let design = table3_design(point, 0xF00D);
     let board = table3_board(point);
-    let mip = MipOptions {
+    let mut mip = MipOptions {
         time_limit: Some(cap),
         ..MipOptions::default()
     };
+    mip.simplex.pricing = pricing_from_env();
     let mut opts = MapperOptions::new();
     opts.backend = SolverBackend::Serial(mip);
     let mapper = Mapper::new(opts);
@@ -115,7 +139,9 @@ pub fn render_rows(rows: &[ComparisonRow]) -> String {
 pub fn time_global(point: &Table3Point) -> Duration {
     let design = table3_design(point, 0xF00D);
     let board = table3_board(point);
-    let mapper = Mapper::new(MapperOptions::new());
+    let mut opts = MapperOptions::new();
+    opts.backend.set_lp_pricing(pricing_from_env());
+    let mapper = Mapper::new(opts);
     let t = Instant::now();
     let out = mapper.map(&design, &board).expect("table3 points are mappable");
     std::hint::black_box(out);

@@ -9,6 +9,8 @@
 //! * `serve`    — run the `mapsrv` batch daemon (JSON-lines over TCP)
 //! * `batch`    — stream a directory/manifest/generated set of instances
 //!   through the job queue and print a summary table
+//! * `bench`    — run the simplex pricing-rule ablation (stream workload
+//!   plus Table 3 points per rule) and write `BENCH_simplex.json`
 //! * `table1`   — print the paper's Table 1 device catalog
 //! * `table2`   — print the paper's Table 2 allocation options
 //! * `fig2`     — run the paper's Figure 2 worked example
@@ -46,8 +48,8 @@ use gmm_ilp::branch::MipOptions;
 use gmm_ilp::parallel::ParallelOptions;
 use gmm_ilp::StopReason;
 use gmm_service::{
-    JobConfig, JobEvent, JobQueue, JobState, LpBasis, MapServer, ProgressFrame, QueueOptions,
-    Session, SubmitSpec,
+    JobConfig, JobEvent, JobQueue, JobState, LpBasis, LpPricing, MapServer, ProgressFrame,
+    QueueOptions, Session, SubmitSpec,
 };
 use gmm_sim::{render_report, simulate_mapping, Trace};
 use gmm_workloads::{
@@ -147,6 +149,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(rest),
         "serve" => cmd_serve(rest),
         "batch" => cmd_batch(rest),
+        "bench" => cmd_bench(rest),
         "table1" => cmd_table1(),
         "table2" => cmd_table2(rest),
         "fig2" => cmd_fig2(),
@@ -172,6 +175,7 @@ gmm — global/detailed memory mapping for FPGA-based reconfigurable systems
 USAGE:
   gmm solve --design <d.json> --board <b.json> [--complete] [--parallel N]
             [--overlap] [--ilp-detailed] [--lp-basis dense|lu]
+            [--lp-pricing dantzig|partial|devex]
             [--deadline-secs T] [--node-budget N] [--progress]
             [--out <mapping.json>]          (alias: gmm map)
   gmm gen design --segments N [--seed S] [--out <f.json>]
@@ -188,13 +192,16 @@ USAGE:
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
             [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
-            [--retain-secs T] [--lp-basis dense|lu] [--overlap]
+            [--retain-secs T] [--lp-basis dense|lu]
+            [--lp-pricing dantzig|partial|devex] [--overlap]
             [--ilp-detailed] [--job-deadline-secs T]
+  gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
+            [--cap-secs T] [--progress] [--out BENCH_simplex.json]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
   gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
-             [--lp-basis dense|lu]
+             [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]
 
 Every subcommand answers `--help` with its own usage text.
 
@@ -206,7 +213,14 @@ node events to stderr.
 
 The LP engine factorizes the simplex basis; `--lp-basis` picks the
 backend: `lu` (sparse LU + eta updates, default) or `dense` (explicit
-inverse, reference).
+inverse, reference). `--lp-pricing` picks the entering-variable rule:
+`dantzig` (full most-negative scan, default), `partial` (rotating
+candidate window with a full-scan fallback), or `devex` (reference-
+weight steepest-edge approximation). All rules reach the same optima;
+they differ in pivot counts and scan cost. `bench` runs the stream
+workload plus Table 3 points once per rule and writes the throughput
+trajectory (instances/sec, pivots/sec, nodes/sec, refactorization
+cadence) to BENCH_simplex.json.
 
 `serve` runs the mapsrv daemon: a JSON-lines TCP protocol (v1 verbs
 submit / poll / result / cancel / stats / shutdown, plus the v2 session
@@ -251,6 +265,8 @@ OPTIONS:
   --overlap             lifetime-based capacity modification
   --ilp-detailed        ILP detailed mapper instead of the constructive packer
   --lp-basis dense|lu   simplex basis factorization backend (default lu)
+  --lp-pricing R        simplex pricing rule: dantzig (default), partial,
+                        or devex; all reach the same optima
   --deadline-secs T     wall-clock budget; past it the solve stops and
                         reports termination `deadline-exceeded` (exit 5)
   --node-budget N       branch-and-bound node budget across the session
@@ -328,7 +344,8 @@ USAGE:
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
             [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
-            [--retain-secs T] [--lp-basis dense|lu] [--overlap]
+            [--retain-secs T] [--lp-basis dense|lu]
+            [--lp-pricing dantzig|partial|devex] [--overlap]
             [--ilp-detailed] [--job-deadline-secs T]
 
 OPTIONS:
@@ -361,7 +378,36 @@ gmm table3 — regenerate Table 3 / Figure 4 (complete vs global)
 
 USAGE:
   gmm table3 [--points 1..9] [--cap-secs 60] [--parallel N]
-             [--lp-basis dense|lu]"
+             [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]"
+        }
+        "bench" => {
+            "\
+gmm bench — simplex pricing ablation, written to BENCH_simplex.json
+
+USAGE:
+  gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
+            [--cap-secs T] [--progress] [--out BENCH_simplex.json]
+
+Runs the stream workload plus the selected Table 3 points once per
+pricing rule (dantzig, partial, devex) through the gmm-api facade and
+writes a JSON trajectory report: per rule, instances/sec over the
+stream, pivots/sec and nodes/sec through the solver loops, total
+refactorizations, and the peak eta-file fill-in.
+
+OPTIONS:
+  --quick       CI-sized smoke run (8 stream instances, Table 3 points
+                1-2, 2 s caps); default is 24 instances, all 9 points,
+                5 s caps
+  --stream N    override the stream instance count
+  --seed S      stream workload seed (default 0xBEEF)
+  --points P    Table 3 points to time per rule (e.g. 1..3 or 1,4,9)
+  --cap-secs T  per-point deadline; capped points are marked `capped`
+  --progress    stream phase/incumbent/node events to stderr
+  --out <file>  report path (default BENCH_simplex.json)
+
+The run fails (exit 1) if devex pivots/sec drops below 0.8x the
+dantzig baseline measured in the same run — the devex update must stay
+cheap enough that its per-pivot overhead never dominates."
         }
         _ => return None,
     })
@@ -448,6 +494,18 @@ fn lp_basis_from_flags(f: &Flags) -> Result<Option<gmm_ilp::BasisBackend>, CliEr
     }
 }
 
+fn lp_pricing_from_flags(f: &Flags) -> Result<Option<gmm_ilp::PricingRule>, CliError> {
+    match f.get("--lp-pricing") {
+        None => Ok(None),
+        Some(name) => match gmm_ilp::PricingRule::from_name(name) {
+            Some(rule) => Ok(Some(rule)),
+            None => Err(CliError::usage(format!(
+                "--lp-pricing must be `dantzig`, `partial`, or `devex`, got `{name}`"
+            ))),
+        },
+    }
+}
+
 fn backend_from_flags(f: &Flags) -> Result<SolverBackend, CliError> {
     let mut backend = match f.get("--parallel") {
         Some(n) => SolverBackend::Parallel(ParallelOptions {
@@ -458,6 +516,9 @@ fn backend_from_flags(f: &Flags) -> Result<SolverBackend, CliError> {
     };
     if let Some(basis) = lp_basis_from_flags(f)? {
         backend.set_lp_basis(basis);
+    }
+    if let Some(pricing) = lp_pricing_from_flags(f)? {
+        backend.set_lp_pricing(pricing);
     }
     Ok(backend)
 }
@@ -529,11 +590,12 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     })?;
 
     println!(
-        "termination: {} ({} nodes, {} pivots, {} warm-started, {} retries)",
+        "termination: {} ({} nodes, {} pivots, {} warm-started, {} refactorizations, {} retries)",
         report.termination,
         report.nodes_explored,
         report.lp_iterations,
         report.warm_started_nodes,
+        report.refactorizations,
         report.retries
     );
     if let Some(out) = &report.outcome {
@@ -769,6 +831,9 @@ fn job_config_from_flags(f: &Flags) -> Result<JobConfig, CliError> {
         lp_basis: lp_basis_from_flags(f)?
             .map(LpBasis::from)
             .unwrap_or(LpBasis::Lu),
+        lp_pricing: lp_pricing_from_flags(f)?
+            .map(LpPricing::from)
+            .unwrap_or(LpPricing::Dantzig),
         overlap_aware: f.has("--overlap"),
         detailed_ilp: f.has("--ilp-detailed"),
     })
@@ -1082,7 +1147,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         let line = format!(
             "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions; \
-             {} events dropped",
+             {} events dropped; {} pivots, {} refactorizations (eta peak {})",
             s.submitted,
             s.completed,
             s.failed,
@@ -1096,6 +1161,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.cache.capacity,
             s.cache.evictions,
             s.events_dropped,
+            s.lp_iterations,
+            s.refactorizations,
+            s.eta_nnz_peak,
         );
         queue.shutdown();
         line
@@ -1103,7 +1171,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         format!(
             "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions; \
-             conns v1/v2 {}/{}, {} events dropped",
+             conns v1/v2 {}/{}, {} events dropped; {} pivots, {} refactorizations \
+             (eta peak {})",
             s.jobs_submitted,
             s.jobs_completed,
             s.jobs_failed,
@@ -1118,6 +1187,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.proto_versions.v1,
             s.proto_versions.v2,
             s.events_dropped,
+            s.lp_iterations,
+            s.refactorizations,
+            s.eta_nnz_peak,
         )
     } else {
         String::new()
@@ -1218,6 +1290,85 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Interrupted(format!(
             "{interrupted} of {total_jobs} jobs stopped by deadline/cancellation (see table)"
         )));
+    }
+    Ok(())
+}
+
+/// `gmm bench` — the simplex pricing ablation behind `BENCH_simplex.json`.
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    use gmm_bench::{run_trajectory_with, TrajectoryConfig};
+    use gmm_ilp::PricingRule;
+
+    let f = Flags::new(args);
+    let mut cfg = if f.has("--quick") {
+        TrajectoryConfig::quick()
+    } else {
+        TrajectoryConfig::full()
+    };
+    if let Some(n) = f.parse::<usize>("--stream")? {
+        cfg.stream_count = n.max(1);
+    }
+    if let Some(seed) = f.parse::<u64>("--seed")? {
+        cfg.stream_seed = seed;
+    }
+    if let Some(spec) = f.get("--points") {
+        cfg.table3_points = parse_points(spec)?;
+    }
+    if let Some(cap) = f.parse_secs("--cap-secs")? {
+        cfg.point_cap = cap;
+    }
+    let out = f.get("--out").unwrap_or("BENCH_simplex.json");
+
+    println!(
+        "bench: {} stream instances + table3 points {:?} per rule ({} rules, cap {:?}/point)",
+        cfg.stream_count,
+        cfg.table3_points,
+        cfg.rules.len(),
+        cfg.point_cap,
+    );
+    let observer: Option<Arc<dyn gmm_ilp::control::ProgressObserver>> = f
+        .has("--progress")
+        .then(|| Arc::new(StderrProgress::new()) as Arc<dyn gmm_ilp::control::ProgressObserver>);
+    let report = run_trajectory_with(&cfg, observer);
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>11} {:>10} {:>10} {:>9}",
+        "rule", "inst/s", "pivots/s", "nodes/s", "pivots", "refactors", "eta-peak"
+    );
+    for r in &report.rules {
+        println!(
+            "{:>8} {:>10.1} {:>12.0} {:>11.0} {:>10} {:>10} {:>9}",
+            r.rule,
+            r.stream.instances_per_sec,
+            r.stream.pivots_per_sec,
+            r.stream.nodes_per_sec,
+            r.stream.pivots,
+            r.stream.refactorizations,
+            r.stream.eta_nnz_peak,
+        );
+    }
+
+    // Write the artifact before any guard verdict: a failing run's
+    // numbers are exactly the ones worth inspecting.
+    std::fs::write(out, report.to_json() + "\n")
+        .map_err(|e| CliError::internal(format!("writing {out}: {e}")))?;
+    println!("wrote {out}");
+
+    // CI guard: the devex update is designed to be cheap (one extra flop
+    // per scanned column plus an O(1) pivot update); if its pivot loop
+    // throughput falls well below dantzig's in the same run, the rule has
+    // regressed from an approximation into a tax. 0.8x absorbs run noise.
+    if let (Some(d), Some(x)) = (
+        report.rule(PricingRule::Dantzig),
+        report.rule(PricingRule::Devex),
+    ) {
+        let floor = 0.8 * d.stream.pivots_per_sec;
+        if x.stream.pivots_per_sec < floor {
+            return Err(CliError::internal(format!(
+                "devex pivot throughput regressed: {:.0} pivots/s < 0.8 x dantzig {:.0} pivots/s",
+                x.stream.pivots_per_sec, d.stream.pivots_per_sec,
+            )));
+        }
     }
     Ok(())
 }
@@ -1409,6 +1560,9 @@ fn cmd_table3(args: &[String]) -> Result<(), CliError> {
         };
         if let Some(basis) = lp_basis_from_flags(&f)? {
             backend.set_lp_basis(basis);
+        }
+        if let Some(pricing) = lp_pricing_from_flags(&f)? {
+            backend.set_lp_pricing(pricing);
         }
         let mut opts = MapperOptions::new();
         opts.backend = backend;

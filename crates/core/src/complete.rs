@@ -289,6 +289,8 @@ pub fn solve_complete_with_stats(
         nodes_explored: result.nodes_explored,
         lp_iterations: result.lp_iterations,
         warm_started_nodes: result.warm_started_nodes,
+        refactorizations: result.refactorizations,
+        eta_nnz_peak: result.eta_nnz_peak,
         stop_reason: result.stop_reason,
     };
     match result.status {

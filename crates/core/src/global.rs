@@ -71,6 +71,27 @@ impl SolverBackend {
         }
     }
 
+    /// Select the simplex entering-column pricing rule on whichever
+    /// engine is configured (CLI `--lp-pricing` plumbing).
+    pub fn set_lp_pricing(&mut self, pricing: gmm_ilp::PricingRule) {
+        match self {
+            SolverBackend::Serial(opts) | SolverBackend::SerialWithCuts(opts, _) => {
+                opts.simplex.pricing = pricing;
+            }
+            SolverBackend::Parallel(popts) => popts.mip.simplex.pricing = pricing,
+        }
+    }
+
+    /// The configured pricing rule.
+    pub fn lp_pricing(&self) -> gmm_ilp::PricingRule {
+        match self {
+            SolverBackend::Serial(opts) | SolverBackend::SerialWithCuts(opts, _) => {
+                opts.simplex.pricing
+            }
+            SolverBackend::Parallel(popts) => popts.mip.simplex.pricing,
+        }
+    }
+
     /// Mutable access to the underlying MIP options, whichever engine is
     /// configured.
     pub fn mip_options_mut(&mut self) -> &mut MipOptions {
@@ -166,6 +187,10 @@ pub struct SolveTelemetry {
     pub nodes_explored: u64,
     pub lp_iterations: u64,
     pub warm_started_nodes: u64,
+    /// Basis refactorizations across all node LPs.
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in any single node LP reached.
+    pub eta_nnz_peak: u64,
     /// Why the engine stopped early, if it did.
     pub stop_reason: Option<StopReason>,
 }
@@ -344,6 +369,8 @@ pub fn solve_global_with_stats(
         nodes_explored: result.nodes_explored,
         lp_iterations: result.lp_iterations,
         warm_started_nodes: result.warm_started_nodes,
+        refactorizations: result.refactorizations,
+        eta_nnz_peak: result.eta_nnz_peak,
         stop_reason: result.stop_reason,
     };
     match result.status {

@@ -88,6 +88,10 @@ pub struct MapStats {
     pub lp_iterations: u64,
     /// Nodes that accepted a parent warm-start basis (skipped phase 1).
     pub warm_started_nodes: u64,
+    /// Basis refactorizations across every global solve attempt.
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in any single node LP reached.
+    pub eta_nnz_peak: u64,
     /// MIP status of the last global solve (`None` if none ran).
     pub global_status: Option<MipStatus>,
     /// What stopped the last global solve early, if anything.
@@ -99,6 +103,8 @@ impl MapStats {
         self.nodes_explored += t.nodes_explored;
         self.lp_iterations += t.lp_iterations;
         self.warm_started_nodes += t.warm_started_nodes;
+        self.refactorizations += t.refactorizations;
+        self.eta_nnz_peak = self.eta_nnz_peak.max(t.eta_nnz_peak);
         self.global_status = t.status;
         self.stop_reason = t.stop_reason;
     }

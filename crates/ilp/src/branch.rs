@@ -103,6 +103,11 @@ pub struct MipResult {
     /// Nodes whose LP accepted a parent warm-start basis and skipped
     /// phase 1 entirely.
     pub warm_started_nodes: u64,
+    /// Basis refactorizations across all node LPs (each LP counts its
+    /// initial factorization plus every scheduled or eta-budget rebuild).
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in (nonzeros) any single node LP reached.
+    pub eta_nnz_peak: u64,
     /// Why the search stopped early; `None` when the tree was exhausted
     /// (or the gap target met) normally.
     pub stop_reason: Option<StopReason>,
@@ -363,6 +368,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 nodes_explored: 0,
                 lp_iterations: 0,
                 warm_started_nodes: 0,
+                refactorizations: 0,
+                eta_nnz_peak: 0,
                 stop_reason: None,
                 wall_time: start.elapsed(),
             });
@@ -391,6 +398,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
     let mut nodes: u64 = 0;
     let mut lp_iters: u64 = 0;
     let mut warm_nodes: u64 = 0;
+    let mut refactors: u64 = 0;
+    let mut eta_peak: u64 = 0;
     let mut status_limit_hit = false;
     let mut stop_reason: Option<StopReason> = None;
 
@@ -481,6 +490,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         };
         nodes += 1;
         lp_iters += sol.iterations as u64;
+        refactors += sol.refactorizations;
+        eta_peak = eta_peak.max(sol.eta_nnz_peak);
         if sol.warm_started {
             warm_nodes += 1;
         }
@@ -670,6 +681,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             nodes_explored: nodes,
             lp_iterations: lp_iters,
             warm_started_nodes: warm_nodes,
+            refactorizations: refactors,
+            eta_nnz_peak: eta_peak,
             stop_reason: None,
             wall_time: wall,
         });
@@ -694,6 +707,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 nodes_explored: nodes,
                 lp_iterations: lp_iters,
                 warm_started_nodes: warm_nodes,
+                refactorizations: refactors,
+                eta_nnz_peak: eta_peak,
                 stop_reason: if status_limit_hit { stop_reason } else { None },
                 wall_time: wall,
             })
@@ -717,6 +732,8 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             nodes_explored: nodes,
             lp_iterations: lp_iters,
             warm_started_nodes: warm_nodes,
+            refactorizations: refactors,
+            eta_nnz_peak: eta_peak,
             stop_reason: if status_limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),

@@ -40,3 +40,4 @@ pub use control::{CancelToken, NullObserver, ProgressObserver, SolveControl};
 pub use error::{IlpError, LpStatus, MipStatus, StopReason};
 pub use linalg::BasisBackend;
 pub use model::{lin, LinExpr, Model, Objective, Sense, VarId, VarKind};
+pub use simplex::PricingRule;

@@ -71,6 +71,11 @@ impl Eta {
 pub struct EtaFile {
     etas: Vec<Eta>,
     nnz: usize,
+    /// High-water mark of `nnz` over the file's whole lifetime. Unlike
+    /// `nnz` it survives [`EtaFile::clear`], so one LP solve can report
+    /// its worst fill-in even though the file is emptied at every
+    /// refactorization.
+    peak: usize,
 }
 
 impl EtaFile {
@@ -85,6 +90,9 @@ impl EtaFile {
 
     pub fn push(&mut self, eta: Eta) {
         self.nnz += eta.entries.len() + 1;
+        if self.nnz > self.peak {
+            self.peak = self.nnz;
+        }
         self.etas.push(eta);
     }
 
@@ -100,6 +108,11 @@ impl EtaFile {
     /// refactorization beats replaying a fat file.
     pub fn nnz(&self) -> usize {
         self.nnz
+    }
+
+    /// Largest `nnz` the file ever reached, across clears.
+    pub fn peak_nnz(&self) -> usize {
+        self.peak
     }
 
     /// Replay the file forward: `x ← Eₖ ⋯ E₁ x`.

@@ -230,6 +230,12 @@ impl SparseLu {
             + self.upper.iter().map(Vec::len).sum::<usize>()
             + self.upper_diag.len()
     }
+
+    /// Worst eta-file fill-in seen since this factorizer was created
+    /// (survives refactorizations, which clear the live file).
+    pub fn eta_nnz_peak(&self) -> usize {
+        self.etas.peak_nnz()
+    }
 }
 
 impl BasisFactorization for SparseLu {
@@ -480,6 +486,25 @@ impl Factorizer {
         match self {
             Factorizer::Dense(_) => BasisBackend::Dense,
             Factorizer::Lu(_) => BasisBackend::SparseLu,
+        }
+    }
+
+    /// Nonzeros in the base factors, or 0 for the dense backend (which
+    /// has no sparse factors — callers treat 0 as "use a dense-sized
+    /// eta budget").
+    pub fn factor_nnz(&self) -> usize {
+        match self {
+            Factorizer::Dense(_) => 0,
+            Factorizer::Lu(f) => f.factor_nnz(),
+        }
+    }
+
+    /// Worst eta-file fill-in over the factorizer's lifetime; 0 for the
+    /// dense backend, which folds updates into the explicit inverse.
+    pub fn eta_nnz_peak(&self) -> usize {
+        match self {
+            Factorizer::Dense(_) => 0,
+            Factorizer::Lu(f) => f.eta_nnz_peak(),
         }
     }
 }

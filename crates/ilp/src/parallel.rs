@@ -110,6 +110,9 @@ struct Shared {
     nodes: AtomicU64,
     lp_iters: AtomicU64,
     warm_nodes: AtomicU64,
+    refactors: AtomicU64,
+    /// Worst per-LP eta fill-in across workers (max, not sum).
+    eta_peak: AtomicU64,
     abort: AtomicBool,
     limit_hit: AtomicBool,
     /// First stop reason observed (0 = none; see `encode_stop`).
@@ -256,6 +259,12 @@ fn worker_loop(local: Worker<PNode>, shared: &Shared, stealers: &[Stealer<PNode>
         shared
             .lp_iters
             .fetch_add(sol.iterations as u64, Ordering::AcqRel);
+        shared
+            .refactors
+            .fetch_add(sol.refactorizations, Ordering::AcqRel);
+        shared
+            .eta_peak
+            .fetch_max(sol.eta_nnz_peak, Ordering::AcqRel);
         if sol.warm_started {
             shared.warm_nodes.fetch_add(1, Ordering::AcqRel);
         }
@@ -381,6 +390,8 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
                 nodes_explored: 0,
                 lp_iterations: 0,
                 warm_started_nodes: 0,
+                refactorizations: 0,
+                eta_nnz_peak: 0,
                 stop_reason: None,
                 wall_time: start.elapsed(),
             });
@@ -411,6 +422,8 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         nodes: AtomicU64::new(0),
         lp_iters: AtomicU64::new(0),
         warm_nodes: AtomicU64::new(0),
+        refactors: AtomicU64::new(0),
+        eta_peak: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
         stop: AtomicU8::new(0),
@@ -464,6 +477,8 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
             warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
+            refactorizations: shared.refactors.load(Ordering::Acquire),
+            eta_nnz_peak: shared.eta_peak.load(Ordering::Acquire),
             stop_reason: if limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),
@@ -480,6 +495,8 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             nodes_explored: shared.nodes.load(Ordering::Acquire),
             lp_iterations: shared.lp_iters.load(Ordering::Acquire),
             warm_started_nodes: shared.warm_nodes.load(Ordering::Acquire),
+            refactorizations: shared.refactors.load(Ordering::Acquire),
+            eta_nnz_peak: shared.eta_peak.load(Ordering::Acquire),
             stop_reason: if limit_hit { stop_reason } else { None },
             wall_time: wall,
         }),

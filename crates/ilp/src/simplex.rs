@@ -18,6 +18,15 @@
 //! The constraint matrix stays sparse (CSC); slack and artificial columns
 //! are represented implicitly as unit columns.
 //!
+//! **Pricing.** The entering column is chosen by a pluggable
+//! [`PricingRule`]: classic Dantzig full pricing (scan every nonbasic
+//! column, take the worst reduced cost), candidate-window **partial
+//! pricing** (scan a rotating window and fall back to a full scan before
+//! declaring optimality), or **devex** reference weights (a steepest-edge
+//! approximation updated per pivot and reset whenever the basis is
+//! refactorized). Bland's anti-cycling rule overrides all of them once a
+//! stall is detected.
+//!
 //! Feasibility (phase 1) is obtained by adding one artificial variable per
 //! row whose slack cannot absorb the initial residual, then minimizing the
 //! artificial sum. Phase 2 fixes artificials to zero and optimizes the real
@@ -53,6 +62,62 @@ pub enum VarStatus {
     Free,
 }
 
+/// Entering-column pricing rule for the simplex pivot loop.
+///
+/// All rules find the same optimum (they only change which improving
+/// column enters first); they trade scan cost per iteration against
+/// pivot count. Bland's anti-cycling rule overrides the configured rule
+/// whenever the stall detector engages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Full Dantzig pricing: scan every nonbasic column and enter the one
+    /// with the largest reduced-cost violation. The reference rule.
+    #[default]
+    Dantzig,
+    /// Candidate-window partial pricing: scan a rotating window of
+    /// columns starting at a persistent cursor and enter the best
+    /// candidate seen; when the window is dry the scan keeps extending
+    /// (refilling the list) until a candidate appears or every column has
+    /// been examined, so optimality is only declared after a full scan.
+    Partial,
+    /// Devex reference weights: enter the column maximizing `d²/w` where
+    /// `w` approximates the steepest-edge norm. Weights are updated per
+    /// pivot (the cheap leaving-variable update) and reset to the unit
+    /// reference framework at every refactorization.
+    Devex,
+}
+
+impl PricingRule {
+    /// Every rule, in ablation/reporting order.
+    pub const ALL: [PricingRule; 3] =
+        [PricingRule::Dantzig, PricingRule::Partial, PricingRule::Devex];
+
+    /// Stable lowercase name (CLI flag values, bench JSON keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PricingRule::Dantzig => "dantzig",
+            PricingRule::Partial => "partial",
+            PricingRule::Devex => "devex",
+        }
+    }
+
+    /// Parse the [`PricingRule::as_str`] rendering back.
+    pub fn from_name(s: &str) -> Option<PricingRule> {
+        match s {
+            "dantzig" => Some(PricingRule::Dantzig),
+            "partial" => Some(PricingRule::Partial),
+            "devex" => Some(PricingRule::Devex),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PricingRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -70,6 +135,8 @@ pub struct SimplexOptions {
     pub stall_limit: usize,
     /// Basis factorization backend.
     pub basis: BasisBackend,
+    /// Entering-column pricing rule.
+    pub pricing: PricingRule,
     /// Abort with [`IlpError::Deadline`] past this instant (checked every
     /// few pivots, so a single long LP cannot overshoot a MIP time limit).
     pub deadline: Option<std::time::Instant>,
@@ -89,6 +156,7 @@ impl Default for SimplexOptions {
             refactor_every: 64,
             stall_limit: 256,
             basis: BasisBackend::default(),
+            pricing: PricingRule::default(),
             deadline: None,
             cancel: None,
         }
@@ -162,6 +230,12 @@ pub struct LpSolution {
     pub iterations: usize,
     /// Whether a warm-start basis was accepted and phase 1 skipped.
     pub warm_started: bool,
+    /// Basis factorizations performed (the initial factorization plus
+    /// every scheduled or eta-budget-triggered rebuild).
+    pub refactorizations: u64,
+    /// Peak eta-file nonzero count observed between refactorizations
+    /// (0 for the dense backend, which folds updates in place).
+    pub eta_nnz_peak: u64,
     /// Final basis data for cut generation and child warm starts (only on
     /// `Optimal`).
     pub snapshot: Option<BasisSnapshot>,
@@ -243,6 +317,13 @@ struct Solver<'a> {
     w: Vec<f64>,
     iterations: usize,
     pivots_since_refactor: usize,
+    /// Basis factorizations performed so far (initial + rebuilds).
+    refactorizations: u64,
+    /// Rotating scan cursor for [`PricingRule::Partial`].
+    pricing_cursor: usize,
+    /// Devex reference weights per column (lazily sized to `n_total`;
+    /// reset to 1.0 whenever the basis is refactorized).
+    devex_w: Vec<f64>,
 }
 
 enum Phase {
@@ -320,6 +401,9 @@ impl<'a> Solver<'a> {
             w: vec![0.0; m],
             iterations: 0,
             pivots_since_refactor: 0,
+            refactorizations: 0,
+            pricing_cursor: 0,
+            devex_w: Vec::new(),
         })
     }
 
@@ -423,12 +507,18 @@ impl<'a> Solver<'a> {
                 self.x.push(want.clamp(l.min(u), u.max(l)));
                 self.basis[i] = j as u32;
             } else {
-                let clamped = if want < l { l } else { u };
-                self.status.push(if clamped == l {
-                    VarStatus::Lower
+                // Clamp toward the violated side. The status is decided by
+                // the same branch that picked the bound — never by a float
+                // equality on the clamped value — so a degenerate slack
+                // with `l == u` (equality rows) deterministically
+                // classifies as `Lower` no matter how the two bounds were
+                // computed.
+                let (clamped, st) = if want < l || u <= l {
+                    (l, VarStatus::Lower)
                 } else {
-                    VarStatus::Upper
-                });
+                    (u, VarStatus::Upper)
+                };
+                self.status.push(st);
                 self.x.push(clamped);
                 need_art.push((i, want - clamped));
             }
@@ -471,6 +561,12 @@ impl<'a> Solver<'a> {
             .map_err(|_| IlpError::Numerical("singular basis at refactorization".into()))?;
         self.recompute_basics();
         self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
+        // Fresh factors invalidate the devex steepest-edge approximation:
+        // restart from the unit reference framework.
+        if !self.devex_w.is_empty() {
+            self.devex_w.fill(1.0);
+        }
         Ok(())
     }
 
@@ -503,20 +599,59 @@ impl<'a> Solver<'a> {
     }
 
     /// Pivot bookkeeping shared by the primal and dual loops: absorb the
-    /// basis change into the factorization, refactorizing on schedule or
-    /// when the update file outgrows its budget.
-    fn absorb_pivot(&mut self, r: usize) -> Result<(), IlpError> {
+    /// basis change into the factorization (updating the devex weights if
+    /// that rule is active), refactorizing when the eta file outgrows its
+    /// fill-in budget — with [`SimplexOptions::refactor_every`] kept as
+    /// the hard pivot-count ceiling. `leaving` is the column that just
+    /// left basis row `r`; `self.w` still holds the entering column's
+    /// FTRAN image.
+    fn absorb_pivot(&mut self, r: usize, leaving: usize) -> Result<(), IlpError> {
         if self.factor.update(r, &self.w, self.opts.pivot_tol).is_err() {
             return Err(IlpError::Numerical("vanishing pivot in basis update".into()));
         }
+        if self.opts.pricing == PricingRule::Devex {
+            self.devex_update(r, leaving);
+        }
         self.pivots_since_refactor += 1;
-        let eta_budget = (8 * self.m).max(512);
-        if self.pivots_since_refactor >= self.opts.refactor_every
-            || self.factor.update_nnz() > eta_budget
-        {
+        // Forrest–Tomlin-style length bound: replaying the eta file on
+        // every FTRAN/BTRAN must stay a bounded multiple of the base
+        // factor solve, so the budget scales with the factor's own
+        // nonzeros rather than a blind pivot count. The dense backend
+        // reports zero factor nonzeros (updates fold in place); keep the
+        // legacy absolute bound there.
+        let update_nnz = self.factor.update_nnz();
+        let eta_budget = match self.factor.factor_nnz() {
+            0 => (8 * self.m).max(512),
+            fnnz => (2 * fnnz).max(self.m).max(64),
+        };
+        if self.pivots_since_refactor >= self.opts.refactor_every || update_nnz > eta_budget {
             self.refactorize()?;
         }
         Ok(())
+    }
+
+    /// Cheap devex update (the leaving-variable rule): the variable that
+    /// just left row `r` re-enters the nonbasic set with weight
+    /// `max(w_entering / αᵣ², 1)`, where `αᵣ = w[r]` is the pivot
+    /// element. Remaining weights keep their last value until the next
+    /// refactorization resets the reference framework.
+    fn devex_update(&mut self, r: usize, leaving: usize) {
+        if self.devex_w.len() < self.n_total {
+            self.devex_w.resize(self.n_total, 1.0);
+        }
+        let alpha_r = self.w[r];
+        if alpha_r == 0.0 {
+            return;
+        }
+        let entering = self.basis[r] as usize;
+        let wl = (self.devex_w[entering] / (alpha_r * alpha_r)).max(1.0);
+        if wl > 1e12 {
+            // A blown-up weight means the framework is stale beyond
+            // repair: restart it rather than poisoning future scores.
+            self.devex_w.fill(1.0);
+        } else {
+            self.devex_w[leaving] = wl;
+        }
     }
 
     /// Install a warm-start basis. Errors (returning `false`) leave the
@@ -594,23 +729,33 @@ impl<'a> Solver<'a> {
                 return Err(IlpError::Cancelled);
             }
             // Leaving choice: the basic variable with the worst violation.
+            // Under devex the violation is weighted by the same reference
+            // weights the primal pricing uses (`viol²/w`, the dual analog
+            // of the steepest-edge approximation); the other rules keep
+            // the plain worst-violation scan — it is O(m) and cheap next
+            // to the full-column dual ratio test below, which must scan
+            // everything for correctness regardless of pricing rule.
+            let devex = self.opts.pricing == PricingRule::Devex;
             let mut leave: Option<(usize, bool)> = None;
-            let mut worst = feas_tol;
+            let mut worst = 0.0f64;
             for i in 0..self.m {
                 let bj = self.basis[i] as usize;
                 let xb = self.x[bj];
-                if xb < self.lb[bj] - feas_tol {
-                    let viol = self.lb[bj] - xb;
-                    if viol > worst {
-                        worst = viol;
-                        leave = Some((i, true));
-                    }
+                let (viol, below) = if xb < self.lb[bj] - feas_tol {
+                    (self.lb[bj] - xb, true)
                 } else if xb > self.ub[bj] + feas_tol {
-                    let viol = xb - self.ub[bj];
-                    if viol > worst {
-                        worst = viol;
-                        leave = Some((i, false));
-                    }
+                    (xb - self.ub[bj], false)
+                } else {
+                    continue;
+                };
+                let score = if devex {
+                    viol * viol / self.devex_w.get(bj).copied().unwrap_or(1.0)
+                } else {
+                    viol
+                };
+                if leave.is_none() || score > worst {
+                    worst = score;
+                    leave = Some((i, below));
                 }
             }
             let Some((r, below)) = leave else {
@@ -712,7 +857,7 @@ impl<'a> Solver<'a> {
             self.status[entering] = VarStatus::Basic(r as u32);
             self.basis[r] = entering as u32;
             self.iterations += 1;
-            if self.absorb_pivot(r).is_err() {
+            if self.absorb_pivot(r, leaving).is_err() {
                 return Ok(false);
             }
         }
@@ -768,6 +913,8 @@ impl<'a> Solver<'a> {
                     objective: f64::NAN,
                     iterations: self.iterations,
                     warm_started: false,
+                    refactorizations: self.refactorizations,
+                    eta_nnz_peak: self.factor.eta_nnz_peak() as u64,
                     snapshot: None,
                 });
             }
@@ -792,6 +939,8 @@ impl<'a> Solver<'a> {
                 objective: f64::NAN,
                 iterations: self.iterations,
                 warm_started,
+                refactorizations: self.refactorizations,
+                eta_nnz_peak: self.factor.eta_nnz_peak() as u64,
                 snapshot: None,
             });
         }
@@ -805,6 +954,9 @@ impl<'a> Solver<'a> {
         let base = self.n_struct + self.m;
         self.status.truncate(base);
         self.x.truncate(base);
+        // Read the fill-in high-water mark before the factorizer moves
+        // into the snapshot below.
+        let eta_nnz_peak = self.factor.eta_nnz_peak() as u64;
         let snapshot = BasisSnapshot {
             basis: self.basis,
             status: self.status,
@@ -818,8 +970,115 @@ impl<'a> Solver<'a> {
             objective,
             iterations: self.iterations,
             warm_started,
+            refactorizations: self.refactorizations,
+            eta_nnz_peak,
             snapshot: Some(snapshot),
         })
+    }
+
+    /// Entering direction of nonbasic column `j` with reduced cost `d`,
+    /// or `None` when the column cannot improve the objective. Fixed
+    /// columns (`ub == lb`) never enter.
+    #[inline]
+    fn entering_dir(&self, j: usize, d: f64) -> Option<f64> {
+        if self.ub[j] - self.lb[j] <= 0.0 {
+            return None;
+        }
+        let tol = self.opts.opt_tol;
+        match self.status[j] {
+            VarStatus::Lower => (d < -tol).then_some(1.0),
+            VarStatus::Upper => (d > tol).then_some(-1.0),
+            VarStatus::Free => (d.abs() > tol).then_some(if d < 0.0 { 1.0 } else { -1.0 }),
+            VarStatus::Basic(_) => None,
+        }
+    }
+
+    /// Pick the entering column under the configured [`PricingRule`].
+    /// Returns `(column, direction)` or `None` when no column can
+    /// improve — which, for every rule, is only claimed after a scan of
+    /// *all* columns, so declaring `Optimal` on `None` is always sound.
+    ///
+    /// Bland's anti-cycling mode overrides the configured rule: it needs
+    /// the lowest eligible index, which only a full scan can provide.
+    fn price(&mut self, costs: &[f64], bland: bool) -> Option<(usize, f64)> {
+        if bland {
+            return self.price_full(costs, true);
+        }
+        match self.opts.pricing {
+            PricingRule::Partial => self.price_partial(costs),
+            PricingRule::Dantzig | PricingRule::Devex => self.price_full(costs, false),
+        }
+    }
+
+    /// Full scan over all columns. Dantzig scores by `|d|`; devex by
+    /// `d²/w` against the reference weights; Bland returns the first
+    /// eligible index outright.
+    fn price_full(&mut self, costs: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let devex = !bland && self.opts.pricing == PricingRule::Devex;
+        if devex && self.devex_w.len() < self.n_total {
+            self.devex_w.resize(self.n_total, 1.0);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_score = 0.0_f64;
+        for j in 0..self.n_total {
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            let d = self.reduced_cost(j, costs[j]);
+            let Some(dir) = self.entering_dir(j, d) else {
+                continue;
+            };
+            if bland {
+                return Some((j, dir));
+            }
+            let score = if devex { d * d / self.devex_w[j] } else { d.abs() };
+            if best.is_none() || score > best_score {
+                best_score = score;
+                best = Some((j, dir));
+            }
+        }
+        best
+    }
+
+    /// Candidate-list partial pricing: score a rotating window of
+    /// columns starting at the persistent cursor, extending the scan a
+    /// window at a time while the list runs dry. Only after a full
+    /// wraparound with no candidate does it return `None` — the
+    /// full-scan fallback that makes the optimality claim sound.
+    fn price_partial(&mut self, costs: &[f64]) -> Option<(usize, f64)> {
+        let n = self.n_total;
+        if n == 0 {
+            return None;
+        }
+        let window = (n / 8).clamp(16, 256).min(n);
+        let start = self.pricing_cursor % n;
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_score = 0.0_f64;
+        let mut examined = 0usize;
+        while examined < n {
+            let j = (start + examined) % n;
+            examined += 1;
+            if !matches!(self.status[j], VarStatus::Basic(_)) {
+                let d = self.reduced_cost(j, costs[j]);
+                if let Some(dir) = self.entering_dir(j, d) {
+                    let score = d.abs();
+                    if best.is_none() || score > best_score {
+                        best_score = score;
+                        best = Some((j, dir));
+                    }
+                }
+            }
+            // Stop at the end of the first window batch that produced a
+            // candidate; an empty batch keeps the scan extending.
+            if best.is_some() && examined.is_multiple_of(window) {
+                break;
+            }
+        }
+        if best.is_some() {
+            // Rotate: the next call resumes where this scan stopped.
+            self.pricing_cursor = (start + examined) % n;
+        }
+        best
     }
 
     /// Core pivoting loop minimizing `costs`. Returns `Optimal` (no
@@ -854,44 +1113,9 @@ impl<'a> Solver<'a> {
             self.factor.btran(&mut self.y);
 
             // Pricing: pick entering column.
-            let mut best_j = usize::MAX;
-            let mut best_score = self.opts.opt_tol;
-            let mut best_dir = 1.0;
-            for j in 0..self.n_total {
-                if matches!(self.status[j], VarStatus::Basic(_)) {
-                    continue;
-                }
-                if self.ub[j] - self.lb[j] <= 0.0 {
-                    continue; // fixed: never enters
-                }
-                let d = self.reduced_cost(j, costs[j]);
-                let (eligible, dir) = match self.status[j] {
-                    VarStatus::Lower => (d < -self.opts.opt_tol, 1.0),
-                    VarStatus::Upper => (d > self.opts.opt_tol, -1.0),
-                    VarStatus::Free => (d.abs() > self.opts.opt_tol, if d < 0.0 { 1.0 } else { -1.0 }),
-                    VarStatus::Basic(_) => unreachable!(),
-                };
-                if !eligible {
-                    continue;
-                }
-                if bland {
-                    best_j = j;
-                    best_dir = dir;
-                    break;
-                }
-                let score = d.abs();
-                if score > best_score {
-                    best_score = score;
-                    best_j = j;
-                    best_dir = dir;
-                }
-            }
-            if best_j == usize::MAX {
+            let Some((entering, dir)) = self.price(costs, bland) else {
                 return Ok(LpStatus::Optimal); // no improving column
-            }
-
-            let entering = best_j;
-            let dir = best_dir;
+            };
             self.compute_w(entering);
 
             // Ratio test.
@@ -993,7 +1217,7 @@ impl<'a> Solver<'a> {
                 };
                 self.status[entering] = VarStatus::Basic(r as u32);
                 self.basis[r] = entering as u32;
-                self.absorb_pivot(r)?;
+                self.absorb_pivot(r, leaving)?;
             }
 
             // Stall / cycling detection.
@@ -1291,6 +1515,117 @@ mod tests {
             let hot = solve_lp_warm(&core, &core.lb, &ub, &o2, Some(&warm)).unwrap();
             assert_eq!(cold.status, LpStatus::Optimal);
             assert!((cold.objective - hot.objective).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degenerate_equality_slack_classifies_lower() {
+        // An equality row's slack is fixed (`l == u`): when the start
+        // residual cannot be absorbed, the nonbasic classification must
+        // deterministically be `Lower` — decided by the bound-selection
+        // branch, never by a float equality on the clamped value.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Eq, 5.0).unwrap();
+        let core = LpCore::from_model(&m);
+        let mut s =
+            Solver::new(&core, &core.lb, &core.ub, SimplexOptions::default()).unwrap();
+        s.initialize().unwrap();
+        let slack = core.num_structural();
+        assert_eq!(s.lb[slack], s.ub[slack], "equality slack must be fixed");
+        assert_eq!(s.status[slack], VarStatus::Lower);
+        assert_eq!(s.artificials.len(), 1, "unabsorbed residual needs an artificial");
+        // The full solve still lands exactly on the equality.
+        let sol = solve(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 5.0).abs() < 1e-9);
+    }
+
+    fn solve_pricing(m: &Model, pricing: PricingRule) -> LpSolution {
+        let core = LpCore::from_model(m);
+        let opts = SimplexOptions { pricing, ..SimplexOptions::default() };
+        solve_lp_default(&core, &opts).unwrap()
+    }
+
+    #[test]
+    fn pricing_rules_agree_on_optimum() {
+        // All rules change only which improving column enters first, so
+        // every rule must land on the same optimal objective.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 4.0, 2.0).unwrap();
+        let y = m.add_continuous(-2.0, 6.0, -3.0).unwrap();
+        let z = m.add_continuous(0.0, INF, 1.0).unwrap();
+        m.add_constraint(lin(&[(x, 1.0), (y, 2.0), (z, -1.0)]), Sense::Eq, 3.0)
+            .unwrap();
+        m.add_constraint(lin(&[(x, 2.0), (y, -1.0)]), Sense::Ge, -4.0)
+            .unwrap();
+        m.add_constraint(lin(&[(y, 1.0), (z, 3.0)]), Sense::Le, 12.0)
+            .unwrap();
+        let baseline = solve_pricing(&m, PricingRule::Dantzig);
+        assert_eq!(baseline.status, LpStatus::Optimal);
+        for rule in [PricingRule::Partial, PricingRule::Devex] {
+            let s = solve_pricing(&m, rule);
+            assert_eq!(s.status, LpStatus::Optimal, "{rule}");
+            assert!(
+                (s.objective - baseline.objective).abs() < 1e-6,
+                "{rule}: {} vs dantzig {}",
+                s.objective,
+                baseline.objective
+            );
+        }
+    }
+
+    #[test]
+    fn partial_pricing_never_declares_optimality_from_a_dry_window() {
+        // A problem far smaller than the minimum window still exercises
+        // the wraparound path: partial pricing must only report Optimal
+        // after a full scan, so the optimum must match Dantzig exactly.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, 3.0).unwrap();
+        let y = m.add_continuous(0.0, INF, 5.0).unwrap();
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(x, 1.0)]), Sense::Le, 4.0).unwrap();
+        m.add_constraint(lin(&[(y, 2.0)]), Sense::Le, 12.0).unwrap();
+        m.add_constraint(lin(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0)
+            .unwrap();
+        let s = solve_pricing(&m, PricingRule::Partial);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn refactorization_counters_are_reported() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, INF, -1.0).unwrap();
+        let y = m.add_continuous(0.0, INF, -1.0).unwrap();
+        for k in 1..8 {
+            let kf = k as f64;
+            m.add_constraint(lin(&[(x, kf), (y, kf / 2.0)]), Sense::Le, 2.0 * kf)
+                .unwrap();
+        }
+        let core = LpCore::from_model(&m);
+        // Every solve performs at least the initial factorization.
+        let s = solve_lp_default(&core, &SimplexOptions::default()).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.refactorizations >= 1, "initial factorization must count");
+        // A refactor cadence of one forces a rebuild per pivot, and the
+        // LU backend must report nonzero eta fill-in once any pivot has
+        // been absorbed into the product file.
+        let tight = SimplexOptions {
+            basis: BasisBackend::SparseLu,
+            refactor_every: 1,
+            ..SimplexOptions::default()
+        };
+        let t = solve_lp_default(&core, &tight).unwrap();
+        assert_eq!(t.status, LpStatus::Optimal);
+        assert!(
+            t.refactorizations > s.refactorizations,
+            "per-pivot cadence must refactor more often ({} vs {})",
+            t.refactorizations,
+            s.refactorizations
+        );
+        if t.iterations > 0 {
+            assert!(t.eta_nnz_peak > 0, "absorbed pivots must leave a fill-in peak");
         }
     }
 }

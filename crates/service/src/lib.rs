@@ -100,7 +100,7 @@ pub use protocol::{
     SubmitSpec, CAPABILITIES, PROTO_VERSION,
 };
 pub use queue::{
-    JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, QueueOptions,
-    QueueStats, RECORD_SHARDS,
+    JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, LpPricing,
+    QueueOptions, QueueStats, RECORD_SHARDS,
 };
 pub use server::MapServer;

@@ -266,6 +266,12 @@ pub struct ServiceStats {
     /// Progress frames dropped by bounded per-connection event queues
     /// (slow watchers); state frames are never dropped.
     pub events_dropped: u64,
+    /// Simplex pivots across all completed solves (cache hits add 0).
+    pub lp_iterations: u64,
+    /// Basis refactorizations across all completed solves.
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in any single node LP reached.
+    pub eta_nnz_peak: u64,
 }
 
 /// Connection counters per negotiated protocol version. A connection
@@ -889,6 +895,9 @@ mod tests {
             uptime_ms: 1234,
             proto_versions: ProtoVersions { v1: 3, v2: 2 },
             events_dropped: 7,
+            lp_iterations: 4321,
+            refactorizations: 99,
+            eta_nnz_peak: 512,
         }));
     }
 

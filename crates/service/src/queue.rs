@@ -78,7 +78,7 @@ use gmm_core::{DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBack
 use gmm_design::Design;
 use gmm_ilp::branch::MipOptions;
 use gmm_ilp::control::CancelToken;
-use gmm_ilp::BasisBackend;
+use gmm_ilp::{BasisBackend, PricingRule};
 
 use crate::cache::{CacheEntry, CacheStats, SolutionCache};
 use crate::events::Outbox;
@@ -112,11 +112,46 @@ impl From<BasisBackend> for LpBasis {
     }
 }
 
+/// Simplex pricing-rule selection, serializable for the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpPricing {
+    /// Full scan, most-negative reduced cost (default).
+    Dantzig,
+    /// Rotating candidate-list partial pricing.
+    Partial,
+    /// Devex reference-weight pricing.
+    Devex,
+}
+
+impl From<LpPricing> for PricingRule {
+    fn from(p: LpPricing) -> PricingRule {
+        match p {
+            LpPricing::Dantzig => PricingRule::Dantzig,
+            LpPricing::Partial => PricingRule::Partial,
+            LpPricing::Devex => PricingRule::Devex,
+        }
+    }
+}
+
+impl From<PricingRule> for LpPricing {
+    fn from(p: PricingRule) -> LpPricing {
+        match p {
+            PricingRule::Dantzig => LpPricing::Dantzig,
+            PricingRule::Partial => LpPricing::Partial,
+            PricingRule::Devex => LpPricing::Devex,
+        }
+    }
+}
+
 /// Per-job solver configuration. Part of the cache key: two submissions
 /// with different configs are different instances.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobConfig {
     pub lp_basis: LpBasis,
+    /// Simplex entering-column pricing rule. Part of the cache key like
+    /// every other config field, so per-rule resubmissions land on
+    /// separate cache slots.
+    pub lp_pricing: LpPricing,
     /// Lifetime-based capacity modification (paper §4.1.2 note).
     pub overlap_aware: bool,
     /// Use the §4.2 ILP detailed mapper instead of the constructive packer.
@@ -127,6 +162,7 @@ impl Default for JobConfig {
     fn default() -> Self {
         JobConfig {
             lp_basis: LpBasis::Lu,
+            lp_pricing: LpPricing::Dantzig,
             overlap_aware: false,
             detailed_ilp: false,
         }
@@ -293,6 +329,12 @@ pub struct QueueStats {
     /// Progress frames dropped by bounded subscriber outboxes (slow
     /// `watch` readers); state frames are never dropped.
     pub events_dropped: u64,
+    /// Simplex pivots across all completed solves (cache hits add 0).
+    pub lp_iterations: u64,
+    /// Basis refactorizations across all completed solves.
+    pub refactorizations: u64,
+    /// Worst eta-file fill-in any single node LP reached.
+    pub eta_nnz_peak: u64,
     pub workers: usize,
     pub cache: CacheStats,
     pub uptime: Duration,
@@ -379,6 +421,12 @@ struct Inner {
     cancelled: AtomicU64,
     deadline_hit: AtomicU64,
     pruned: AtomicU64,
+    /// Simplex pivots across all completed solves (cache hits add 0).
+    lp_iterations: AtomicU64,
+    /// Basis refactorizations across all completed solves.
+    refactorizations: AtomicU64,
+    /// Worst per-LP eta fill-in any solve reported.
+    eta_nnz_peak: AtomicU64,
     shutdown: AtomicBool,
     /// Bumped on every push into a shard injector; lets idle workers
     /// detect work that arrived between their last scan and parking.
@@ -632,6 +680,9 @@ impl JobQueue {
             cancelled: AtomicU64::new(0),
             deadline_hit: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            lp_iterations: AtomicU64::new(0),
+            refactorizations: AtomicU64::new(0),
+            eta_nnz_peak: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
             work_lock: Mutex::new(()),
@@ -964,6 +1015,9 @@ impl JobQueue {
             pruned: self.inner.pruned.load(Ordering::Relaxed),
             retain_jobs: self.inner.retain_jobs,
             events_dropped: self.inner.events_dropped.load(Ordering::Relaxed),
+            lp_iterations: self.inner.lp_iterations.load(Ordering::Relaxed),
+            refactorizations: self.inner.refactorizations.load(Ordering::Relaxed),
+            eta_nnz_peak: self.inner.eta_nnz_peak.load(Ordering::Relaxed),
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
             uptime: self.inner.started.elapsed(),
@@ -1158,6 +1212,7 @@ fn process(job: Job, inner: &Arc<Inner>) {
     // identically no matter how the solve was started.
     let mut mip = MipOptions::default();
     mip.simplex.basis = job.config.lp_basis.into();
+    mip.simplex.pricing = job.config.lp_pricing.into();
     let deadline = match (job.deadline, inner.job_time_limit) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
@@ -1201,6 +1256,15 @@ fn process(job: Job, inner: &Arc<Inner>) {
             return;
         }
     };
+    inner
+        .lp_iterations
+        .fetch_add(report.lp_iterations, Ordering::Relaxed);
+    inner
+        .refactorizations
+        .fetch_add(report.refactorizations, Ordering::Relaxed);
+    inner
+        .eta_nnz_peak
+        .fetch_max(report.eta_nnz_peak, Ordering::Relaxed);
     let entry = report.outcome.map(|outcome| {
         let solution = JobSolution {
             global: outcome.global,

@@ -336,6 +336,9 @@ pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> Service
         uptime_ms: s.uptime.as_millis() as u64,
         proto_versions,
         events_dropped: s.events_dropped,
+        lp_iterations: s.lp_iterations,
+        refactorizations: s.refactorizations,
+        eta_nnz_peak: s.eta_nnz_peak,
     }
 }
 

@@ -1,0 +1,146 @@
+//! Property tests: the simplex pricing rules are interchangeable.
+//!
+//! Dantzig, partial, and devex pricing pick different entering columns
+//! and therefore walk different pivot paths — but over the same LP they
+//! must land on the same optimal objective. That invariant is what makes
+//! `--lp-pricing` a pure performance knob: these tests drive it on
+//! randomized LPs (cold and warm-started dual-simplex re-solves) and on
+//! randomized feasible stream instances through the full MIP pipeline
+//! (where every warm-started branch-and-bound child re-solves through
+//! the dual simplex).
+
+use gmm_api::MapRequest;
+use gmm_ilp::model::{lin, Model, Sense};
+use gmm_ilp::simplex::{solve_lp, solve_lp_warm, SimplexOptions, WarmStart};
+use gmm_ilp::standard::LpCore;
+use gmm_ilp::{LpStatus, PricingRule};
+use gmm_workloads::{stream_instances, StreamSpec};
+use proptest::prelude::*;
+
+fn opts_with(rule: PricingRule) -> SimplexOptions {
+    SimplexOptions {
+        pricing: rule,
+        ..SimplexOptions::default()
+    }
+}
+
+/// splitmix64 — the same tiny generator the workloads crate uses; local
+/// because the point is deriving *all* LP data from one proptest seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+/// A random box-bounded LP that is feasible (x = 0 satisfies every
+/// constraint) and bounded (every variable is boxed), so all three
+/// pricing rules must report `Optimal` with one objective value.
+fn random_lp(seed: u64) -> LpCore {
+    let mut rng = Mix(seed);
+    let n = 2 + (rng.next() % 5) as usize; // 2..=6 variables
+    let m = 1 + (rng.next() % 4) as usize; // 1..=4 constraints
+    let mut model = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|_| {
+            let ub = rng.f64_in(1.0, 10.0);
+            let cost = rng.f64_in(-5.0, 5.0);
+            model.add_continuous(0.0, ub, cost).expect("valid bounds")
+        })
+        .collect();
+    for _ in 0..m {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, rng.f64_in(0.0, 3.0))).collect();
+        let rhs = rng.f64_in(1.0, 15.0);
+        model
+            .add_constraint(lin(&terms), Sense::Le, rhs)
+            .expect("valid constraint");
+    }
+    LpCore::from_model(&model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cold solves and warm-started re-solves under tightened bounds
+    /// agree across all three pricing rules.
+    #[test]
+    fn lp_rules_agree_cold_and_warm(seed in 0u64..1_000_000) {
+        let core = random_lp(seed);
+
+        // Cold: every rule optimal, one objective.
+        let mut warm: Option<WarmStart> = None;
+        let mut base = f64::NAN;
+        for rule in PricingRule::ALL {
+            let sol = solve_lp(&core, &core.lb, &core.ub, &opts_with(rule))
+                .expect("bounded feasible LP");
+            prop_assert_eq!(sol.status, LpStatus::Optimal, "{} cold not optimal", rule);
+            if base.is_nan() {
+                base = sol.objective;
+                warm = sol.snapshot.as_ref().and_then(|s| s.warm_start());
+            } else {
+                prop_assert!(
+                    (sol.objective - base).abs() < 1e-6,
+                    "{} cold objective {} != dantzig {}", rule, sol.objective, base
+                );
+            }
+        }
+
+        // Tighten every upper bound; the old optimum's basis seeds a
+        // warm re-solve whose bound violations the dual simplex repairs.
+        let tight_ub: Vec<f64> = core.ub.iter().map(|&u| u * 0.5).collect();
+        let mut tight_base = f64::NAN;
+        for rule in PricingRule::ALL {
+            let sol = solve_lp_warm(&core, &core.lb, &tight_ub, &opts_with(rule), warm.as_ref())
+                .expect("tightened LP still feasible at x = 0");
+            prop_assert_eq!(sol.status, LpStatus::Optimal, "{} warm not optimal", rule);
+            if tight_base.is_nan() {
+                tight_base = sol.objective;
+            } else {
+                prop_assert!(
+                    (sol.objective - tight_base).abs() < 1e-6,
+                    "{} warm objective {} != dantzig {}", rule, sol.objective, tight_base
+                );
+            }
+        }
+        // Tightening box bounds can only worsen (raise) a minimum.
+        prop_assert!(tight_base >= base - 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-pipeline agreement: a feasible stream instance mapped under
+    /// each pricing rule reaches the same optimal objective (the MIP
+    /// solve inside exercises warm-started dual-simplex child re-solves
+    /// on every branch).
+    #[test]
+    fn mip_rules_agree_on_stream_instances(seed in 0u64..10_000) {
+        let spec = StreamSpec { seed, ..StreamSpec::default() };
+        let inst = stream_instances(spec).next().expect("stream is endless");
+        let mut base: Option<f64> = None;
+        for rule in PricingRule::ALL {
+            let report = MapRequest::new(inst.design.clone(), inst.board.clone())
+                .lp_pricing(rule)
+                .execute()
+                .expect("stream instances are mappable");
+            let obj = report.objective.expect("optimal solve has an objective");
+            match base {
+                None => base = Some(obj),
+                Some(b) => prop_assert!(
+                    (obj - b).abs() < 1e-6,
+                    "{}: {} objective {} != dantzig {}", inst.name, rule, obj, b
+                ),
+            }
+        }
+    }
+}
