@@ -104,6 +104,10 @@ pub struct MapReport {
     pub refactorizations: u64,
     /// Worst eta-file fill-in any single node LP reached.
     pub eta_nnz_peak: u64,
+    /// Global solve attempts whose warm-start hint (see
+    /// [`crate::MapRequest::warm_hint`]) was accepted as the starting
+    /// incumbent. Zero when no hint was offered or it did not fit.
+    pub incumbent_seeded: u64,
 }
 
 /// The default termination is the empty report's: a session that never

@@ -148,6 +148,16 @@ impl MapRequest {
         self
     }
 
+    /// Warm-start hint: a sibling instance's global assignment
+    /// (`hint[d]` = bank type index of segment `d`), offered to the
+    /// global ILP as an incumbent seed. The solver validates it against
+    /// *this* instance and silently drops a hint that does not fit;
+    /// [`MapReport::incumbent_seeded`] reports whether it was accepted.
+    pub fn warm_hint(mut self, hint: Vec<u32>) -> Self {
+        self.options.warm_hint = Some(hint);
+        self
+    }
+
     /// Progress sink: phase transitions, incumbent updates, and a node
     /// heartbeat.
     pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
@@ -193,6 +203,7 @@ impl MapRequest {
             warm_started_nodes: stats.warm_started_nodes,
             refactorizations: stats.refactorizations,
             eta_nnz_peak: stats.eta_nnz_peak,
+            incumbent_seeded: stats.incumbent_seeded,
         };
         match run.result {
             Ok(outcome) => {

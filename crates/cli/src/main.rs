@@ -187,14 +187,14 @@ USAGE:
   gmm export --design <d.json> --board <b.json> [--complete]
              [--format mps|lp] [--out <file>]
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
-            [--cache-cap K] [--retain-jobs N] [--retain-secs T]
-            [--time-limit-secs T]
+            [--cache-cap K] [--cache-dir <dir>] [--no-persist]
+            [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
-            [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
-            [--retain-secs T] [--lp-basis dense|lu]
-            [--lp-pricing dantzig|partial|devex] [--overlap]
-            [--ilp-detailed] [--job-deadline-secs T]
+            [--verify] [--progress] [--cache-cap K] [--cache-dir <dir>]
+            [--no-persist] [--retain-jobs N] [--retain-secs T]
+            [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]
+            [--overlap] [--ilp-detailed] [--job-deadline-secs T]
   gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
             [--cap-secs T] [--progress] [--out BENCH_simplex.json]
   gmm table1
@@ -241,6 +241,14 @@ age (swept opportunistically on submit and on job completion, not just
 on the stats verb). Polling a pruned job id returns the structured
 state `expired`. `batch --stream N --distinct D` cycles N submissions
 through D distinct instances to exercise eviction and re-solve paths.
+
+Persistence: --cache-dir <dir> adds an on-disk cache tier (an
+append-only, checksummed segment log) under the memory cache. Optimal
+solves and LRU-evicted entries spill to it, a restart reloads it, and a
+memory miss falls through to disk — so a restarted daemon answers
+repeat traffic byte-identically without re-solving. The same log keeps
+per-family warm-start hints that seed branch-and-bound on near-miss
+instances. --no-persist ignores --cache-dir and runs memory-only.
 
 Exit codes: 0 ok, 1 internal failure, 2 usage error, 3 malformed input,
 4 infeasible instance, 5 deadline exceeded or cancelled.
@@ -320,12 +328,20 @@ gmm serve — run the mapsrv batch daemon (JSON-lines over TCP)
 
 USAGE:
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
-            [--cache-cap K] [--retain-jobs N] [--retain-secs T]
-            [--time-limit-secs T]
+            [--cache-cap K] [--cache-dir <dir>] [--no-persist]
+            [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
 
 Verbs (v1): submit (optional deadline_ms) / poll / result / cancel /
 stats / shutdown. Jobs past their deadline answer `deadline`; cancelled
 jobs answer `cancelled`; pruned job ids answer `expired`.
+
+--cache-dir <dir> persists the solution cache across restarts: optimal
+solves and LRU evictions land in an append-only checksummed log that is
+replayed (and compacted) on startup, so a restarted daemon serves
+repeat submissions byte-identically from disk (counted in stats as
+disk_hits). The log also carries per-family warm-start hints that seed
+branch-and-bound on near-miss instances (hint_hits / incumbent_seeded).
+--no-persist ignores --cache-dir and runs memory-only.
 
 Protocol v2 (negotiated per connection, v1 stays available): `hello`
 negotiates {proto:2} and advertises capabilities, `submit_batch` takes
@@ -343,16 +359,18 @@ gmm batch — stream instances through the job queue, print a summary
 USAGE:
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
-            [--verify] [--progress] [--cache-cap K] [--retain-jobs N]
-            [--retain-secs T] [--lp-basis dense|lu]
-            [--lp-pricing dantzig|partial|devex] [--overlap]
-            [--ilp-detailed] [--job-deadline-secs T]
+            [--verify] [--progress] [--cache-cap K] [--cache-dir <dir>]
+            [--no-persist] [--retain-jobs N] [--retain-secs T]
+            [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]
+            [--overlap] [--ilp-detailed] [--job-deadline-secs T]
 
 OPTIONS:
   --progress              render live per-job state/phase/incumbent
                           events to stderr (local and --addr sessions
                           both stream; remote events ride the protocol-v2
                           watch stream)
+  --cache-dir <dir>       persistent cache tier for the in-process queue
+                          (see `gmm serve --help`); --no-persist ignores it
   --job-deadline-secs T   per-job solve deadline; jobs past it terminate
                           in the structured `deadline` state (exit 5 when
                           any job was deadline'd/cancelled and none failed)
@@ -847,6 +865,9 @@ fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
     opts.retain_jobs = f.parse("--retain-jobs")?.unwrap_or(opts.retain_jobs);
     opts.retain_age = f.parse_secs("--retain-secs")?;
     opts.job_time_limit = f.parse_secs("--time-limit-secs")?;
+    if !f.has("--no-persist") {
+        opts.persist_dir = f.get("--cache-dir").map(std::path::PathBuf::from);
+    }
     Ok(opts)
 }
 
@@ -1061,6 +1082,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "--workers",
             "--cache-shards",
             "--cache-cap",
+            "--cache-dir",
+            "--no-persist",
             "--retain-jobs",
             "--retain-secs",
             "--time-limit-secs",
@@ -1147,6 +1170,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         let line = format!(
             "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions; \
+             disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, {} seeded; \
              {} events dropped; {} pivots, {} refactorizations (eta peak {})",
             s.submitted,
             s.completed,
@@ -1160,6 +1184,13 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.cache.entries,
             s.cache.capacity,
             s.cache.evictions,
+            s.persist.disk_hits,
+            s.persist.disk_hits + s.persist.disk_misses,
+            s.persist.disk_entries,
+            s.persist.disk_corrupt,
+            s.persist.hint_hits,
+            s.persist.hint_hits + s.persist.hint_misses,
+            s.incumbent_seeded,
             s.events_dropped,
             s.lp_iterations,
             s.refactorizations,
@@ -1171,6 +1202,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         format!(
             "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions; \
+             disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, {} seeded; \
              conns v1/v2 {}/{}, {} events dropped; {} pivots, {} refactorizations \
              (eta peak {})",
             s.jobs_submitted,
@@ -1184,6 +1216,13 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.cache_entries,
             s.cache_cap,
             s.cache_evictions,
+            s.disk_hits,
+            s.disk_hits + s.disk_misses,
+            s.disk_entries,
+            s.disk_corrupt,
+            s.hint_hits,
+            s.hint_hits + s.hint_misses,
+            s.incumbent_seeded,
             s.proto_versions.v1,
             s.proto_versions.v2,
             s.events_dropped,

@@ -291,6 +291,7 @@ pub fn solve_complete_with_stats(
         warm_started_nodes: result.warm_started_nodes,
         refactorizations: result.refactorizations,
         eta_nnz_peak: result.eta_nnz_peak,
+        incumbent_seeded: result.incumbent_seeded as u64,
         stop_reason: result.stop_reason,
     };
     match result.status {

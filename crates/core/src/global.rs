@@ -191,6 +191,9 @@ pub struct SolveTelemetry {
     pub refactorizations: u64,
     /// Worst eta-file fill-in any single node LP reached.
     pub eta_nnz_peak: u64,
+    /// 1 when an external warm-start hint was accepted as the starting
+    /// incumbent of this solve (see [`solve_global_hinted_with_stats`]).
+    pub incumbent_seeded: u64,
     /// Why the engine stopped early, if it did.
     pub stop_reason: Option<StopReason>,
 }
@@ -355,12 +358,68 @@ pub fn solve_global_with_stats(
     overlap_aware: bool,
     no_goods: &[NoGood],
 ) -> Result<(GlobalAssignment, SolveTelemetry), (MapError, SolveTelemetry)> {
+    solve_global_hinted_with_stats(
+        design,
+        board,
+        pre,
+        matrix,
+        weights,
+        backend,
+        overlap_aware,
+        no_goods,
+        None,
+    )
+}
+
+/// [`solve_global_with_stats`] with an optional warm-start hint: a
+/// sibling instance's global assignment (`hint[d]` = bank type index of
+/// segment `d`), typically retrieved from the service's persistent
+/// family-keyed hint store. The hint is translated onto this model's
+/// `Z_dt` variables and offered to the engine as an incumbent seed;
+/// it is dropped without effect when it does not fit (wrong segment
+/// count, a hinted pair infeasible here) or fails the engine's own
+/// feasibility re-check (e.g. against a no-good cut the sibling never
+/// had). [`SolveTelemetry::incumbent_seeded`] reports acceptance.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_global_hinted_with_stats(
+    design: &Design,
+    board: &Board,
+    pre: &PreTable,
+    matrix: &CostMatrix,
+    weights: &CostWeights,
+    backend: &SolverBackend,
+    overlap_aware: bool,
+    no_goods: &[NoGood],
+    hint: Option<&[u32]>,
+) -> Result<(GlobalAssignment, SolveTelemetry), (MapError, SolveTelemetry)> {
     let gm = match build_global_model(design, board, pre, matrix, weights, overlap_aware, no_goods)
     {
         Ok(gm) => gm,
         Err(e) => return Err((e, SolveTelemetry::default())),
     };
-    let result = match backend.solve(&gm.model) {
+    // Translate the hinted assignment into a full model point. Every
+    // variable of the global model is some `Z_dt`, so setting the hinted
+    // pairs to 1.0 over a zero vector describes the assignment exactly.
+    let seed = hint.and_then(|types| {
+        if types.len() != design.num_segments() {
+            return None;
+        }
+        let mut x = vec![0.0; gm.model.num_vars()];
+        for (d, &t) in types.iter().enumerate() {
+            let var = gm.z.get(d)?.get(t as usize).copied().flatten()?;
+            x[var.index()] = 1.0;
+        }
+        Some(x)
+    });
+    let result = match seed {
+        Some(x) => {
+            let mut seeded_backend = backend.clone();
+            seeded_backend.mip_options_mut().incumbent_seed = Some(x);
+            seeded_backend.solve(&gm.model)
+        }
+        None => backend.solve(&gm.model),
+    };
+    let result = match result {
         Ok(r) => r,
         Err(e) => return Err((MapError::from(e), SolveTelemetry::default())),
     };
@@ -371,6 +430,7 @@ pub fn solve_global_with_stats(
         warm_started_nodes: result.warm_started_nodes,
         refactorizations: result.refactorizations,
         eta_nnz_peak: result.eta_nnz_peak,
+        incumbent_seeded: result.incumbent_seeded as u64,
         stop_reason: result.stop_reason,
     };
     match result.status {
@@ -576,6 +636,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ga.type_of[s.0], BankTypeId(1), "no-good forces off-chip");
+    }
+
+    #[test]
+    fn hinted_solve_matches_cold_solve_and_counts_the_seed() {
+        let mut b = DesignBuilder::new("d");
+        for i in 0..8 {
+            b.segment(format!("s{i}"), 512, 8).unwrap();
+        }
+        let design = b.build().unwrap();
+        let board = two_tier_board();
+        let pre = PreTable::build(&design, &board);
+        let matrix = CostMatrix::build(&design, &board, &pre);
+        let w = CostWeights::default();
+        let backend = SolverBackend::default();
+
+        let (cold, cold_tel) = solve_global_with_stats(
+            &design, &board, &pre, &matrix, &w, &backend, false, &[],
+        )
+        .unwrap();
+        assert_eq!(cold_tel.incumbent_seeded, 0);
+
+        // Seed the second solve with the first's own assignment: it must
+        // be accepted and the outcome must be identical.
+        let hint: Vec<u32> = cold.type_of.iter().map(|t| t.0 as u32).collect();
+        let (warm, warm_tel) = solve_global_hinted_with_stats(
+            &design, &board, &pre, &matrix, &w, &backend, false, &[], Some(&hint),
+        )
+        .unwrap();
+        assert_eq!(warm_tel.incumbent_seeded, 1, "own optimum must seed");
+        assert_eq!(warm.type_of, cold.type_of);
+        assert_eq!(warm.cost, cold.cost);
+
+        // A mis-sized hint is dropped without harming the solve.
+        let (dropped, dropped_tel) = solve_global_hinted_with_stats(
+            &design, &board, &pre, &matrix, &w, &backend, false, &[], Some(&[0u32]),
+        )
+        .unwrap();
+        assert_eq!(dropped_tel.incumbent_seeded, 0);
+        assert_eq!(dropped.type_of, cold.type_of);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::complete::ModelStats;
 use crate::cost::{CostBreakdown, CostMatrix, CostWeights};
 use crate::detailed::map_detailed;
 use crate::detailed_ilp::{map_detailed_ilp, DetailedIlpOptions};
-use crate::global::{solve_global_with_stats, MapError, NoGood, SolveTelemetry, SolverBackend};
+use crate::global::{
+    solve_global_hinted_with_stats, MapError, NoGood, SolveTelemetry, SolverBackend,
+};
 use crate::mapping::{validate_detailed, DetailedMapping, GlobalAssignment};
 use crate::preprocess::PreTable;
 use gmm_arch::Board;
@@ -43,6 +45,7 @@ pub enum DetailedStrategy {
 /// | `deadline` | none |
 /// | `node_budget` | none |
 /// | `control` | no token, no observer |
+/// | `warm_hint` | none |
 #[derive(Debug, Clone, Default)]
 #[non_exhaustive]
 pub struct MapperOptions {
@@ -64,6 +67,12 @@ pub struct MapperOptions {
     /// Cooperative cancellation + progress events, threaded into every
     /// ILP hot loop underneath this run.
     pub control: SolveControl,
+    /// Warm-start hint: a sibling instance's global assignment
+    /// (`warm_hint[d]` = bank type index of segment `d`), offered to the
+    /// global ILP as an incumbent seed on every attempt. Validated (and
+    /// silently dropped when it does not fit) by the solver — see
+    /// [`crate::global::solve_global_hinted_with_stats`].
+    pub warm_hint: Option<Vec<u32>>,
 }
 
 impl MapperOptions {
@@ -92,6 +101,9 @@ pub struct MapStats {
     pub refactorizations: u64,
     /// Worst eta-file fill-in any single node LP reached.
     pub eta_nnz_peak: u64,
+    /// Global solve attempts whose warm-start hint was accepted as the
+    /// starting incumbent.
+    pub incumbent_seeded: u64,
     /// MIP status of the last global solve (`None` if none ran).
     pub global_status: Option<MipStatus>,
     /// What stopped the last global solve early, if anything.
@@ -105,6 +117,7 @@ impl MapStats {
         self.warm_started_nodes += t.warm_started_nodes;
         self.refactorizations += t.refactorizations;
         self.eta_nnz_peak = self.eta_nnz_peak.max(t.eta_nnz_peak);
+        self.incumbent_seeded += t.incumbent_seeded;
         self.global_status = t.status;
         self.stop_reason = t.stop_reason;
     }
@@ -212,7 +225,7 @@ impl Mapper {
             backend.apply_control(time_left, nodes_left, control);
 
             let t0 = Instant::now();
-            let solved = solve_global_with_stats(
+            let solved = solve_global_hinted_with_stats(
                 design,
                 board,
                 pre,
@@ -221,6 +234,7 @@ impl Mapper {
                 &backend,
                 self.options.overlap_aware,
                 &no_goods,
+                self.options.warm_hint.as_deref(),
             );
             stats.global_time += t0.elapsed();
             let global = match solved {

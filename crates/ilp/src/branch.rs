@@ -62,6 +62,14 @@ pub struct MipOptions {
     /// (skipping phase 1 via a short dual-simplex repair). Disable to
     /// cold-start every node, e.g. for ablation runs.
     pub warm_start: bool,
+    /// Externally supplied candidate solution (model variable order) to
+    /// install as the starting incumbent — the warm-start *hint* path:
+    /// a solution of a sibling instance seeds this solve so the search
+    /// opens with a finite bound instead of cold. The seed is never
+    /// trusted: integer variables are rounded, feasibility is checked
+    /// against *this* model, and the objective is recomputed; an
+    /// infeasible or mis-sized seed is silently discarded.
+    pub incumbent_seed: Option<Vec<f64>>,
     /// Cooperative cancellation and progress reporting. The token is
     /// polled once per node here and every few pivots inside the LP;
     /// the observer hears incumbent updates and a node heartbeat.
@@ -81,6 +89,7 @@ impl Default for MipOptions {
             rounding_heuristic: true,
             diving: true,
             warm_start: true,
+            incumbent_seed: None,
             control: SolveControl::default(),
         }
     }
@@ -111,6 +120,9 @@ pub struct MipResult {
     /// Why the search stopped early; `None` when the tree was exhausted
     /// (or the gap target met) normally.
     pub stop_reason: Option<StopReason>,
+    /// True when [`MipOptions::incumbent_seed`] was accepted (feasible
+    /// for this model) and installed as the starting incumbent.
+    pub incumbent_seeded: bool,
     pub wall_time: Duration,
 }
 
@@ -371,6 +383,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 refactorizations: 0,
                 eta_nnz_peak: 0,
                 stop_reason: None,
+                incumbent_seeded: false,
                 wall_time: start.elapsed(),
             });
         }
@@ -428,6 +441,28 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
         }
     };
     let to_user = |internal: f64| core.user_objective(internal);
+
+    // Install the externally supplied incumbent seed, if it survives
+    // scrutiny. Seeds come from *sibling* instances (the persistent
+    // warm-start hint store), so they may be mis-sized, violate a
+    // constraint this model has and the sibling did not (e.g. a no-good
+    // cut added on retry), or carry a stale objective — round, check
+    // feasibility against this model, and recompute the objective here.
+    let mut incumbent_seeded = false;
+    if let Some(seed) = &opts.incumbent_seed {
+        if seed.len() == n {
+            let mut cand = seed.clone();
+            for &v in &int_vars {
+                cand[v] = cand[v].round();
+            }
+            if model.check_feasible(&cand, opts.int_tol.max(1e-7) * 10.0).is_ok() {
+                incumbent_obj = to_internal(model.objective_value(&cand));
+                incumbent = Some(cand);
+                incumbent_seeded = true;
+                opts.control.incumbent(to_user(incumbent_obj), 0);
+            }
+        }
+    }
 
     let mut best_bound_internal = f64::NEG_INFINITY;
     let mut root_infeasible = false;
@@ -684,6 +719,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             refactorizations: refactors,
             eta_nnz_peak: eta_peak,
             stop_reason: None,
+            incumbent_seeded,
             wall_time: wall,
         });
     }
@@ -710,6 +746,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
                 refactorizations: refactors,
                 eta_nnz_peak: eta_peak,
                 stop_reason: if status_limit_hit { stop_reason } else { None },
+                incumbent_seeded,
                 wall_time: wall,
             })
         }
@@ -735,6 +772,7 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipResult, IlpError
             refactorizations: refactors,
             eta_nnz_peak: eta_peak,
             stop_reason: if status_limit_hit { stop_reason } else { None },
+            incumbent_seeded,
             wall_time: wall,
         }),
     }
@@ -747,6 +785,66 @@ mod tests {
 
     fn default_solve(model: &Model) -> MipResult {
         solve_mip(model, &MipOptions::default()).unwrap()
+    }
+
+    /// max 5a + 4b + 3c  s.t.  2a + 3b + c <= 3 — optimum 8 at (1,0,1).
+    fn seed_knapsack() -> Model {
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(4.0);
+        let c = m.add_binary(3.0);
+        m.set_objective_direction(Objective::Maximize);
+        m.add_constraint(lin(&[(a, 2.0), (b, 3.0), (c, 1.0)]), Sense::Le, 3.0)
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn feasible_incumbent_seed_is_installed_and_counted() {
+        let m = seed_knapsack();
+        let opts = MipOptions {
+            incumbent_seed: Some(vec![1.0, 0.0, 1.0]),
+            ..MipOptions::default()
+        };
+        let seeded = solve_mip(&m, &opts).unwrap();
+        assert!(seeded.incumbent_seeded, "feasible seed must be installed");
+        assert_eq!(seeded.status, MipStatus::Optimal);
+        assert_eq!(seeded.best_objective, Some(8.0));
+        // The unseeded baseline agrees and reports no seeding.
+        let cold = default_solve(&m);
+        assert!(!cold.incumbent_seeded);
+        assert_eq!(cold.best_objective, seeded.best_objective);
+        assert_eq!(cold.best_solution, seeded.best_solution);
+    }
+
+    #[test]
+    fn bad_seeds_are_discarded_silently() {
+        let m = seed_knapsack();
+        // Infeasible for the knapsack constraint (2+3+1 = 6 > 3).
+        for seed in [vec![1.0, 1.0, 1.0], vec![1.0], vec![]] {
+            let opts = MipOptions {
+                incumbent_seed: Some(seed),
+                ..MipOptions::default()
+            };
+            let res = solve_mip(&m, &opts).unwrap();
+            assert!(!res.incumbent_seeded, "bad seed must not be installed");
+            assert_eq!(res.status, MipStatus::Optimal);
+            assert_eq!(res.best_objective, Some(8.0));
+        }
+    }
+
+    #[test]
+    fn suboptimal_seed_does_not_block_the_true_optimum() {
+        let m = seed_knapsack();
+        let opts = MipOptions {
+            // Feasible but worth only 4: the search must still reach 8.
+            incumbent_seed: Some(vec![0.0, 1.0, 0.0]),
+            ..MipOptions::default()
+        };
+        let res = solve_mip(&m, &opts).unwrap();
+        assert!(res.incumbent_seeded);
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert_eq!(res.best_objective, Some(8.0));
     }
 
     #[test]

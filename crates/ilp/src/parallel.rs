@@ -393,8 +393,34 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
                 refactorizations: 0,
                 eta_nnz_peak: 0,
                 stop_reason: None,
+                incumbent_seeded: false,
                 wall_time: start.elapsed(),
             });
+        }
+    }
+
+    // External incumbent seed (see `MipOptions::incumbent_seed`): same
+    // contract as the serial driver — round, re-check feasibility against
+    // this model, recompute the objective, discard silently on any
+    // mismatch. Installed before the workers start so every thread opens
+    // with the finite bound.
+    let mut seed_incumbent: Option<Vec<f64>> = None;
+    let mut seed_obj = f64::INFINITY;
+    let mut incumbent_seeded = false;
+    if let Some(seed) = &popts.mip.incumbent_seed {
+        if seed.len() == model.num_vars() {
+            let mut cand = seed.clone();
+            for &v in &int_vars {
+                cand[v] = cand[v].round();
+            }
+            if model.check_feasible(&cand, popts.mip.int_tol.max(1e-7) * 10.0).is_ok() {
+                let user = model.objective_value(&cand);
+                let v = user - core.obj_offset;
+                seed_obj = if core.maximize { -v } else { v };
+                seed_incumbent = Some(cand);
+                incumbent_seeded = true;
+                popts.mip.control.incumbent(user, 0);
+            }
         }
     }
 
@@ -416,8 +442,8 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         lb0,
         ub0,
         opts: mip_opts,
-        incumbent_obj: AtomicObj::new(f64::INFINITY),
-        incumbent: Mutex::new(None),
+        incumbent_obj: AtomicObj::new(seed_obj),
+        incumbent: Mutex::new(seed_incumbent),
         outstanding: AtomicI64::new(1),
         nodes: AtomicU64::new(0),
         lp_iters: AtomicU64::new(0),
@@ -480,6 +506,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             refactorizations: shared.refactors.load(Ordering::Acquire),
             eta_nnz_peak: shared.eta_peak.load(Ordering::Acquire),
             stop_reason: if limit_hit { stop_reason } else { None },
+            incumbent_seeded,
             wall_time: wall,
         }),
         None => Ok(MipResult {
@@ -498,6 +525,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
             refactorizations: shared.refactors.load(Ordering::Acquire),
             eta_nnz_peak: shared.eta_peak.load(Ordering::Acquire),
             stop_reason: if limit_hit { stop_reason } else { None },
+            incumbent_seeded,
             wall_time: wall,
         }),
     }

@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -159,17 +159,21 @@ impl Shard {
         i
     }
 
-    /// Remove and return the least-recently-used entry, if any.
-    fn pop_lru(&mut self) -> Option<InstanceKey> {
+    /// Remove and return the least-recently-used entry, if any. The
+    /// evicted payload is handed back (not dropped) so the cache can
+    /// offer it to the spill hook — the on-disk tier — after the shard
+    /// lock is released.
+    fn pop_lru(&mut self) -> Option<(InstanceKey, Arc<CacheEntry>)> {
         let i = self.tail;
         if i == NIL {
             return None;
         }
         let key = self.nodes[i].key;
+        let entry = self.nodes[i].entry.clone();
         self.unlink(i);
         self.map.remove(&key);
         self.free.push(i);
-        Some(key)
+        Some((key, entry))
     }
 }
 
@@ -201,7 +205,15 @@ pub struct SolutionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Optional eviction spill hook: every LRU-evicted `(key, entry)` is
+    /// offered here *after* the shard lock is released, so the memory
+    /// tier can demote entries into the persistent tier instead of
+    /// silently dropping them. Set once at queue construction.
+    spill: OnceLock<SpillFn>,
 }
+
+/// Eviction spill callback (see [`SolutionCache::set_spill`]).
+type SpillFn = Box<dyn Fn(InstanceKey, &CacheEntry) + Send + Sync>;
 
 impl std::fmt::Debug for SolutionCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -230,7 +242,16 @@ impl SolutionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spill: OnceLock::new(),
         }
+    }
+
+    /// Install the eviction spill hook. Every subsequently evicted
+    /// `(key, entry)` is passed to `f` with no cache lock held; entries
+    /// evicted before the hook was set are simply dropped. May only be
+    /// set once (later calls are ignored).
+    pub fn set_spill(&self, f: impl Fn(InstanceKey, &CacheEntry) + Send + Sync + 'static) {
+        let _ = self.spill.set(Box::new(f));
     }
 
     /// The configured entry bound (0 = unbounded).
@@ -295,20 +316,22 @@ impl SolutionCache {
         if self.capacity > 0 && live > self.capacity {
             // Only evict locally when the victim would not be the entry
             // we just inserted.
-            let evicted = shard.map.len() > 1 && shard.pop_lru().is_some();
+            let victim = if shard.map.len() > 1 { shard.pop_lru() } else { None };
             drop(shard);
-            if evicted {
-                self.note_eviction();
-            } else {
-                self.evict_from_other_shard(shard_idx);
+            match victim {
+                Some(evicted) => self.note_eviction(evicted),
+                None => self.evict_from_other_shard(shard_idx),
             }
         }
         stored
     }
 
-    fn note_eviction(&self) {
+    fn note_eviction(&self, (key, entry): (InstanceKey, Arc<CacheEntry>)) {
         self.entries.fetch_sub(1, Ordering::AcqRel);
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        if let Some(spill) = self.spill.get() {
+            spill(key, &entry);
+        }
     }
 
     /// Evict one LRU entry from the first non-empty shard after `from`.
@@ -321,9 +344,9 @@ impl SolutionCache {
         let n = self.shards.len();
         for off in 1..n {
             let mut other = self.shards[(from + off) % n].lock();
-            if other.pop_lru().is_some() {
+            if let Some(evicted) = other.pop_lru() {
                 drop(other);
-                self.note_eviction();
+                self.note_eviction(evicted);
                 return;
             }
         }
@@ -496,6 +519,23 @@ mod tests {
         assert!(cache.peek(key(1)).is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (0, 0), "peek counts nothing");
+    }
+
+    #[test]
+    fn evictions_flow_through_the_spill_hook() {
+        let cache = SolutionCache::new(1, 2);
+        let spilled = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = spilled.clone();
+        cache.set_spill(move |k, e| sink.lock().push((k, e.solution_json.clone())));
+        cache.insert(key(1), entry("a"));
+        cache.insert(key(2), entry("b"));
+        cache.insert(key(3), entry("c")); // evicts 1 (LRU)
+        cache.insert(key(4), entry("d")); // evicts 2
+        assert_eq!(
+            *spilled.lock(),
+            vec![(key(1), "a".to_string()), (key(2), "b".to_string())],
+            "every eviction must offer the original payload to the hook"
+        );
     }
 
     #[test]

@@ -26,7 +26,17 @@ impl InstanceKey {
     }
 
     /// Parse the [`InstanceKey::to_hex`] rendering back.
+    ///
+    /// Accepts exactly the 32-hex-digit form `to_hex` produces (either
+    /// letter case), and nothing else: no sign, no `0x` prefix, no
+    /// whitespace, no short or long spellings. A key that arrives over
+    /// the wire or out of a log line either round-trips bit-exactly or
+    /// is rejected — a lenient parse that "fixed up" a truncated key
+    /// would silently alias distinct instances.
     pub fn from_hex(s: &str) -> Option<InstanceKey> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
         u128::from_str_radix(s, 16).ok().map(InstanceKey)
     }
 }
@@ -91,6 +101,57 @@ pub fn instance_key<D: Serialize, B: Serialize, C: Serialize>(
         h.update(part.as_bytes());
     }
     InstanceKey(h.finish())
+}
+
+/// Coarser "instance family" hash: the design and config hash exactly as
+/// in [`instance_key`], but every *numeric* leaf of the board's canonical
+/// JSON tree is masked out (see [`mask_numbers`]) before hashing. Two
+/// instances that share a design and config but run against boards
+/// differing only in numeric constants (bank capacities, costs, counts)
+/// land in the same family.
+///
+/// This is the key of the persistent warm-start hint store
+/// ([`crate::persist`]): an optimal assignment found for one family
+/// member is a strong incumbent seed for the next, even though their
+/// [`instance_key`]s differ. A domain-separation tag is folded in first
+/// so a family key can never collide with an instance key derived from
+/// the same bytes.
+pub fn family_key<D: Serialize, B: Serialize, C: Serialize>(
+    design: &D,
+    board: &B,
+    config: &C,
+) -> InstanceKey {
+    let mut h = Fnv128::new();
+    h.update(b"gmm-family/v1");
+    let masked_board = {
+        let mut tree = board.to_value();
+        normalize_floats(&mut tree);
+        mask_numbers(&mut tree);
+        canonical_json(&tree)
+    };
+    for part in [hashable_json(design), masked_board, hashable_json(config)] {
+        h.update(&(part.len() as u64).to_le_bytes());
+        h.update(part.as_bytes());
+    }
+    InstanceKey(h.finish())
+}
+
+/// Replace every numeric leaf (`Int`, `UInt`, `Float`) in the tree with
+/// the fixed token `"#"`, in place. The tree's *shape* — object keys,
+/// array lengths, string and bool leaves — is preserved, so two boards
+/// with the same structure but different constants render identically.
+/// Every float spelling is masked alike, so `-0.0`, `0.0`, and any NaN
+/// in a board constant cannot split a family (the normalization of
+/// [`normalize_floats`] is subsumed by the mask on these leaves).
+pub fn mask_numbers(v: &mut serde::Value) {
+    match v {
+        serde::Value::Int(_) | serde::Value::UInt(_) | serde::Value::Float(_) => {
+            *v = serde::Value::Str("#".to_string());
+        }
+        serde::Value::Array(items) => items.iter_mut().for_each(mask_numbers),
+        serde::Value::Object(pairs) => pairs.iter_mut().for_each(|(_, v)| mask_numbers(v)),
+        _ => {}
+    }
 }
 
 /// Render a value for *hashing*: the canonical JSON of its float-normalized
@@ -159,6 +220,83 @@ mod tests {
         let k = instance_key(&"x", &"y", &"z");
         assert_eq!(InstanceKey::from_hex(&k.to_hex()), Some(k));
         assert_eq!(k.to_hex().len(), 32);
+        // Small keys render zero-padded and still round-trip.
+        let small = InstanceKey(7);
+        assert_eq!(small.to_hex(), "00000000000000000000000000000007");
+        assert_eq!(InstanceKey::from_hex(&small.to_hex()), Some(small));
+        // Extremes round-trip too.
+        for k in [InstanceKey(0), InstanceKey(u128::MAX)] {
+            assert_eq!(InstanceKey::from_hex(&k.to_hex()), Some(k));
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_everything_but_the_canonical_form() {
+        let hex = instance_key(&"x", &"y", &"z").to_hex();
+        // Wrong lengths: short, long, empty.
+        assert_eq!(InstanceKey::from_hex(&hex[1..]), None);
+        assert_eq!(InstanceKey::from_hex(&format!("{hex}0")), None);
+        assert_eq!(InstanceKey::from_hex(""), None);
+        // Signs and prefixes (u128::from_str_radix would accept `+`).
+        assert_eq!(InstanceKey::from_hex(&format!("+{}", &hex[1..])), None);
+        assert_eq!(InstanceKey::from_hex(&format!("0x{}", &hex[2..])), None);
+        // Non-hex garbage of the right length.
+        assert_eq!(InstanceKey::from_hex(&"g".repeat(32)), None);
+        assert_eq!(InstanceKey::from_hex(&format!(" {}", &hex[1..])), None);
+        // Either letter case of a valid rendering is fine.
+        assert_eq!(
+            InstanceKey::from_hex(&hex.to_uppercase()),
+            InstanceKey::from_hex(&hex)
+        );
+    }
+
+    #[test]
+    fn family_key_masks_board_constants_only() {
+        // Same design/config, boards differing only in numbers: distinct
+        // instances, same family.
+        let a = (vec![("cap", 16u32), ("cost", 3u32)],);
+        let b = (vec![("cap", 64u32), ("cost", 9u32)],);
+        assert_ne!(instance_key(&"d", &a, &"c"), instance_key(&"d", &b, &"c"));
+        assert_eq!(family_key(&"d", &a, &"c"), family_key(&"d", &b, &"c"));
+        // Board *shape* changes (different key) still split the family.
+        let c = (vec![("depth", 16u32), ("cost", 3u32)],);
+        assert_ne!(family_key(&"d", &a, &"c"), family_key(&"d", &c, &"c"));
+        // Design and config stay exact: changing either splits the family.
+        assert_ne!(family_key(&"d", &a, &"c"), family_key(&"e", &a, &"c"));
+        assert_ne!(family_key(&"d", &a, &"c"), family_key(&"d", &a, &"k"));
+        // Domain separation: a family key is never the instance key.
+        assert_ne!(family_key(&"d", &a, &"c"), instance_key(&"d", &a, &"c"));
+    }
+
+    #[test]
+    fn family_key_normalization_interacts_with_the_mask() {
+        // Board constants are masked, so any float spelling — -0.0, 0.0,
+        // any NaN payload — lands in the same family.
+        let f = |x: f64| family_key(&"d", &vec![("w", x)], &"c");
+        assert_eq!(f(0.0), f(-0.0));
+        assert_eq!(f(0.0), f(f64::NAN));
+        assert_eq!(f(0.0), f(f64::from_bits(0x7ff8_0000_dead_beef)));
+        assert_eq!(f(0.0), f(123.5), "numeric value must not matter at all");
+        // Config floats are NOT masked — they normalize exactly like the
+        // instance key: -0.0 folds onto 0.0, NaNs collapse, but distinct
+        // real values stay distinct families.
+        let g = |x: f64| family_key(&"d", &"b", &x);
+        assert_eq!(g(0.0), g(-0.0));
+        assert_eq!(g(f64::NAN), g(-f64::NAN));
+        assert_ne!(g(0.0), g(1.0));
+    }
+
+    #[test]
+    fn mask_is_shape_sensitive_not_value_sensitive() {
+        let mut a = serde::Value::Array(vec![
+            serde::Value::Int(-3),
+            serde::Value::UInt(9),
+            serde::Value::Float(2.5),
+            serde::Value::Str("keep".into()),
+            serde::Value::Bool(true),
+        ]);
+        mask_numbers(&mut a);
+        assert_eq!(canonical_json(&a), "[\"#\",\"#\",\"#\",\"keep\",true]");
     }
 
     #[test]

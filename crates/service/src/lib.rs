@@ -87,6 +87,7 @@ pub mod cache;
 pub mod client;
 pub mod events;
 pub mod hash;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -94,7 +95,8 @@ pub mod server;
 pub use cache::{CacheEntry, CacheStats, SolutionCache};
 pub use client::{ClientError, MapClient, Proto, RemoteOutcome, Session};
 pub use events::{Frame, Outbox, Popped};
-pub use hash::{canonical_json, instance_key, normalize_floats, InstanceKey};
+pub use hash::{canonical_json, family_key, instance_key, normalize_floats, InstanceKey};
+pub use persist::{PersistStats, PersistStore, WarmHint};
 pub use protocol::{
     JobEvent, ProgressFrame, ProtoVersions, Request, Response, ServiceStats, SubmitReceipt,
     SubmitSpec, CAPABILITIES, PROTO_VERSION,

@@ -272,6 +272,25 @@ pub struct ServiceStats {
     pub refactorizations: u64,
     /// Worst eta-file fill-in any single node LP reached.
     pub eta_nnz_peak: u64,
+    /// Live solution records in the on-disk cache tier (all `disk_*` and
+    /// `hint_*` fields are zero on a daemon running without `--cache-dir`).
+    pub disk_entries: u64,
+    /// Memory-tier misses answered from the on-disk tier.
+    pub disk_hits: u64,
+    /// Memory-tier misses the on-disk tier could not answer either.
+    pub disk_misses: u64,
+    /// Persisted records dropped for checksum/framing damage (crash-torn
+    /// tails are recovered silently and never counted here).
+    pub disk_corrupt: u64,
+    /// Live warm-start hint families in the persistent store.
+    pub hint_entries: u64,
+    /// Cold solves that found a family warm-start hint on disk.
+    pub hint_hits: u64,
+    /// Cold solves whose instance family had no persisted hint.
+    pub hint_misses: u64,
+    /// Global solves whose warm-start hint was accepted as the starting
+    /// incumbent (a hit only *offers* a seed; this counts acceptances).
+    pub incumbent_seeded: u64,
 }
 
 /// Connection counters per negotiated protocol version. A connection
@@ -898,6 +917,14 @@ mod tests {
             lp_iterations: 4321,
             refactorizations: 99,
             eta_nnz_peak: 512,
+            disk_entries: 6,
+            disk_hits: 2,
+            disk_misses: 4,
+            disk_corrupt: 1,
+            hint_entries: 3,
+            hint_hits: 1,
+            hint_misses: 2,
+            incumbent_seeded: 1,
         }));
     }
 

@@ -13,6 +13,16 @@
 //! [`SolutionCache`]; a hit completes the job instantly with the original
 //! solve's byte-identical payload.
 //!
+//! With [`QueueOptions::persist_dir`] set, a second, on-disk tier backs
+//! the memory cache (see [`crate::persist::PersistStore`]): optimal
+//! solves and LRU-evicted entries land in an append-only segment log, a
+//! memory miss falls through to disk (promoting the hit back into the
+//! memory tier), and each optimal solve also refreshes a warm-start hint
+//! keyed by the coarser [`crate::hash::family_key`] — a cold solve of a
+//! *near-miss* instance (same design/config, different board constants)
+//! seeds branch-and-bound with the family's last assignment. Both tiers'
+//! hit/miss counters ride [`QueueStats::persist`].
+//!
 //! ## Deadlines and cancellation
 //!
 //! Workers execute jobs through the `gmm_api::MapRequest` facade. Each
@@ -82,7 +92,8 @@ use gmm_ilp::{BasisBackend, PricingRule};
 
 use crate::cache::{CacheEntry, CacheStats, SolutionCache};
 use crate::events::Outbox;
-use crate::hash::{canonical_json, instance_key, InstanceKey};
+use crate::hash::{canonical_json, family_key, instance_key, InstanceKey};
+use crate::persist::{PersistStats, PersistStore, WarmHint};
 use crate::protocol::JobEvent;
 
 /// Simplex basis backend selection, serializable for the wire.
@@ -335,8 +346,14 @@ pub struct QueueStats {
     pub refactorizations: u64,
     /// Worst eta-file fill-in any single node LP reached.
     pub eta_nnz_peak: u64,
+    /// Solves whose family warm-start hint was accepted as the starting
+    /// incumbent (see [`QueueStats::persist`] for offers).
+    pub incumbent_seeded: u64,
     pub workers: usize,
     pub cache: CacheStats,
+    /// Persistent-tier counters; all-zero when the queue runs without a
+    /// [`QueueOptions::persist_dir`].
+    pub persist: PersistStats,
     pub uptime: Duration,
 }
 
@@ -346,7 +363,8 @@ pub struct QueueStats {
 /// the fields you care about, so new knobs never break callers.
 /// Documented defaults: `workers = 0` (auto, capped at 8),
 /// `cache_shards = 16`, `cache_cap = 4096`, `retain_jobs = 1024`,
-/// `retain_age = None`, `job_time_limit = None`.
+/// `retain_age = None`, `job_time_limit = None`, `persist_dir = None`
+/// (no on-disk tier).
 ///
 /// ```
 /// use gmm_service::QueueOptions;
@@ -377,6 +395,10 @@ pub struct QueueOptions {
     pub retain_age: Option<Duration>,
     /// Optional per-job solve deadline.
     pub job_time_limit: Option<Duration>,
+    /// Directory for the persistent cache tier (the `--cache-dir` flag).
+    /// `None` runs memory-only. Opening failures are logged and degrade
+    /// to memory-only — a bad disk never prevents the daemon starting.
+    pub persist_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for QueueOptions {
@@ -388,6 +410,7 @@ impl Default for QueueOptions {
             retain_jobs: 1024,
             retain_age: None,
             job_time_limit: None,
+            persist_dir: None,
         }
     }
 }
@@ -414,6 +437,9 @@ struct Inner {
     shards: Vec<Injector<Job>>,
     records: Vec<ShardSync>,
     cache: SolutionCache,
+    /// On-disk tier + warm-start hint store; `None` without a
+    /// [`QueueOptions::persist_dir`].
+    persist: Option<Arc<PersistStore>>,
     next_id: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -427,6 +453,8 @@ struct Inner {
     refactorizations: AtomicU64,
     /// Worst per-LP eta fill-in any solve reported.
     eta_nnz_peak: AtomicU64,
+    /// Solves that accepted a family warm-start hint as their incumbent.
+    incumbent_seeded: AtomicU64,
     shutdown: AtomicBool,
     /// Bumped on every push into a shard injector; lets idle workers
     /// detect work that arrived between their last scan and parking.
@@ -661,6 +689,18 @@ impl JobQueue {
         } else {
             opts.workers
         };
+        let persist = opts.persist_dir.as_deref().and_then(|dir| {
+            match PersistStore::open(dir) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(e) => {
+                    eprintln!(
+                        "mapsrv: cannot open persistent cache in {}: {e} (continuing memory-only)",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let inner = Arc::new(Inner {
             shards: (0..workers).map(|_| Injector::new()).collect(),
             records: (0..RECORD_SHARDS)
@@ -673,6 +713,7 @@ impl JobQueue {
                 })
                 .collect(),
             cache: SolutionCache::new(opts.cache_shards, opts.cache_cap),
+            persist: persist.clone(),
             next_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -683,6 +724,7 @@ impl JobQueue {
             lp_iterations: AtomicU64::new(0),
             refactorizations: AtomicU64::new(0),
             eta_nnz_peak: AtomicU64::new(0),
+            incumbent_seeded: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
             work_lock: Mutex::new(()),
@@ -698,6 +740,15 @@ impl JobQueue {
             job_time_limit: opts.job_time_limit,
             started: Instant::now(),
         });
+        // LRU evictions spill to disk, so the persistent tier covers the
+        // full history of optimal solves, not just what memory holds.
+        // (`put` dedups on key, so re-spilling a promoted entry is free.)
+        if let Some(store) = &persist {
+            let store = store.clone();
+            inner.cache.set_spill(move |key, entry| {
+                store.put(key, entry.objective, &entry.solution_json);
+            });
+        }
 
         // Each worker owns a LIFO deque; all deques are mutually stealable.
         let deques: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
@@ -848,6 +899,37 @@ impl JobQueue {
                 cached: true,
                 key,
             };
+        }
+
+        // A memory miss falls through to the on-disk tier: a restart (or
+        // an LRU eviction) moved the solution out of memory, not out of
+        // existence. The hit is promoted back into the memory tier —
+        // first writer wins there, so the payload stays byte-identical
+        // even if a racing solve of the same instance got there first.
+        if let Some(store) = &self.inner.persist {
+            if let Some((objective, solution_json)) = store.get(key) {
+                let stored = self.inner.cache.insert(
+                    key,
+                    CacheEntry {
+                        solution_json,
+                        objective,
+                    },
+                );
+                self.inner.finish(
+                    id,
+                    JobState::Done,
+                    Some(Termination::Optimal),
+                    Some(stored),
+                    None,
+                    true,
+                );
+                return JobTicket {
+                    id,
+                    state: JobState::Done,
+                    cached: true,
+                    key,
+                };
+            }
         }
 
         self.inner.push_job(Job {
@@ -1018,14 +1100,27 @@ impl JobQueue {
             lp_iterations: self.inner.lp_iterations.load(Ordering::Relaxed),
             refactorizations: self.inner.refactorizations.load(Ordering::Relaxed),
             eta_nnz_peak: self.inner.eta_nnz_peak.load(Ordering::Relaxed),
+            incumbent_seeded: self.inner.incumbent_seeded.load(Ordering::Relaxed),
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
+            persist: self
+                .inner
+                .persist
+                .as_ref()
+                .map(|p| p.stats())
+                .unwrap_or_default(),
             uptime: self.inner.started.elapsed(),
         }
     }
 
     pub fn cache(&self) -> &SolutionCache {
         &self.inner.cache
+    }
+
+    /// The persistent tier, when the queue was built with a
+    /// [`QueueOptions::persist_dir`].
+    pub fn persist(&self) -> Option<&PersistStore> {
+        self.inner.persist.as_deref()
     }
 
     /// Create an event outbox wired to this queue's `events_dropped`
@@ -1206,6 +1301,31 @@ fn process(job: Job, inner: &Arc<Inner>) {
         );
         return;
     }
+    // Same recheck against the disk tier (a duplicate's solution may
+    // already have been evicted from memory). `contains` first so a cold
+    // solve does not count a second disk miss on top of submit's.
+    if let Some(store) = &inner.persist {
+        if store.contains(job.key) {
+            if let Some((objective, solution_json)) = store.get(job.key) {
+                let stored = inner.cache.insert(
+                    job.key,
+                    CacheEntry {
+                        solution_json,
+                        objective,
+                    },
+                );
+                inner.finish(
+                    job.id,
+                    JobState::Done,
+                    Some(Termination::Optimal),
+                    Some(stored),
+                    None,
+                    true,
+                );
+                return;
+            }
+        }
+    }
 
     // Everything below the queue goes through the one facade the CLI and
     // in-process callers use, so deadlines and cancellation behave
@@ -1230,11 +1350,24 @@ fn process(job: Job, inner: &Arc<Inner>) {
             });
         })
     };
+    // A cold solve may still inherit a warm start: the hint store keys on
+    // the instance *family* (board constants masked out), so a sibling's
+    // assignment seeds branch-and-bound. The ILP layer re-validates the
+    // hint against this instance and silently drops a bad fit.
+    let family = inner
+        .persist
+        .as_ref()
+        .map(|_| family_key(&job.design, &job.board, &job.config));
     let mut request = MapRequest::new(job.design, job.board)
         .backend(SolverBackend::Serial(mip))
         .overlap_aware(job.config.overlap_aware)
         .cancel_token(cancel)
         .observer(Arc::new(progress));
+    if let (Some(store), Some(f)) = (&inner.persist, family) {
+        if let Some(h) = store.hint(f) {
+            request = request.warm_hint(h.type_of);
+        }
+    }
     if job.config.detailed_ilp {
         request = request.strategy(DetailedStrategy::Ilp(DetailedIlpOptions::default()));
     }
@@ -1265,7 +1398,12 @@ fn process(job: Job, inner: &Arc<Inner>) {
     inner
         .eta_nnz_peak
         .fetch_max(report.eta_nnz_peak, Ordering::Relaxed);
+    inner
+        .incumbent_seeded
+        .fetch_add(report.incumbent_seeded, Ordering::Relaxed);
+    let mut assignment: Option<Vec<u32>> = None;
     let entry = report.outcome.map(|outcome| {
+        assignment = Some(outcome.global.type_of.iter().map(|t| t.0 as u32).collect());
         let solution = JobSolution {
             global: outcome.global,
             detailed: outcome.detailed,
@@ -1282,6 +1420,21 @@ fn process(job: Job, inner: &Arc<Inner>) {
             // cached: a deadline- or budget-shaped incumbent is not a
             // deterministic function of the instance.
             let entry = entry.expect("optimal termination carries an outcome");
+            // Persist before the memory insert so even an instant
+            // crash-after-finish can replay this solve from disk; the
+            // family hint is refreshed last-writer-wins.
+            if let Some(store) = &inner.persist {
+                store.put(job.key, entry.objective, &entry.solution_json);
+                if let (Some(f), Some(type_of)) = (family, assignment.take()) {
+                    store.put_hint(
+                        f,
+                        &WarmHint {
+                            objective: entry.objective,
+                            type_of,
+                        },
+                    );
+                }
+            }
             let stored = inner.cache.insert(job.key, entry);
             inner.finish(
                 job.id,
@@ -1734,5 +1887,50 @@ mod tests {
         // been churned out afterwards, but only as a *terminal* record.
         let out = q.wait(b.id, Duration::from_secs(60)).unwrap();
         assert!(matches!(out.state, JobState::Done | JobState::Expired));
+    }
+
+    #[test]
+    fn restarted_queue_serves_identical_bytes_from_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "gmm-queue-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (design, board) = small_instance(21);
+
+        let cold = {
+            let q = JobQueue::new(QueueOptions {
+                workers: 1,
+                persist_dir: Some(dir.clone()),
+                ..QueueOptions::default()
+            });
+            let t = q.submit(design.clone(), board.clone(), JobConfig::default());
+            let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+            assert_eq!(out.state, JobState::Done);
+            let s = q.stats();
+            assert_eq!(s.persist.disk_entries, 1, "optimal solve must persist");
+            assert_eq!(s.persist.disk_misses, 1, "the cold submission checked disk");
+            out.solution_json.unwrap()
+        };
+
+        // A fresh queue on the same directory: memory is empty, so the
+        // resubmission must come back from the disk tier — instantly
+        // (ticket already Done) and byte-for-byte identical.
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            persist_dir: Some(dir.clone()),
+            ..QueueOptions::default()
+        });
+        let t = q.submit(design, board, JobConfig::default());
+        assert!(t.cached, "disk hit must complete the job at submit time");
+        let out = q.outcome(t.id).unwrap();
+        assert_eq!(out.solution_json.unwrap().solution_json, cold.solution_json);
+        let s = q.stats();
+        assert_eq!(s.persist.disk_hits, 1);
+        assert_eq!(s.persist.disk_corrupt, 0);
+        assert_eq!(s.cache.entries, 1, "the disk hit was promoted to memory");
+        drop(q);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

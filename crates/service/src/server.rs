@@ -339,6 +339,14 @@ pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> Service
         lp_iterations: s.lp_iterations,
         refactorizations: s.refactorizations,
         eta_nnz_peak: s.eta_nnz_peak,
+        disk_entries: s.persist.disk_entries,
+        disk_hits: s.persist.disk_hits,
+        disk_misses: s.persist.disk_misses,
+        disk_corrupt: s.persist.disk_corrupt,
+        hint_entries: s.persist.hint_entries,
+        hint_hits: s.persist.hint_hits,
+        hint_misses: s.persist.hint_misses,
+        incumbent_seeded: s.incumbent_seeded,
     }
 }
 
