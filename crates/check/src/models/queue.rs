@@ -1,0 +1,183 @@
+//! Model: the job queue's claim protocol — a submitter feeding an
+//! injector plus two work-stealing workers with a cancel racing the
+//! first claim — rebuilt closed over the compat `crossbeam` deques and
+//! `parking_lot` primitives so the explorer can drive every pop, steal
+//! and park.
+//!
+//! This is the same submit/steal/claim/cancel/finish choreography as
+//! `gmm_service::queue::JobQueue` (record-table claim under a mutex,
+//! condvar park with the predicate re-checked under the lock, notify
+//! after publishing work), shrunk to three jobs so the bounded DFS can
+//! cover it.
+//!
+//! Invariants asserted over every interleaving:
+//! * every job ends terminal exactly once — done or cancelled, never
+//!   both, never lost, never double-claimed;
+//! * terminal counters conserve the job count;
+//! * both workers terminate (no lost wakeup on the park path).
+
+use crate::explore::ModelRun;
+use crossbeam::deque::{Injector, Steal, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const JOBS: usize = 3;
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+const CANCELLED: u8 = 3;
+
+struct Shared {
+    injector: Injector<usize>,
+    records: Mutex<[u8; JOBS]>,
+    done: AtomicU64,
+    cancelled: AtomicU64,
+    park_lock: Mutex<()>,
+    park_cond: Condvar,
+}
+
+impl Shared {
+    fn finished(&self) -> bool {
+        self.done.load(Ordering::Relaxed) + self.cancelled.load(Ordering::Relaxed)
+            >= JOBS as u64
+    }
+
+    /// Lock-bounce + notify, the queue's publication idiom: taking the
+    /// park lock after the state change orders it before any waiter's
+    /// predicate re-check, so the notify cannot be lost.
+    fn notify(&self) {
+        drop(self.park_lock.lock());
+        self.park_cond.notify_all();
+    }
+}
+
+fn worker_body(shared: Arc<Shared>, local: Worker<usize>, peer: crossbeam::deque::Stealer<usize>) {
+    loop {
+        if shared.finished() {
+            shared.notify(); // wake a peer still parked on the last finish
+            return;
+        }
+        let task = local
+            .pop()
+            .or_else(|| match shared.injector.steal_batch_and_pop(&local) {
+                Steal::Success(job) => Some(job),
+                Steal::Empty | Steal::Retry => None,
+            })
+            .or_else(|| match peer.steal() {
+                Steal::Success(job) => Some(job),
+                Steal::Empty | Steal::Retry => None,
+            });
+        match task {
+            Some(job) => {
+                let claimed = {
+                    let mut records = shared.records.lock();
+                    match records[job] {
+                        QUEUED => {
+                            records[job] = RUNNING;
+                            true
+                        }
+                        CANCELLED => false, // cancelled while queued; already counted
+                        state => panic!("job {job} popped twice (state {state})"),
+                    }
+                };
+                if claimed {
+                    gmm_checkpoint::yield_point(); // the solve
+                    {
+                        let mut records = shared.records.lock();
+                        assert_eq!(records[job], RUNNING, "claim lost while solving");
+                        records[job] = DONE;
+                    }
+                    shared.done.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                let mut guard = shared.park_lock.lock();
+                // Re-check the predicate under the park lock: a submit
+                // (or final finish) bounces through this lock before
+                // notifying, so a publication between our failed steal
+                // and this park is visible here.
+                while !shared.finished()
+                    && shared.injector.is_empty()
+                    && local.is_empty()
+                {
+                    guard = shared.park_cond.wait(guard);
+                }
+            }
+        }
+    }
+}
+
+pub fn build() -> ModelRun {
+    let shared = Arc::new(Shared {
+        injector: Injector::new(),
+        records: Mutex::new([QUEUED; JOBS]),
+        done: AtomicU64::new(0),
+        cancelled: AtomicU64::new(0),
+        park_lock: Mutex::new(()),
+        park_cond: Condvar::new(),
+    });
+
+    let w1 = Worker::new_lifo();
+    let w2 = Worker::new_lifo();
+    let (s1, s2) = (w1.stealer(), w2.stealer());
+
+    let t_submit = {
+        let shared = shared.clone();
+        Box::new(move || {
+            for job in 0..JOBS {
+                shared.injector.push(job);
+                shared.notify();
+            }
+            // Cancel-if-queued racing the workers' claim of job 1,
+            // mirroring the queue's cancel verb semantics.
+            let won = {
+                let mut records = shared.records.lock();
+                if records[1] == QUEUED {
+                    records[1] = CANCELLED;
+                    true
+                } else {
+                    false
+                }
+            };
+            if won {
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                if shared.finished() {
+                    shared.notify();
+                }
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t_worker1 = {
+        let shared = shared.clone();
+        Box::new(move || worker_body(shared, w1, s2)) as Box<dyn FnOnce() + Send>
+    };
+    let t_worker2 = {
+        let shared = shared.clone();
+        Box::new(move || worker_body(shared, w2, s1)) as Box<dyn FnOnce() + Send>
+    };
+
+    let check = Box::new(move || {
+        let records = shared.records.lock();
+        for (job, state) in records.iter().enumerate() {
+            assert!(
+                *state == DONE || *state == CANCELLED,
+                "job {job} not terminal: state {state}"
+            );
+        }
+        let done = shared.done.load(Ordering::Relaxed);
+        let cancelled = shared.cancelled.load(Ordering::Relaxed);
+        assert_eq!(
+            done + cancelled,
+            JOBS as u64,
+            "terminal counters must conserve the job count (done {done}, cancelled {cancelled})"
+        );
+        assert_eq!(done, records.iter().filter(|s| **s == DONE).count() as u64);
+        assert_eq!(
+            cancelled,
+            records.iter().filter(|s| **s == CANCELLED).count() as u64
+        );
+    }) as Box<dyn FnOnce()>;
+
+    ModelRun { threads: vec![t_submit, t_worker1, t_worker2], check }
+}

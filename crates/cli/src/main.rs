@@ -11,6 +11,10 @@
 //!   through the job queue and print a summary table
 //! * `bench`    — run the simplex pricing-rule ablation (stream workload
 //!   plus Table 3 points per rule) and write `BENCH_simplex.json`
+//! * `check`    — explore the gmm-check concurrency models under a
+//!   deterministic scheduler (debug builds only)
+//! * `lint`     — run the workspace invariant lint (`lint.allow` holds
+//!   audited exceptions)
 //! * `table1`   — print the paper's Table 1 device catalog
 //! * `table2`   — print the paper's Table 2 allocation options
 //! * `fig2`     — run the paper's Figure 2 worked example
@@ -39,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use gmm_api::{MapRequest, StderrProgress, Termination};
 use gmm_arch::Board;
+use gmm_check::explore::{explore, ExploreOpts};
 use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
 use gmm_core::{
     enumerate_port_allocations, CostWeights, DetailedIlpOptions, MapError, SolverBackend,
@@ -150,6 +155,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "batch" => cmd_batch(rest),
         "bench" => cmd_bench(rest),
+        "check" => cmd_check(rest),
+        "lint" => cmd_lint(rest),
         "table1" => cmd_table1(),
         "table2" => cmd_table2(rest),
         "fig2" => cmd_fig2(),
@@ -197,6 +204,9 @@ USAGE:
             [--overlap] [--ilp-detailed] [--job-deadline-secs T]
   gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
             [--cap-secs T] [--progress] [--out BENCH_simplex.json]
+  gmm check [--model cache|outbox|queue] [--preemption-bound P]
+            [--min-schedules N] [--max-schedules N] [--seed S]
+  gmm lint [--root <dir>]
   gmm table1
   gmm table2 [--ports 3] [--depth 16]
   gmm fig2
@@ -241,6 +251,15 @@ age (swept opportunistically on submit and on job completion, not just
 on the stats verb). Polling a pruned job id returns the structured
 state `expired`. `batch --stream N --distinct D` cycles N submissions
 through D distinct instances to exercise eviction and re-solve paths.
+
+`check` runs the gmm-check concurrency model checker: small closed
+models of the solution cache, the watch outbox and the job queue's
+claim protocol are executed under every bounded-preemption
+interleaving of a deterministic scheduler (debug builds only — the
+scheduling instrumentation is compiled out of release binaries).
+`lint` runs the workspace invariant scanner: panic-free request paths,
+per-verb round-trip tests, fully-rendered stats counters and
+documented option defaults, with audited exceptions in `lint.allow`.
 
 Persistence: --cache-dir <dir> adds an on-disk cache tier (an
 append-only, checksummed segment log) under the memory cache. Optimal
@@ -426,6 +445,69 @@ OPTIONS:
 The run fails (exit 1) if devex pivots/sec drops below 0.8x the
 dantzig baseline measured in the same run — the devex update must stay
 cheap enough that its per-pivot overhead never dominates."
+        }
+        "check" => {
+            "\
+gmm check — explore the gmm-check concurrency models
+
+USAGE:
+  gmm check [--model cache|outbox|queue] [--preemption-bound P]
+            [--min-schedules N] [--max-schedules N] [--seed S]
+
+Runs each closed model of the service layer's concurrent types (the
+solution cache, the watch outbox, the job queue's claim protocol)
+under a deterministic scheduler that enumerates interleavings
+depth-first with a bounded number of preemptions, then tops up with
+seeded-random schedules to the floor. Every schedule re-runs the model
+from scratch and re-checks its invariants; the first violating
+schedule is reported with the decision trace that reproduces it.
+
+Debug builds only: the schedule points and lock instrumentation are
+compiled out of release binaries, so a release `gmm check` exits with
+a usage error instead of silently exploring nothing.
+
+OPTIONS:
+  --model M             run one model instead of all (cache|outbox|queue)
+  --preemption-bound P  max involuntary switches per schedule (default 2)
+  --min-schedules N     fail any model explored fewer than N times
+                        (default 1000; random top-up fills small DFS
+                        spaces to this floor)
+  --max-schedules N     hard cap on schedules per model (default 5000)
+  --seed S              base seed for the random top-up phase
+
+Exit codes: 0 all models hold, 1 a model failed or missed the floor,
+2 usage error (including release builds)."
+        }
+        "lint" => {
+            "\
+gmm lint — workspace invariant lint
+
+USAGE:
+  gmm lint [--root <dir>]
+
+Scans the workspace sources (no syn, no rustc plumbing) and enforces
+the cross-cutting rules the compiler cannot see:
+
+  panic-free-request-path  no .unwrap()/.expect()/panic! outside
+                           #[cfg(test)] in the mapsrv request path
+                           (server.rs, protocol.rs); malformed frames
+                           must answer structured errors
+  verb-round-trip          every wire verb in protocol.rs has a
+                           fn <verb>_round_trip… test
+  stats-rendered           every QueueStats/ServiceStats counter is
+                           rendered by the stats verb and the batch
+                           summary line (marker-delimited regions)
+  options-defaults         every pub #[non_exhaustive] *Options struct
+                           has a Default and documents its defaults
+
+Audited exceptions live in lint.allow at the workspace root, one
+`rule:file-suffix:substring` per line; malformed entries are findings.
+
+OPTIONS:
+  --root <dir>  workspace root (default: walk up from the current
+                directory to the first [workspace] Cargo.toml)
+
+Exit codes: 0 clean, 1 findings, 3 workspace root not found."
         }
         _ => return None,
     })
@@ -1164,20 +1246,24 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     // record to `expired` before this table reads it. (Against --addr the
     // daemon's counter covers every client, so rows are used instead.)
     let mut queue_failed: Option<u64> = None;
+    // lint:stats-line-begin — `gmm lint` checks every QueueStats and
+    // ServiceStats field is rendered between these markers.
     let stats_line = if let Some(queue) = session.queue().cloned() {
         let s = queue.stats();
         queue_failed = Some(s.failed);
         let line = format!(
             "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
-             {} pruned on {} workers; cache {}/{} hits, {} entries (cap {}), {} evictions; \
-             disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, {} seeded; \
-             {} events dropped; {} pivots, {} refactorizations (eta peak {})",
+             {} pruned (retain {}) on {} workers; cache {}/{} hits, {} entries (cap {}), \
+             {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
+             {} entries, {} seeded; {} events dropped; {} pivots, {} refactorizations \
+             (eta peak {}); up {:.1}s",
             s.submitted,
             s.completed,
             s.failed,
             s.cancelled,
             s.deadline,
             s.pruned,
+            s.retain_jobs,
             s.workers,
             s.cache.hits,
             s.cache.hits + s.cache.misses,
@@ -1190,27 +1276,31 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.persist.disk_corrupt,
             s.persist.hint_hits,
             s.persist.hint_hits + s.persist.hint_misses,
+            s.persist.hint_entries,
             s.incumbent_seeded,
             s.events_dropped,
             s.lp_iterations,
             s.refactorizations,
             s.eta_nnz_peak,
+            s.uptime.as_secs_f64(),
         );
         queue.shutdown();
         line
     } else if let Ok(s) = session.stats() {
         format!(
             "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
-             {} pruned; cache {}/{} hits, {} entries (cap {}), {} evictions; \
-             disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, {} seeded; \
-             conns v1/v2 {}/{}, {} events dropped; {} pivots, {} refactorizations \
-             (eta peak {})",
+             {} pruned (retain {}) on {} workers; cache {}/{} hits, {} entries (cap {}), \
+             {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
+             {} entries, {} seeded; conns v1/v2 {}/{}, {} events dropped; {} pivots, \
+             {} refactorizations (eta peak {}); up {:.1}s",
             s.jobs_submitted,
             s.jobs_completed,
             s.jobs_failed,
             s.jobs_cancelled,
             s.jobs_deadline,
             s.jobs_pruned,
+            s.retain_jobs,
+            s.workers,
             s.cache_hits,
             s.cache_hits + s.cache_misses,
             s.cache_entries,
@@ -1222,6 +1312,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.disk_corrupt,
             s.hint_hits,
             s.hint_hits + s.hint_misses,
+            s.hint_entries,
             s.incumbent_seeded,
             s.proto_versions.v1,
             s.proto_versions.v2,
@@ -1229,10 +1320,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.lp_iterations,
             s.refactorizations,
             s.eta_nnz_peak,
+            s.uptime_ms as f64 / 1000.0,
         )
     } else {
         String::new()
     };
+    // lint:stats-line-end
     let elapsed = t0.elapsed();
 
     // Per-instance table (final round's states; cache column counts rounds).
@@ -1464,6 +1557,114 @@ fn extract_detailed(solution_json: &str, name: &str) -> Result<String, CliError>
         .get("detailed")
         .ok_or_else(|| CliError::internal(format!("{name}: solution has no `detailed` field")))?;
     serde_json::to_string(detailed).map_err(|e| CliError::internal(e.to_string()))
+}
+
+/// `gmm check` — run the concurrency model checker's clean models and
+/// fail on any invariant violation or an exploration below the floor.
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    if !cfg!(debug_assertions) {
+        return Err(CliError::usage(
+            "`gmm check` needs a debug build: the schedule points and lock \
+             instrumentation are compiled out of release binaries (run \
+             `cargo run -- check`)",
+        ));
+    }
+    let f = Flags::new(args);
+    let mut opts = ExploreOpts::default();
+    if let Some(v) = f.parse("--preemption-bound")? {
+        opts.preemption_bound = v;
+    }
+    if let Some(v) = f.parse("--min-schedules")? {
+        opts.min_schedules = v;
+    }
+    if let Some(v) = f.parse("--max-schedules")? {
+        opts.max_schedules = v;
+    }
+    if let Some(v) = f.parse("--seed")? {
+        opts.seed = v;
+    }
+    // The floor is a promise; never let the cap silently undercut it.
+    opts.max_schedules = opts.max_schedules.max(opts.min_schedules);
+    let only = f.get("--model");
+
+    let models = gmm_check::models::clean_models();
+    if let Some(name) = only {
+        if !models.iter().any(|m| m.name == name) {
+            return Err(CliError::usage(format!(
+                "unknown model `{name}` (have: {})",
+                models.iter().map(|m| m.name).collect::<Vec<_>>().join(", ")
+            )));
+        }
+    }
+    let mut failures = 0usize;
+    for model in models {
+        if only.is_some_and(|o| o != model.name) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let report = explore(model.name, &opts, model.build);
+        println!(
+            "model {:<7} {:>5} schedules explored ({} DFS{}) in {:.2}s — {}",
+            model.name,
+            report.schedules,
+            report.dfs_schedules,
+            if report.dfs_complete { ", space exhausted" } else { "" },
+            t0.elapsed().as_secs_f64(),
+            model.covers,
+        );
+        if let Some(failure) = &report.failure {
+            println!("  FAILED {failure}");
+            failures += 1;
+        } else if report.schedules < opts.min_schedules {
+            println!(
+                "  FAILED only {} schedules explored (floor {})",
+                report.schedules, opts.min_schedules
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::internal(format!("{failures} model(s) failed")));
+    }
+    Ok(())
+}
+
+/// `gmm lint` — run the workspace invariant scanner; nonzero on any
+/// finding not covered by `lint.allow`.
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::new(args);
+    let root = match f.get("--root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::internal(format!("current dir: {e}")))?;
+            gmm_check::lint::find_repo_root(&cwd).ok_or_else(|| {
+                CliError::input(
+                    "no workspace root (a Cargo.toml with [workspace]) above the \
+                     current directory; pass --root",
+                )
+            })?
+        }
+    };
+    let report = gmm_check::lint::run(&root)
+        .map_err(|e| CliError::input(format!("lint scan under {}: {e}", root.display())))?;
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "lint: {} file(s) scanned, {} finding(s), {} allowed by lint.allow",
+        report.files_scanned,
+        report.findings.len(),
+        report.allowed
+    );
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError::internal(format!(
+            "{} lint finding(s)",
+            report.findings.len()
+        )))
+    }
 }
 
 fn cmd_table1() -> Result<(), CliError> {

@@ -10,6 +10,16 @@ pub mod deque {
     use std::collections::VecDeque;
     use std::sync::{Arc, Mutex};
 
+    /// Model-checker schedule point, offered before every deque
+    /// operation so `gmm-check` can explore orderings of pushes, pops
+    /// and steals. Debug builds only; a no-op for threads not
+    /// registered with a scheduler.
+    #[inline]
+    fn schedule_point() {
+        #[cfg(debug_assertions)]
+        gmm_checkpoint::yield_point();
+    }
+
     /// Result of a steal attempt, mirroring crossbeam's enum.
     pub enum Steal<T> {
         Empty,
@@ -30,14 +40,17 @@ pub mod deque {
         }
 
         pub fn push(&self, task: T) {
+            schedule_point();
             self.lock().push_back(task);
         }
 
         pub fn pop(&self) -> Option<T> {
+            schedule_point();
             self.lock().pop_back()
         }
 
         pub fn is_empty(&self) -> bool {
+            schedule_point();
             self.lock().is_empty()
         }
 
@@ -63,6 +76,7 @@ pub mod deque {
 
     impl<T> Stealer<T> {
         pub fn steal(&self) -> Steal<T> {
+            schedule_point();
             match self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
                 Some(task) => Steal::Success(task),
                 None => Steal::Empty,
@@ -87,29 +101,42 @@ pub mod deque {
         }
 
         pub fn push(&self, task: T) {
+            schedule_point();
             self.lock().push_back(task);
         }
 
         pub fn steal(&self) -> Steal<T> {
+            schedule_point();
             match self.lock().pop_front() {
                 Some(task) => Steal::Success(task),
                 None => Steal::Empty,
             }
         }
 
+        pub fn is_empty(&self) -> bool {
+            schedule_point();
+            self.lock().is_empty()
+        }
+
         /// Move a batch into `worker`'s queue and pop one task, like
         /// crossbeam's `steal_batch_and_pop`.
         pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            schedule_point();
             let mut q = self.lock();
             let first = match q.pop_front() {
                 Some(task) => task,
                 None => return Steal::Empty,
             };
             // Take up to half the remainder, capped like crossbeam.
+            // Push straight into the worker's deque rather than via
+            // `Worker::push`: that would offer a schedule point while
+            // this queue's lock is held, which the model checker must
+            // never see (a scheduled-out thread may not hold real locks).
             let batch = (q.len() / 2).min(32);
+            let mut w = worker.lock();
             for _ in 0..batch {
                 match q.pop_front() {
-                    Some(task) => worker.push(task),
+                    Some(task) => w.push_back(task),
                     None => break,
                 }
             }

@@ -443,7 +443,11 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         ub0,
         opts: mip_opts,
         incumbent_obj: AtomicObj::new(seed_obj),
-        incumbent: Mutex::new(seed_incumbent),
+        // Lock ranks: below gmm-service's rank table (which starts at
+        // its watchers registry, rank 20) because the progress bridge
+        // can fan an incumbent callback out into the queue's watch
+        // streams. See gmm-service's `ranks` module for the full order.
+        incumbent: Mutex::with_rank(seed_incumbent, 10, "ilp-incumbent"),
         outstanding: AtomicI64::new(1),
         nodes: AtomicU64::new(0),
         lp_iters: AtomicU64::new(0),
@@ -453,7 +457,7 @@ pub fn solve_mip_parallel(model: &Model, popts: &ParallelOptions) -> Result<MipR
         abort: AtomicBool::new(false),
         limit_hit: AtomicBool::new(false),
         stop: AtomicU8::new(0),
-        error: Mutex::new(None),
+        error: Mutex::with_rank(None, 12, "ilp-error"),
         injector: Injector::new(),
         start,
         deadline: popts.mip.time_limit.map(|tl| start + tl),

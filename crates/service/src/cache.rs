@@ -236,7 +236,9 @@ impl SolutionCache {
     pub fn new(shards: usize, capacity: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         SolutionCache {
-            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..n)
+                .map(|_| Mutex::with_rank(Shard::new(), crate::ranks::CACHE_SHARD, "cache-shard"))
+                .collect(),
             capacity,
             entries: AtomicUsize::new(0),
             hits: AtomicU64::new(0),

@@ -109,12 +109,16 @@ impl Outbox {
     /// shared counter bumped once per discarded frame.
     pub fn new(cap: usize, dropped: Arc<AtomicU64>) -> Outbox {
         Outbox {
-            state: Mutex::new(OutboxState {
-                frames: VecDeque::new(),
-                droppable: 0,
-                watched: HashMap::new(),
-                closed: false,
-            }),
+            state: Mutex::with_rank(
+                OutboxState {
+                    frames: VecDeque::new(),
+                    droppable: 0,
+                    watched: HashMap::new(),
+                    closed: false,
+                },
+                crate::ranks::OUTBOX,
+                "outbox",
+            ),
             cond: Condvar::new(),
             cap: cap.max(1),
             dropped,

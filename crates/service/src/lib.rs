@@ -90,6 +90,7 @@ pub mod hash;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
+pub mod ranks;
 pub mod server;
 
 pub use cache::{CacheEntry, CacheStats, SolutionCache};

@@ -386,12 +386,16 @@ impl PersistStore {
         let end = file.metadata()?.len();
         Ok(PersistStore {
             path,
-            inner: Mutex::new(StoreInner {
-                file,
-                end,
-                index,
-                hints,
-            }),
+            inner: Mutex::with_rank(
+                StoreInner {
+                    file,
+                    end,
+                    index,
+                    hints,
+                },
+                crate::ranks::PERSIST,
+                "persist-store",
+            ),
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
             disk_corrupt: AtomicU64::new(scan.corrupt),

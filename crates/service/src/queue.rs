@@ -705,10 +705,14 @@ impl JobQueue {
             shards: (0..workers).map(|_| Injector::new()).collect(),
             records: (0..RECORD_SHARDS)
                 .map(|_| ShardSync {
-                    state: Mutex::new(RecordShard {
-                        records: HashMap::new(),
-                        terminal: VecDeque::new(),
-                    }),
+                    state: Mutex::with_rank(
+                        RecordShard {
+                            records: HashMap::new(),
+                            terminal: VecDeque::new(),
+                        },
+                        crate::ranks::RECORD_SHARD,
+                        "queue-record-shard",
+                    ),
                     cond: Condvar::new(),
                 })
                 .collect(),
@@ -727,11 +731,11 @@ impl JobQueue {
             incumbent_seeded: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
-            work_lock: Mutex::new(()),
+            work_lock: Mutex::with_rank((), crate::ranks::WORK, "queue-work"),
             work_cond: Condvar::new(),
-            idle_lock: Mutex::new(()),
+            idle_lock: Mutex::with_rank((), crate::ranks::IDLE, "queue-idle"),
             idle_cond: Condvar::new(),
-            watchers: Mutex::new(HashMap::new()),
+            watchers: Mutex::with_rank(HashMap::new(), crate::ranks::WATCHERS, "queue-watchers"),
             watcher_count: AtomicUsize::new(0),
             next_watcher: AtomicU64::new(1),
             events_dropped: Arc::new(AtomicU64::new(0)),
@@ -768,7 +772,7 @@ impl JobQueue {
 
         JobQueue {
             inner,
-            workers: Mutex::new(handles),
+            workers: Mutex::with_rank(handles, crate::ranks::WORKER_HANDLES, "queue-worker-handles"),
             num_workers: workers,
         }
     }

@@ -151,8 +151,14 @@ fn writer_loop(mut stream: TcpStream, outbox: &Outbox) {
             Popped::Frame(frame) => {
                 let mut text = match frame {
                     Frame::Response(line) => line,
-                    Frame::Event(ev) => serde_json::to_string(&ev)
-                        .expect("in-tree serde_json cannot fail to render"),
+                    // Rendering an event cannot fail with the in-tree
+                    // serde_json, but a panic here would tear down the
+                    // writer and wedge the connection; degrade to a
+                    // structured error frame instead.
+                    Frame::Event(ev) => serde_json::to_string(&ev).unwrap_or_else(|_| {
+                        r#"{"ok":false,"message":"internal: event frame failed to render"}"#
+                            .to_string()
+                    }),
                 };
                 text.push('\n');
                 if stream
@@ -278,8 +284,12 @@ fn serve_connection(
                     false,
                 ),
             };
-            let text = serde_json::to_string(&response)
-                .expect("in-tree serde_json cannot fail to render");
+            // A response that fails to render (impossible with the
+            // in-tree serde_json) degrades to a structured error line
+            // rather than panicking the connection thread.
+            let text = serde_json::to_string(&response).unwrap_or_else(|_| {
+                r#"{"ok":false,"message":"internal: response failed to render"}"#.to_string()
+            });
             outbox.push_response(text);
             if shutting_down {
                 shared.stop.store(true, Ordering::Release);
@@ -319,6 +329,8 @@ fn stats_response(shared: &Shared) -> Response {
 pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> ServiceStats {
     queue.sweep_retention();
     let s = queue.stats();
+    // lint:stats-verb-begin — `gmm lint` checks every ServiceStats
+    // field is assembled here; keep the markers around the literal.
     ServiceStats {
         jobs_submitted: s.submitted,
         jobs_completed: s.completed,
@@ -348,6 +360,7 @@ pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> Service
         hint_misses: s.persist.hint_misses,
         incumbent_seeded: s.incumbent_seeded,
     }
+    // lint:stats-verb-end
 }
 
 /// Map one request to its response against the queue.
@@ -405,10 +418,22 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
         },
         Request::Result { job } => match queue.outcome(job) {
             Some(out) => {
-                let solution = out.solution_json.as_ref().map(|entry| {
-                    serde_json::from_str::<Value>(&entry.solution_json)
-                        .expect("cache stores canonical JSON")
-                });
+                let solution = match out.solution_json.as_ref() {
+                    // The cache stores canonical JSON, but a corrupt
+                    // persisted record must surface as a structured
+                    // error, not a connection-killing panic.
+                    Some(entry) => match serde_json::from_str::<Value>(&entry.solution_json) {
+                        Ok(value) => Some(value),
+                        Err(e) => {
+                            return Response::Error {
+                                message: format!(
+                                    "job {job}: stored solution is not valid JSON: {e}"
+                                ),
+                            };
+                        }
+                    },
+                    None => None,
+                };
                 Response::ResultReady {
                     job,
                     state: out.state,
