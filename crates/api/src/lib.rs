@@ -59,6 +59,10 @@ pub use progress::{ForwardProgress, LatestProgress, ProgressEvent, StderrProgres
 pub use report::{MapReport, Termination};
 pub use request::MapRequest;
 
+/// The heuristic/ILP solve-mode selector, re-exported so api users never
+/// need a direct `gmm-heur` dependency.
+pub use gmm_heur::SolveMode;
+
 // The control primitives are defined next to the solver hot loops that
 // poll them; re-exported here so facade users need one import path.
 pub use gmm_ilp::control::{CancelToken, NullObserver, ProgressObserver};

@@ -108,6 +108,14 @@ pub struct MapReport {
     /// [`crate::MapRequest::warm_hint`]) was accepted as the starting
     /// incumbent. Zero when no hint was offered or it did not fit.
     pub incumbent_seeded: u64,
+    /// Weighted objective of the greedy heuristic's assignment, when one
+    /// ran (`Heuristic` and `Portfolio` solve modes) and found a feasible
+    /// assignment. `None` under `Ilp` mode or when the greedy gave up.
+    pub heuristic_objective: Option<f64>,
+    /// `Portfolio` only: the ILP proved optimality *and* the optimum
+    /// equals the heuristic objective — the greedy answer was already
+    /// optimal and the ILP run served purely as the proof.
+    pub proved_optimal_from_heuristic: bool,
 }
 
 /// The default termination is the empty report's: a session that never

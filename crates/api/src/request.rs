@@ -4,9 +4,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gmm_arch::Board;
-use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
-use gmm_core::{CostWeights, MapError, SolverBackend};
+use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions, MappingOutcome};
+use gmm_core::{CostMatrix, CostWeights, MapError, PreTable, SolverBackend};
 use gmm_design::Design;
+use gmm_heur::{greedy_map_with, greedy_solve_with, HeurInfeasible, HeurOptions, HeurSolution, SolveMode};
 use gmm_ilp::control::{CancelToken, ProgressObserver};
 use gmm_ilp::{BasisBackend, PricingRule};
 
@@ -69,6 +70,7 @@ pub struct MapRequest {
     design: Design,
     board: Board,
     options: MapperOptions,
+    mode: SolveMode,
 }
 
 impl MapRequest {
@@ -79,7 +81,18 @@ impl MapRequest {
             design,
             board,
             options: MapperOptions::new(),
+            mode: SolveMode::Ilp,
         }
+    }
+
+    /// Which engine(s) run: the exact ILP (default), the greedy heuristic
+    /// alone, or the portfolio (heuristic first, its assignment seeded as
+    /// the branch-and-bound incumbent, ILP second for the proof). Under
+    /// `Portfolio`, a heuristic seed overrides any [`MapRequest::warm_hint`]
+    /// — the instance-exact greedy answer dominates a sibling's.
+    pub fn solve_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Objective weights for the three-component cost (paper §4.1.3).
@@ -177,6 +190,20 @@ impl MapRequest {
         &self.options
     }
 
+    pub fn mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Greedy-mapper knobs derived from this request: same cost weights
+    /// and overlap-awareness as the ILP run, so a greedy assignment is a
+    /// valid incumbent for the model the ILP actually solves.
+    fn heur_options(&self) -> HeurOptions {
+        let mut h = HeurOptions::new();
+        h.weights = self.options.weights;
+        h.overlap_aware = self.options.overlap_aware;
+        h
+    }
+
     /// Run the session.
     ///
     /// Legitimate outcomes — optimality, feasibility, deadline,
@@ -184,8 +211,23 @@ impl MapRequest {
     /// [`Termination`] inside the report; `Err` is reserved for engine
     /// failures (see [`ApiError`]).
     pub fn execute(&self) -> Result<MapReport, ApiError> {
+        match self.mode {
+            SolveMode::Ilp => self.execute_ilp(None),
+            SolveMode::Heuristic => Ok(self.execute_heuristic()),
+            SolveMode::Portfolio => self.execute_portfolio(),
+        }
+    }
+
+    /// The exact pipeline, optionally with a greedy solution installed as
+    /// the branch-and-bound incumbent seed.
+    fn execute_ilp(&self, seed: Option<&HeurSolution>) -> Result<MapReport, ApiError> {
         let t0 = Instant::now();
-        let run = Mapper::new(self.options.clone()).map_run(&self.design, &self.board);
+        let mut mapper_options = self.options.clone();
+        if let Some(sol) = seed {
+            mapper_options.warm_hint =
+                Some(sol.assignment.type_of.iter().map(|t| t.0 as u32).collect());
+        }
+        let run = Mapper::new(mapper_options).map_run(&self.design, &self.board);
         let total_time = t0.elapsed();
         let stats = run.stats;
 
@@ -204,11 +246,20 @@ impl MapRequest {
             refactorizations: stats.refactorizations,
             eta_nnz_peak: stats.eta_nnz_peak,
             incumbent_seeded: stats.incumbent_seeded,
+            heuristic_objective: seed.map(|s| s.objective),
+            proved_optimal_from_heuristic: false,
         };
         match run.result {
             Ok(outcome) => {
                 report.termination = MapReport::success_termination(&stats);
-                report.objective = Some(outcome.cost.weighted(&self.options.weights));
+                let objective = outcome.cost.weighted(&self.options.weights);
+                report.objective = Some(objective);
+                if report.termination == Termination::Optimal {
+                    if let Some(h) = report.heuristic_objective {
+                        report.proved_optimal_from_heuristic =
+                            (h - objective).abs() <= 1e-6 * objective.abs().max(1.0);
+                    }
+                }
                 report.outcome = Some(outcome);
                 Ok(report)
             }
@@ -237,5 +288,84 @@ impl MapRequest {
             }
             Err(e) => Err(ApiError::Map(e)),
         }
+    }
+
+    /// Greedy only: microsecond answers, `Feasible` termination, no proof.
+    fn execute_heuristic(&self) -> MapReport {
+        let t0 = Instant::now();
+        self.options.control.phase("preprocess");
+        let pre = PreTable::build(&self.design, &self.board);
+        let matrix = CostMatrix::build(&self.design, &self.board, &pre);
+        self.options.control.phase("heuristic");
+        let mut report = MapReport::default();
+        match greedy_map_with(&self.design, &self.board, &pre, &matrix, &self.heur_options()) {
+            Ok(m) => {
+                report.termination = Termination::Feasible;
+                report.objective = Some(m.objective);
+                report.heuristic_objective = Some(m.objective);
+                report.outcome = Some(MappingOutcome {
+                    cost: m.assignment.cost,
+                    global: m.assignment,
+                    detailed: m.detailed,
+                    stats: Default::default(),
+                });
+            }
+            Err(HeurInfeasible::Unmappable(segs)) => {
+                report.termination = Termination::Infeasible;
+                report.diagnostic = Some(format!(
+                    "{} segment(s) fit no bank type on this board (first: segment {})",
+                    segs.len(),
+                    segs.first().map(|s| s.0).unwrap_or(0)
+                ));
+            }
+            Err(e) => {
+                // NoFit / DetailedFailed are *not* infeasibility proofs;
+                // the diagnostic (from the error's Display) says so and
+                // points at the exact mode.
+                report.termination = Termination::Infeasible;
+                report.diagnostic = Some(e.to_string());
+            }
+        }
+        report.total_time = t0.elapsed();
+        report
+    }
+
+    /// Heuristic first, ILP second with the greedy assignment as the
+    /// incumbent seed. A deadline exit with *any* feasible answer in hand
+    /// — the ILP's own best incumbent or the greedy fallback — terminates
+    /// `Feasible` instead of empty-handed `DeadlineExceeded`.
+    fn execute_portfolio(&self) -> Result<MapReport, ApiError> {
+        let t0 = Instant::now();
+        let heur_options = self.heur_options();
+        self.options.control.phase("heuristic");
+        let pre = PreTable::build(&self.design, &self.board);
+        let matrix = CostMatrix::build(&self.design, &self.board, &pre);
+        let seed =
+            greedy_solve_with(&self.design, &self.board, &pre, &matrix, &heur_options, &[]).ok();
+
+        let mut report = self.execute_ilp(seed.as_ref())?;
+        if report.termination == Termination::DeadlineExceeded {
+            if report.outcome.is_some() {
+                // The tree ran out of time but an incumbent mapping exists:
+                // that is the definition of `Feasible`.
+                report.termination = Termination::Feasible;
+            } else if seed.is_some() {
+                if let Ok(m) =
+                    greedy_map_with(&self.design, &self.board, &pre, &matrix, &heur_options)
+                {
+                    report.termination = Termination::Feasible;
+                    report.objective = Some(m.objective);
+                    report.heuristic_objective = Some(m.objective);
+                    report.outcome = Some(MappingOutcome {
+                        cost: m.assignment.cost,
+                        global: m.assignment,
+                        detailed: m.detailed,
+                        stats: Default::default(),
+                    });
+                }
+            }
+        }
+        report.total_time = t0.elapsed();
+        Ok(report)
     }
 }

@@ -1,0 +1,261 @@
+//! The queue/cache throughput benchmark behind `gmm bench --service` —
+//! `BENCH_simplex.json`'s service-layer twin.
+//!
+//! Where the simplex trajectory pins pivots/sec inside one solve, this
+//! harness pins the *service* numbers: jobs/sec through the work-stealing
+//! [`JobQueue`] and the cache hit-rate under live LRU eviction, measured
+//! once per solve mode (`ilp` vs `portfolio`) over the identical
+//! deterministic workload. The artifact lands schema-tagged at the repo
+//! root as `BENCH_service.json` so service PRs are pinned the same way
+//! perf PRs are pinned by `BENCH_simplex.json`.
+//!
+//! ## Workload shape
+//!
+//! Each lap submits `distinct` stream instances (cold: all misses, and
+//! with `cache_cap < distinct` the LRU must evict), drains the queue,
+//! then runs a two-pass hot block over `cache_cap` of those instances:
+//! after the first pass those keys are the `cache_cap` most recent
+//! accesses — i.e. the LRU's entire resident set regardless of worker
+//! completion order — so the second pass hits on every submission.
+//! Cycling all `distinct` keys instead would be the LRU's
+//! sequential-thrash worst case (zero hits), which measures nothing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gmm_api::SolveMode;
+use gmm_service::{JobConfig, JobQueue, QueueOptions};
+use gmm_workloads::{stream_instances, StreamSpec};
+use serde::Serialize;
+
+/// Schema tag of the `BENCH_service.json` artifact.
+pub const SERVICE_BENCH_SCHEMA: &str = "gmm-bench-service/v1";
+
+/// Service-bench workload parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchConfig {
+    /// Distinct stream instances per lap (the cold block).
+    pub distinct: usize,
+    /// Solution-cache capacity; must stay below `distinct` so eviction
+    /// runs throughout.
+    pub cache_cap: usize,
+    /// Laps per mode (each lap = `distinct` cold + `cache_cap` hot jobs).
+    pub laps: usize,
+    /// Queue worker threads.
+    pub workers: usize,
+    /// Stream seed the instances are drawn from.
+    pub stream_seed: u64,
+    /// Modes measured, one column each.
+    pub modes: Vec<SolveMode>,
+}
+
+impl ServiceBenchConfig {
+    /// CI-sized: finishes in seconds, still covers eviction + both modes.
+    pub fn quick() -> Self {
+        ServiceBenchConfig {
+            distinct: 16,
+            cache_cap: 8,
+            laps: 2,
+            workers: 4,
+            stream_seed: StreamSpec::default().seed,
+            modes: vec![SolveMode::Ilp, SolveMode::Portfolio],
+        }
+    }
+
+    /// The recorded-artifact configuration.
+    pub fn full() -> Self {
+        ServiceBenchConfig {
+            laps: 4,
+            ..ServiceBenchConfig::quick()
+        }
+    }
+
+    fn jobs_per_mode(&self) -> u64 {
+        (self.laps * (self.distinct + 2 * self.cache_cap.min(self.distinct))) as u64
+    }
+}
+
+/// One mode's measured column.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeResult {
+    /// `ilp` / `heuristic` / `portfolio`.
+    pub mode: String,
+    pub jobs: u64,
+    pub elapsed_secs: f64,
+    pub jobs_per_sec: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    /// Hits over submissions.
+    pub hit_rate: f64,
+    /// Simplex pivots across all cold solves — the portfolio's seeding
+    /// effect shows up here as pruned branch-and-bound work.
+    pub lp_iterations: u64,
+    pub heuristic_solved: u64,
+    pub heuristic_seeded: u64,
+    pub heuristic_infeasible: u64,
+}
+
+/// The schema-tagged artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceBenchReport {
+    pub schema: String,
+    pub distinct: u64,
+    pub cache_cap: u64,
+    pub laps: u64,
+    pub workers: u64,
+    pub stream_seed: u64,
+    pub modes: Vec<ModeResult>,
+}
+
+impl ServiceBenchReport {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// The column for `mode`, when it was measured.
+    pub fn mode(&self, mode: SolveMode) -> Option<&ModeResult> {
+        self.modes.iter().find(|m| m.mode == mode.as_str())
+    }
+}
+
+/// Run one mode's workload on a fresh queue and read its counters.
+fn run_mode(cfg: &ServiceBenchConfig, mode: SolveMode) -> ModeResult {
+    let instances: Vec<_> = stream_instances(StreamSpec {
+        seed: cfg.stream_seed,
+        ..StreamSpec::default()
+    })
+    .take(cfg.distinct.max(1))
+    .collect();
+
+    let mut opts = QueueOptions::default();
+    opts.workers = cfg.workers;
+    opts.cache_cap = cfg.cache_cap;
+    let queue = Arc::new(JobQueue::new(opts));
+    let config = JobConfig {
+        solve_mode: mode,
+        ..JobConfig::default()
+    };
+
+    let drain = Duration::from_secs(600);
+    let t0 = Instant::now();
+    for _ in 0..cfg.laps {
+        // Cold block: every distinct instance (misses + evictions).
+        for inst in &instances {
+            queue.submit(inst.design.clone(), inst.board.clone(), config.clone());
+        }
+        assert!(queue.wait_idle(drain), "service bench cold block stalled");
+        // Hot block, two passes: pass one makes these keys the LRU's
+        // whole resident set (cap residents = cap most recent accesses);
+        // pass two therefore hits on every submission, deterministically.
+        let hot = instances.iter().skip(cfg.distinct - cfg.cache_cap.min(cfg.distinct));
+        for _ in 0..2 {
+            for inst in hot.clone() {
+                queue.submit(inst.design.clone(), inst.board.clone(), config.clone());
+            }
+            assert!(queue.wait_idle(drain), "service bench hot block stalled");
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let s = queue.stats();
+    queue.shutdown();
+    let jobs = cfg.jobs_per_mode();
+    ModeResult {
+        mode: mode.as_str().to_string(),
+        jobs,
+        elapsed_secs: elapsed,
+        jobs_per_sec: jobs as f64 / elapsed.max(1e-9),
+        cache_hits: s.cache.hits,
+        cache_misses: s.cache.misses,
+        cache_evictions: s.cache.evictions,
+        hit_rate: s.cache.hits as f64 / (s.cache.hits + s.cache.misses).max(1) as f64,
+        lp_iterations: s.lp_iterations,
+        heuristic_solved: s.heuristic_solved,
+        heuristic_seeded: s.heuristic_seeded,
+        heuristic_infeasible: s.heuristic_infeasible,
+    }
+}
+
+/// Run the full benchmark: one column per configured mode, identical
+/// workload, fresh queue each.
+pub fn run_service_bench(cfg: &ServiceBenchConfig) -> ServiceBenchReport {
+    ServiceBenchReport {
+        schema: SERVICE_BENCH_SCHEMA.to_string(),
+        distinct: cfg.distinct as u64,
+        cache_cap: cfg.cache_cap as u64,
+        laps: cfg.laps as u64,
+        workers: cfg.workers as u64,
+        stream_seed: cfg.stream_seed,
+        modes: cfg.modes.iter().map(|&m| run_mode(cfg, m)).collect(),
+    }
+}
+
+/// The artifact's built-in guard, mirroring the simplex bench's: the run
+/// is only worth recording if eviction actually happened, the hot blocks
+/// actually hit, and the portfolio column actually seeded incumbents.
+/// Returns the violations (empty = healthy).
+pub fn service_bench_guard(report: &ServiceBenchReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for m in &report.modes {
+        if m.cache_evictions == 0 {
+            violations.push(format!("mode `{}`: no evictions — cache_cap did not bind", m.mode));
+        }
+        if m.cache_hits == 0 {
+            violations.push(format!("mode `{}`: zero cache hits — hot blocks measured nothing", m.mode));
+        }
+        if m.mode == SolveMode::Portfolio.as_str() {
+            if m.heuristic_seeded == 0 {
+                violations.push(
+                    "portfolio mode: zero heuristic_seeded — the greedy fast path never engaged"
+                        .to_string(),
+                );
+            }
+            if m.heuristic_solved == 0 {
+                violations.push("portfolio mode: zero heuristic_solved".to_string());
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_passes_its_own_guard_and_tags_the_schema() {
+        let mut cfg = ServiceBenchConfig::quick();
+        cfg.laps = 1;
+        let report = run_service_bench(&cfg);
+        let violations = service_bench_guard(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let json = report.to_json();
+        for key in [
+            SERVICE_BENCH_SCHEMA,
+            "jobs_per_sec",
+            "hit_rate",
+            "cache_evictions",
+            "heuristic_solved",
+            "heuristic_seeded",
+            "heuristic_infeasible",
+            "\"ilp\"",
+            "\"portfolio\"",
+        ] {
+            assert!(json.contains(key), "artifact missing `{key}`:\n{json}");
+        }
+    }
+
+    #[test]
+    fn hot_blocks_hit_deterministically() {
+        let mut cfg = ServiceBenchConfig::quick();
+        cfg.laps = 1;
+        cfg.modes = vec![SolveMode::Ilp];
+        let report = run_service_bench(&cfg);
+        let ilp = report.mode(SolveMode::Ilp).unwrap();
+        // The hot block's second pass hits on all `cache_cap` submissions.
+        assert!(ilp.cache_hits >= cfg.cache_cap as u64, "{ilp:?}");
+        assert!(ilp.cache_evictions > 0, "{ilp:?}");
+    }
+}

@@ -9,8 +9,13 @@
 //! * `serve`    — run the `mapsrv` batch daemon (JSON-lines over TCP)
 //! * `batch`    — stream a directory/manifest/generated set of instances
 //!   through the job queue and print a summary table
+//! * `arch-sweep` — sweep a grid of on-chip BRAM parameters over a design
+//!   suite, score each architecture by geometric-mean mapped cost, and
+//!   write a Pareto-front JSON
 //! * `bench`    — run the simplex pricing-rule ablation (stream workload
-//!   plus Table 3 points per rule) and write `BENCH_simplex.json`
+//!   plus Table 3 points per rule) and write `BENCH_simplex.json`, or
+//!   with `--service` the queue/cache throughput benchmark behind
+//!   `BENCH_service.json`
 //! * `check`    — explore the gmm-check concurrency models under a
 //!   deterministic scheduler (debug builds only)
 //! * `lint`     — run the workspace invariant lint (`lint.allow` holds
@@ -41,7 +46,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gmm_api::{MapRequest, StderrProgress, Termination};
+use gmm_api::{MapRequest, SolveMode, StderrProgress, Termination};
 use gmm_arch::Board;
 use gmm_check::explore::{explore, ExploreOpts};
 use gmm_core::pipeline::{DetailedStrategy, Mapper, MapperOptions};
@@ -154,6 +159,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(rest),
         "serve" => cmd_serve(rest),
         "batch" => cmd_batch(rest),
+        "arch-sweep" => cmd_arch_sweep(rest),
         "bench" => cmd_bench(rest),
         "check" => cmd_check(rest),
         "lint" => cmd_lint(rest),
@@ -183,6 +189,7 @@ USAGE:
   gmm solve --design <d.json> --board <b.json> [--complete] [--parallel N]
             [--overlap] [--ilp-detailed] [--lp-basis dense|lu]
             [--lp-pricing dantzig|partial|devex]
+            [--solve-mode ilp|heuristic|portfolio]
             [--deadline-secs T] [--node-budget N] [--progress]
             [--out <mapping.json>]          (alias: gmm map)
   gmm gen design --segments N [--seed S] [--out <f.json>]
@@ -196,14 +203,20 @@ USAGE:
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
             [--cache-cap K] [--cache-dir <dir>] [--no-persist]
             [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
+            [--solve-mode ilp|heuristic|portfolio]
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
             [--verify] [--progress] [--cache-cap K] [--cache-dir <dir>]
             [--no-persist] [--retain-jobs N] [--retain-secs T]
             [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]
             [--overlap] [--ilp-detailed] [--job-deadline-secs T]
+            [--solve-mode ilp|heuristic|portfolio]
+  gmm arch-sweep [--capacities 2048,4096,8192] [--counts 4] [--widths 16]
+            [--suite 4] [--seed S] [--workers N]
+            [--solve-mode ilp|heuristic|portfolio] [--out SWEEP_arch.json]
   gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
             [--cap-secs T] [--progress] [--out BENCH_simplex.json]
+            [--service]
   gmm check [--model cache|outbox|queue] [--preemption-bound P]
             [--min-schedules N] [--max-schedules N] [--seed S]
   gmm lint [--root <dir>]
@@ -230,7 +243,23 @@ weight steepest-edge approximation). All rules reach the same optima;
 they differ in pivot counts and scan cost. `bench` runs the stream
 workload plus Table 3 points once per rule and writes the throughput
 trajectory (instances/sec, pivots/sec, nodes/sec, refactorization
-cadence) to BENCH_simplex.json.
+cadence) to BENCH_simplex.json; `bench --service` instead measures the
+job queue itself (jobs/sec and cache hit-rate under LRU eviction, one
+column per solve mode) and writes BENCH_service.json.
+
+--solve-mode picks the solver portfolio: `ilp` (the default: full
+branch-and-bound, proves optimality), `heuristic` (the gmm-heur greedy
+first-fit mapper alone — microseconds, always `feasible`), or
+`portfolio` (greedy first, its assignment installed as the
+branch-and-bound incumbent; the ILP then proves optimality or hits the
+deadline carrying the heuristic answer as a `feasible` result instead
+of empty-handed). On `serve` the flag is a daemon-wide policy forcing
+every submitted job's mode. `arch-sweep` fans a grid of on-chip BRAM
+parameters (capacity ladder x bank counts x max widths) crossed with a
+design suite through the batch queue, scores each architecture by the
+geometric mean of its per-design mapped costs, prints the table, and
+writes the Pareto front over (geomean cost, total capacity) as
+schema-tagged JSON.
 
 `serve` runs the mapsrv daemon: a JSON-lines TCP protocol (v1 verbs
 submit / poll / result / cancel / stats / shutdown, plus the v2 session
@@ -294,6 +323,12 @@ OPTIONS:
   --lp-basis dense|lu   simplex basis factorization backend (default lu)
   --lp-pricing R        simplex pricing rule: dantzig (default), partial,
                         or devex; all reach the same optima
+  --solve-mode M        ilp (default: prove optimality), heuristic (greedy
+                        first-fit only, always `feasible`), or portfolio
+                        (greedy seeds the branch-and-bound incumbent; a
+                        deadline then returns the heuristic answer as
+                        `feasible` instead of empty-handed); not available
+                        with --complete
   --deadline-secs T     wall-clock budget; past it the solve stops and
                         reports termination `deadline-exceeded` (exit 5)
   --node-budget N       branch-and-bound node budget across the session
@@ -349,6 +384,11 @@ USAGE:
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
             [--cache-cap K] [--cache-dir <dir>] [--no-persist]
             [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
+            [--solve-mode ilp|heuristic|portfolio]
+
+--solve-mode sets a daemon-wide solve policy: every submitted job is
+forced to that mode (before its cache key is computed, so per-mode
+cache slots stay consistent). Without it each job's own config decides.
 
 Verbs (v1): submit (optional deadline_ms) / poll / result / cancel /
 stats / shutdown. Jobs past their deadline answer `deadline`; cancelled
@@ -382,8 +422,13 @@ USAGE:
             [--no-persist] [--retain-jobs N] [--retain-secs T]
             [--lp-basis dense|lu] [--lp-pricing dantzig|partial|devex]
             [--overlap] [--ilp-detailed] [--job-deadline-secs T]
+            [--solve-mode ilp|heuristic|portfolio]
 
 OPTIONS:
+  --solve-mode M          per-job solve mode (see `gmm solve --help`);
+                          portfolio seeds every branch-and-bound with the
+                          greedy answer — the summary line's heuristic
+                          counters show how often it engaged
   --progress              render live per-job state/phase/incumbent
                           events to stderr (local and --addr sessions
                           both stream; remote events ride the protocol-v2
@@ -424,6 +469,7 @@ gmm bench — simplex pricing ablation, written to BENCH_simplex.json
 USAGE:
   gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
             [--cap-secs T] [--progress] [--out BENCH_simplex.json]
+            [--service]
 
 Runs the stream workload plus the selected Table 3 points once per
 pricing rule (dantzig, partial, devex) through the gmm-api facade and
@@ -431,20 +477,67 @@ writes a JSON trajectory report: per rule, instances/sec over the
 stream, pivots/sec and nodes/sec through the solver loops, total
 refactorizations, and the peak eta-file fill-in.
 
+With --service it instead benchmarks the batch service itself: the
+stream workload is pushed through a fresh JobQueue once per solve mode
+(ilp, portfolio), each lap submitting every distinct instance cold
+(cache misses + LRU eviction) and then re-submitting a hot block sized
+to the cache (deterministic hits), and writes jobs/sec, hit-rate,
+eviction and heuristic counters per mode to BENCH_service.json.
+
 OPTIONS:
   --quick       CI-sized smoke run (8 stream instances, Table 3 points
                 1-2, 2 s caps); default is 24 instances, all 9 points,
-                5 s caps
+                5 s caps. For --service: 2 laps instead of 4
   --stream N    override the stream instance count
   --seed S      stream workload seed (default 0xBEEF)
   --points P    Table 3 points to time per rule (e.g. 1..3 or 1,4,9)
   --cap-secs T  per-point deadline; capped points are marked `capped`
   --progress    stream phase/incumbent/node events to stderr
-  --out <file>  report path (default BENCH_simplex.json)
+  --out <file>  report path (default BENCH_simplex.json, or
+                BENCH_service.json with --service)
+  --service     run the service-layer benchmark instead
 
 The run fails (exit 1) if devex pivots/sec drops below 0.8x the
 dantzig baseline measured in the same run — the devex update must stay
-cheap enough that its per-pivot overhead never dominates."
+cheap enough that its per-pivot overhead never dominates. The service
+benchmark fails the same way if eviction never ran, the hot blocks
+never hit, or the portfolio column never seeded an incumbent."
+        }
+        "arch-sweep" => {
+            "\
+gmm arch-sweep — score a grid of memory architectures over a design suite
+
+USAGE:
+  gmm arch-sweep [--capacities 2048,4096,8192] [--counts 4] [--widths 16]
+                 [--suite 4] [--seed S] [--workers N]
+                 [--solve-mode ilp|heuristic|portfolio]
+                 [--out SWEEP_arch.json]
+
+Expands the grid capacities x counts x widths into boards (each swept
+on-chip BRAM type plus a fixed off-chip spill tier that keeps every
+point mappable), maps every suite design on every board through the
+batch job queue, and scores each architecture by the geometric mean of
+its per-design mapped costs — the geomean keeps one outlier design from
+dominating a suite-wide score. Prints the per-architecture table and
+writes a schema-tagged JSON artifact (`gmm-arch-sweep/v1`) carrying
+every scored architecture plus the Pareto front over (geomean cost,
+total board capacity): the cheapest architecture at every capacity
+budget.
+
+OPTIONS:
+  --capacities L  comma-separated per-instance BRAM capacities in bits
+                  (default 2048,4096,8192)
+  --counts L      comma-separated BRAM instance counts (default 4)
+  --widths L      comma-separated maximum data widths (default 16)
+  --suite N       designs drawn from the stream generator (default 4)
+  --seed S        stream seed the suite is drawn from (default 0xBEEF)
+  --workers N     queue worker threads (default: auto)
+  --solve-mode M  solve mode for every job (default portfolio — the
+                  greedy seed makes a full sweep cheap; optima are
+                  unchanged)
+  --out <file>    artifact path (default SWEEP_arch.json)
+
+Exit codes: 0 ok, 1 no architecture scored (or internal failure)."
         }
         "check" => {
             "\
@@ -606,6 +699,17 @@ fn lp_pricing_from_flags(f: &Flags) -> Result<Option<gmm_ilp::PricingRule>, CliE
     }
 }
 
+fn solve_mode_from_flags(f: &Flags) -> Result<SolveMode, CliError> {
+    match f.get("--solve-mode") {
+        None => Ok(SolveMode::Ilp),
+        Some(name) => SolveMode::from_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "--solve-mode must be `ilp`, `heuristic`, or `portfolio`, got `{name}`"
+            ))
+        }),
+    }
+}
+
 fn backend_from_flags(f: &Flags) -> Result<SolverBackend, CliError> {
     let mut backend = match f.get("--parallel") {
         Some(n) => SolverBackend::Parallel(ParallelOptions {
@@ -628,7 +732,15 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     let design = load_design(f.get("--design").ok_or(CliError::Usage("--design required".into()))?)?;
     let board = load_board(f.get("--board").ok_or(CliError::Usage("--board required".into()))?)?;
 
+    let solve_mode = solve_mode_from_flags(&f)?;
+
     if f.has("--complete") {
+        if solve_mode != SolveMode::Ilp {
+            return Err(CliError::usage(
+                "--solve-mode applies to the two-phase facade; \
+                 the --complete baseline is ILP-only",
+            ));
+        }
         // The complete one-step baseline bypasses the two-phase facade,
         // but the session limits still apply to its (single) MIP solve.
         let mut opts = MapperOptions::new();
@@ -670,7 +782,8 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
     // Everything else goes through the unified facade.
     let mut request = MapRequest::new(design.clone(), board.clone())
         .backend(backend_from_flags(&f)?)
-        .overlap_aware(f.has("--overlap"));
+        .overlap_aware(f.has("--overlap"))
+        .solve_mode(solve_mode);
     if f.has("--ilp-detailed") {
         request = request.strategy(DetailedStrategy::Ilp(DetailedIlpOptions::default()));
     }
@@ -698,6 +811,16 @@ fn cmd_solve(args: &[String]) -> Result<(), CliError> {
         report.refactorizations,
         report.retries
     );
+    if let Some(h) = report.heuristic_objective {
+        println!(
+            "heuristic incumbent: {h:.3}{}",
+            if report.proved_optimal_from_heuristic {
+                " — the ILP proved it optimal"
+            } else {
+                ""
+            }
+        );
+    }
     if let Some(out) = &report.outcome {
         println!(
             "mapped {} segments in {:?} (global {:?}, detailed {:?})",
@@ -936,6 +1059,7 @@ fn job_config_from_flags(f: &Flags) -> Result<JobConfig, CliError> {
             .unwrap_or(LpPricing::Dantzig),
         overlap_aware: f.has("--overlap"),
         detailed_ilp: f.has("--ilp-detailed"),
+        solve_mode: solve_mode_from_flags(f)?,
     })
 }
 
@@ -949,6 +1073,11 @@ fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
     opts.job_time_limit = f.parse_secs("--time-limit-secs")?;
     if !f.has("--no-persist") {
         opts.persist_dir = f.get("--cache-dir").map(std::path::PathBuf::from);
+    }
+    // A queue-wide policy only when the flag is present: `serve` forces
+    // every client's jobs, local `batch` just mirrors its own job config.
+    if f.get("--solve-mode").is_some() {
+        opts.solve_mode = Some(solve_mode_from_flags(f)?);
     }
     Ok(opts)
 }
@@ -1255,7 +1384,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "queue: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned (retain {}) on {} workers; cache {}/{} hits, {} entries (cap {}), \
              {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
-             {} entries, {} seeded; {} events dropped; {} pivots, {} refactorizations \
+             {} entries, {} seeded; heur {} solved, {} seeded, {} infeasible; \
+             {} events dropped; {} pivots, {} refactorizations \
              (eta peak {}); up {:.1}s",
             s.submitted,
             s.completed,
@@ -1278,6 +1408,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.persist.hint_hits + s.persist.hint_misses,
             s.persist.hint_entries,
             s.incumbent_seeded,
+            s.heuristic_solved,
+            s.heuristic_seeded,
+            s.heuristic_infeasible,
             s.events_dropped,
             s.lp_iterations,
             s.refactorizations,
@@ -1291,7 +1424,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "server: {} submitted, {} done, {} failed, {} cancelled, {} deadline, \
              {} pruned (retain {}) on {} workers; cache {}/{} hits, {} entries (cap {}), \
              {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
-             {} entries, {} seeded; conns v1/v2 {}/{}, {} events dropped; {} pivots, \
+             {} entries, {} seeded; heur {} solved, {} seeded, {} infeasible; \
+             conns v1/v2 {}/{}, {} events dropped; {} pivots, \
              {} refactorizations (eta peak {}); up {:.1}s",
             s.jobs_submitted,
             s.jobs_completed,
@@ -1314,6 +1448,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.hint_hits + s.hint_misses,
             s.hint_entries,
             s.incumbent_seeded,
+            s.heuristic_solved,
+            s.heuristic_seeded,
+            s.heuristic_infeasible,
             s.proto_versions.v1,
             s.proto_versions.v2,
             s.events_dropped,
@@ -1426,12 +1563,299 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Schema tag of the `gmm arch-sweep` artifact.
+const SWEEP_SCHEMA: &str = "gmm-arch-sweep/v1";
+
+/// One scored architecture in the `gmm-arch-sweep/v1` artifact.
+#[derive(Clone, serde::Serialize)]
+struct SweepRow {
+    name: String,
+    capacity_bits: u64,
+    instances: u32,
+    width: u32,
+    total_capacity_bits: u64,
+    /// `null` when no suite design solved on this architecture.
+    geomean_cost: Option<f64>,
+    solved: u64,
+    suite: u64,
+}
+
+/// The `gmm-arch-sweep/v1` artifact: every scored architecture plus the
+/// Pareto front over (geomean cost, total capacity).
+#[derive(serde::Serialize)]
+struct SweepArtifact {
+    schema: String,
+    solve_mode: String,
+    seed: u64,
+    suite: u64,
+    architectures: Vec<SweepRow>,
+    pareto: Vec<SweepRow>,
+}
+
+/// Parse a `--key a,b,c` comma-separated list flag.
+fn parse_list<T: std::str::FromStr>(f: &Flags, key: &str) -> Result<Option<Vec<T>>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(spec) = f.get(key) else {
+        return Ok(None);
+    };
+    let items: Vec<T> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|e| CliError::usage(format!("{key}: `{s}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(CliError::usage(format!("{key}: empty list")));
+    }
+    Ok(Some(items))
+}
+
+/// `gmm arch-sweep` — map a design suite onto a grid of candidate memory
+/// architectures through the batch queue, score each by geometric-mean
+/// mapped cost, and write the Pareto-front artifact.
+fn cmd_arch_sweep(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::new(args);
+    let mut spec = gmm_workloads::SweepSpec::default();
+    if let Some(v) = parse_list::<u64>(&f, "--capacities")? {
+        spec.capacities = v;
+    }
+    if let Some(v) = parse_list::<u32>(&f, "--counts")? {
+        spec.bank_counts = v;
+    }
+    if let Some(v) = parse_list::<u32>(&f, "--widths")? {
+        spec.widths = v;
+    }
+    if let Some(n) = f.parse::<usize>("--suite")? {
+        if n == 0 {
+            return Err(CliError::usage("--suite must be at least 1"));
+        }
+        spec.suite = n;
+    }
+    if let Some(s) = f.parse::<u64>("--seed")? {
+        spec.seed = s;
+    }
+    // Portfolio unless overridden: the greedy seed makes a full grid
+    // cheap, and the ILP still proves the same optima.
+    let mode = match f.get("--solve-mode") {
+        None => SolveMode::Portfolio,
+        Some(_) => solve_mode_from_flags(&f)?,
+    };
+    let out = f.get("--out").unwrap_or("SWEEP_arch.json");
+
+    let suite = gmm_workloads::suite_designs(&spec);
+    let grid = gmm_workloads::arch_grid(&spec, &suite);
+    println!(
+        "arch-sweep: {} architectures x {} designs = {} jobs (mode {mode})",
+        grid.len(),
+        suite.len(),
+        grid.len() * suite.len(),
+    );
+
+    let config = JobConfig {
+        solve_mode: mode,
+        ..JobConfig::default()
+    };
+    let mut queue_opts = QueueOptions::default();
+    queue_opts.workers = f.parse("--workers")?.unwrap_or(0);
+    let mut session = Session::local(Arc::new(JobQueue::new(queue_opts)));
+    session.stream_progress(false);
+    let client_err = |e: gmm_service::ClientError| CliError::internal(e.to_string());
+
+    // One flat batch over the whole grid x suite product: work stealing
+    // keeps every worker busy across architecture boundaries, and
+    // `wait_all` hands outcomes back in submission order.
+    let t0 = Instant::now();
+    let specs: Vec<SubmitSpec> = grid
+        .iter()
+        .flat_map(|point| {
+            suite.iter().map(|(_, design)| {
+                SubmitSpec::new(design.clone(), point.board.clone(), config.clone())
+            })
+        })
+        .collect();
+    session.submit_batch(specs).map_err(client_err)?;
+    session.watch_all().map_err(client_err)?;
+    let outcomes = session
+        .wait_all(Duration::from_secs(600))
+        .map_err(client_err)?;
+
+    let scores: Vec<gmm_workloads::ArchScore> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            let chunk = &outcomes[i * suite.len()..(i + 1) * suite.len()];
+            let costs: Vec<f64> = chunk
+                .iter()
+                .filter(|o| o.state == JobState::Done)
+                .filter_map(|o| o.objective)
+                .collect();
+            gmm_workloads::ArchScore {
+                name: point.name.clone(),
+                total_capacity_bits: point.board.total_capacity_bits(),
+                geomean_cost: gmm_workloads::geometric_mean(&costs),
+                solved: costs.len(),
+                suite: suite.len(),
+            }
+        })
+        .collect();
+    let front = gmm_workloads::pareto_front(&scores);
+
+    println!(
+        "{:<20} {:>9} {:>6} {:>6} {:>12} {:>8} {:>12}  pareto",
+        "architecture", "cap/inst", "banks", "width", "total bits", "solved", "geomean"
+    );
+    for (i, (point, score)) in grid.iter().zip(&scores).enumerate() {
+        println!(
+            "{:<20} {:>9} {:>6} {:>6} {:>12} {:>5}/{:<2} {:>12}  {}",
+            score.name,
+            point.capacity_bits,
+            point.instances,
+            point.width,
+            score.total_capacity_bits,
+            score.solved,
+            score.suite,
+            if score.geomean_cost.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.2}", score.geomean_cost)
+            },
+            if front.contains(&i) { "*" } else { "" },
+        );
+    }
+    if let Some(queue) = session.queue().cloned() {
+        let s = queue.stats();
+        println!(
+            "swept {} jobs in {:.2}s; heuristic {} solved, {} seeded, {} infeasible",
+            outcomes.len(),
+            t0.elapsed().as_secs_f64(),
+            s.heuristic_solved,
+            s.heuristic_seeded,
+            s.heuristic_infeasible,
+        );
+        queue.shutdown();
+    }
+
+    let row = |i: usize| {
+        let (point, score) = (&grid[i], &scores[i]);
+        SweepRow {
+            name: score.name.clone(),
+            capacity_bits: point.capacity_bits,
+            instances: point.instances,
+            width: point.width,
+            total_capacity_bits: score.total_capacity_bits,
+            // NaN (nothing solved) would leak a bare `NaN` token into the
+            // artifact; `null` keeps it strict JSON.
+            geomean_cost: (!score.geomean_cost.is_nan()).then_some(score.geomean_cost),
+            solved: score.solved as u64,
+            suite: score.suite as u64,
+        }
+    };
+    let artifact = SweepArtifact {
+        schema: SWEEP_SCHEMA.to_string(),
+        solve_mode: mode.as_str().to_string(),
+        seed: spec.seed,
+        suite: suite.len() as u64,
+        architectures: (0..grid.len()).map(row).collect(),
+        pareto: front.iter().map(|&i| row(i)).collect(),
+    };
+    write_json(out, &artifact)?;
+    println!(
+        "wrote {out} ({} architectures, {} on the Pareto front)",
+        grid.len(),
+        front.len()
+    );
+
+    if scores.iter().all(|s| s.solved == 0) {
+        return Err(CliError::internal(
+            "no architecture mapped any suite design — the sweep scored nothing",
+        ));
+    }
+    Ok(())
+}
+
+/// `gmm bench --service` — the queue/cache throughput benchmark behind
+/// `BENCH_service.json`.
+fn cmd_bench_service(f: &Flags) -> Result<(), CliError> {
+    use gmm_bench::{run_service_bench, service_bench_guard, ServiceBenchConfig};
+
+    let mut cfg = if f.has("--quick") {
+        ServiceBenchConfig::quick()
+    } else {
+        ServiceBenchConfig::full()
+    };
+    if let Some(seed) = f.parse::<u64>("--seed")? {
+        cfg.stream_seed = seed;
+    }
+    if let Some(n) = f.parse::<usize>("--stream")? {
+        // Keep the cap binding (evictions must run) and the hot block
+        // nonempty whatever count is asked for.
+        cfg.distinct = n.max(2);
+        cfg.cache_cap = (cfg.distinct / 2).max(1);
+    }
+    let out = f.get("--out").unwrap_or("BENCH_service.json");
+
+    println!(
+        "bench --service: {} distinct instances, cache cap {}, {} lap(s) x {} mode(s) on {} workers",
+        cfg.distinct,
+        cfg.cache_cap,
+        cfg.laps,
+        cfg.modes.len(),
+        cfg.workers,
+    );
+    let report = run_service_bench(&cfg);
+
+    println!(
+        "{:>10} {:>7} {:>9} {:>9} {:>7} {:>9} {:>12} {:>7} {:>7}",
+        "mode", "jobs", "jobs/s", "hit-rate", "evict", "pivots", "heur-solved", "seeded", "infeas"
+    );
+    for m in &report.modes {
+        println!(
+            "{:>10} {:>7} {:>9.1} {:>9.2} {:>7} {:>9} {:>12} {:>7} {:>7}",
+            m.mode,
+            m.jobs,
+            m.jobs_per_sec,
+            m.hit_rate,
+            m.cache_evictions,
+            m.lp_iterations,
+            m.heuristic_solved,
+            m.heuristic_seeded,
+            m.heuristic_infeasible,
+        );
+    }
+
+    // Artifact first, verdict second — a failing run's numbers are
+    // exactly the ones worth inspecting.
+    std::fs::write(out, report.to_json() + "\n")
+        .map_err(|e| CliError::internal(format!("writing {out}: {e}")))?;
+    println!("wrote {out}");
+
+    let violations = service_bench_guard(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("guard: {v}");
+        }
+        return Err(CliError::internal(format!(
+            "{} service-bench guard violation(s)",
+            violations.len()
+        )));
+    }
+    Ok(())
+}
+
 /// `gmm bench` — the simplex pricing ablation behind `BENCH_simplex.json`.
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     use gmm_bench::{run_trajectory_with, TrajectoryConfig};
     use gmm_ilp::PricingRule;
 
     let f = Flags::new(args);
+    if f.has("--service") {
+        return cmd_bench_service(&f);
+    }
     let mut cfg = if f.has("--quick") {
         TrajectoryConfig::quick()
     } else {

@@ -345,7 +345,7 @@ impl RemoteTransport {
             }
             match classify(&line)? {
                 ServerFrame::Event(ev) => self.buffered.push_back(ev),
-                ServerFrame::Response(resp) => return Ok(resp),
+                ServerFrame::Response(resp) => return Ok(*resp),
             }
         }
     }
@@ -378,7 +378,9 @@ impl RemoteTransport {
 }
 
 enum ServerFrame {
-    Response(Response),
+    // Boxed: a stats-bearing Response dwarfs an event frame, and event
+    // frames are the hot path.
+    Response(Box<Response>),
     Event(JobEvent),
 }
 
@@ -392,7 +394,7 @@ fn classify(line: &str) -> Result<ServerFrame, ClientError> {
             .map_err(|e| ClientError::Protocol(format!("bad event frame: {e}")));
     }
     serde_json::from_value::<Response>(value)
-        .map(ServerFrame::Response)
+        .map(|resp| ServerFrame::Response(Box::new(resp)))
         .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))
 }
 

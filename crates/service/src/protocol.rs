@@ -291,6 +291,15 @@ pub struct ServiceStats {
     /// Global solves whose warm-start hint was accepted as the starting
     /// incumbent (a hit only *offers* a seed; this counts acceptances).
     pub incumbent_seeded: u64,
+    /// Solves where the greedy heuristic found a feasible assignment
+    /// (`heuristic` and `portfolio` solve modes).
+    pub heuristic_solved: u64,
+    /// Portfolio solves whose greedy assignment was accepted as the
+    /// branch-and-bound starting incumbent.
+    pub heuristic_seeded: u64,
+    /// Heuristic/portfolio solves where the greedy found no fit (the ILP
+    /// half may still have answered).
+    pub heuristic_infeasible: u64,
 }
 
 /// Connection counters per negotiated protocol version. A connection
@@ -925,6 +934,9 @@ mod tests {
             hint_hits: 1,
             hint_misses: 2,
             incumbent_seeded: 1,
+            heuristic_solved: 6,
+            heuristic_seeded: 4,
+            heuristic_infeasible: 1,
         }));
     }
 

@@ -81,7 +81,7 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
-use gmm_api::{ForwardProgress, MapRequest, Termination};
+use gmm_api::{ForwardProgress, MapRequest, SolveMode, Termination};
 use gmm_arch::Board;
 use gmm_core::pipeline::DetailedStrategy;
 use gmm_core::{DetailedIlpOptions, DetailedMapping, GlobalAssignment, SolverBackend};
@@ -156,7 +156,7 @@ impl From<PricingRule> for LpPricing {
 
 /// Per-job solver configuration. Part of the cache key: two submissions
 /// with different configs are different instances.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JobConfig {
     pub lp_basis: LpBasis,
     /// Simplex entering-column pricing rule. Part of the cache key like
@@ -167,6 +167,10 @@ pub struct JobConfig {
     pub overlap_aware: bool,
     /// Use the §4.2 ILP detailed mapper instead of the constructive packer.
     pub detailed_ilp: bool,
+    /// Which engine(s) run the solve (ILP, greedy heuristic, or the
+    /// portfolio). Part of the cache key like every other field, so
+    /// per-mode resubmissions land on separate cache slots.
+    pub solve_mode: SolveMode,
 }
 
 impl Default for JobConfig {
@@ -176,7 +180,27 @@ impl Default for JobConfig {
             lp_pricing: LpPricing::Dantzig,
             overlap_aware: false,
             detailed_ilp: false,
+            solve_mode: SolveMode::Ilp,
         }
+    }
+}
+
+/// Hand-rolled so `solve_mode` (added after protocol v2 shipped) stays
+/// optional on the wire: configs serialized by older clients deserialize
+/// to the default `ilp` mode instead of erroring.
+impl Deserialize for JobConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| v.get(name).ok_or_else(|| serde::DeError::missing(name));
+        Ok(JobConfig {
+            lp_basis: LpBasis::from_value(field("lp_basis")?)?,
+            lp_pricing: LpPricing::from_value(field("lp_pricing")?)?,
+            overlap_aware: bool::from_value(field("overlap_aware")?)?,
+            detailed_ilp: bool::from_value(field("detailed_ilp")?)?,
+            solve_mode: match v.get("solve_mode") {
+                Some(m) => SolveMode::from_value(m)?,
+                None => SolveMode::Ilp,
+            },
+        })
     }
 }
 
@@ -349,6 +373,15 @@ pub struct QueueStats {
     /// Solves whose family warm-start hint was accepted as the starting
     /// incumbent (see [`QueueStats::persist`] for offers).
     pub incumbent_seeded: u64,
+    /// Solves where the greedy heuristic found a feasible assignment
+    /// (`heuristic` and `portfolio` modes).
+    pub heuristic_solved: u64,
+    /// Portfolio solves whose greedy assignment was accepted as the
+    /// branch-and-bound starting incumbent.
+    pub heuristic_seeded: u64,
+    /// `heuristic`/`portfolio` solves where the greedy found no fit (the
+    /// ILP half may still have answered).
+    pub heuristic_infeasible: u64,
     pub workers: usize,
     pub cache: CacheStats,
     /// Persistent-tier counters; all-zero when the queue runs without a
@@ -364,7 +397,7 @@ pub struct QueueStats {
 /// Documented defaults: `workers = 0` (auto, capped at 8),
 /// `cache_shards = 16`, `cache_cap = 4096`, `retain_jobs = 1024`,
 /// `retain_age = None`, `job_time_limit = None`, `persist_dir = None`
-/// (no on-disk tier).
+/// (no on-disk tier), `solve_mode = None` (respect per-job configs).
 ///
 /// ```
 /// use gmm_service::QueueOptions;
@@ -399,6 +432,12 @@ pub struct QueueOptions {
     /// `None` runs memory-only. Opening failures are logged and degrade
     /// to memory-only — a bad disk never prevents the daemon starting.
     pub persist_dir: Option<std::path::PathBuf>,
+    /// Queue-wide solve-mode policy (the daemon's `--solve-mode` flag):
+    /// `Some(mode)` forces every submitted job to that mode *before* the
+    /// cache key is computed, so per-mode cache slots stay consistent;
+    /// `None` (the default) respects each job's own
+    /// [`JobConfig::solve_mode`].
+    pub solve_mode: Option<SolveMode>,
 }
 
 impl Default for QueueOptions {
@@ -411,6 +450,7 @@ impl Default for QueueOptions {
             retain_age: None,
             job_time_limit: None,
             persist_dir: None,
+            solve_mode: None,
         }
     }
 }
@@ -455,6 +495,12 @@ struct Inner {
     eta_nnz_peak: AtomicU64,
     /// Solves that accepted a family warm-start hint as their incumbent.
     incumbent_seeded: AtomicU64,
+    /// Solves where the greedy heuristic produced a feasible assignment.
+    heuristic_solved: AtomicU64,
+    /// Portfolio solves whose greedy assignment seeded branch-and-bound.
+    heuristic_seeded: AtomicU64,
+    /// Heuristic/portfolio solves where the greedy found no fit.
+    heuristic_infeasible: AtomicU64,
     shutdown: AtomicBool,
     /// Bumped on every push into a shard injector; lets idle workers
     /// detect work that arrived between their last scan and parking.
@@ -475,6 +521,8 @@ struct Inner {
     retain_jobs: usize,
     retain_age: Option<Duration>,
     job_time_limit: Option<Duration>,
+    /// Queue-wide solve-mode policy ([`QueueOptions::solve_mode`]).
+    solve_mode: Option<SolveMode>,
     started: Instant,
 }
 
@@ -729,6 +777,9 @@ impl JobQueue {
             refactorizations: AtomicU64::new(0),
             eta_nnz_peak: AtomicU64::new(0),
             incumbent_seeded: AtomicU64::new(0),
+            heuristic_solved: AtomicU64::new(0),
+            heuristic_seeded: AtomicU64::new(0),
+            heuristic_infeasible: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             work_epoch: AtomicU64::new(0),
             work_lock: Mutex::with_rank((), crate::ranks::WORK, "queue-work"),
@@ -742,6 +793,7 @@ impl JobQueue {
             retain_jobs: opts.retain_jobs,
             retain_age: opts.retain_age,
             job_time_limit: opts.job_time_limit,
+            solve_mode: opts.solve_mode,
             started: Instant::now(),
         });
         // LRU evictions spill to disk, so the persistent tier covers the
@@ -829,6 +881,13 @@ impl JobQueue {
         deadline: Option<Duration>,
         watcher: Option<(&Outbox, bool)>,
     ) -> JobTicket {
+        // The queue-wide policy rewrites the mode before the key is
+        // computed, so a policy'd daemon caches under the mode it actually
+        // solves in.
+        let mut config = config;
+        if let Some(mode) = self.inner.solve_mode {
+            config.solve_mode = mode;
+        }
         let key = instance_key(&design, &board, &config);
         let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
         self.inner.submitted.fetch_add(1, Ordering::AcqRel);
@@ -1105,6 +1164,9 @@ impl JobQueue {
             refactorizations: self.inner.refactorizations.load(Ordering::Relaxed),
             eta_nnz_peak: self.inner.eta_nnz_peak.load(Ordering::Relaxed),
             incumbent_seeded: self.inner.incumbent_seeded.load(Ordering::Relaxed),
+            heuristic_solved: self.inner.heuristic_solved.load(Ordering::Relaxed),
+            heuristic_seeded: self.inner.heuristic_seeded.load(Ordering::Relaxed),
+            heuristic_infeasible: self.inner.heuristic_infeasible.load(Ordering::Relaxed),
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
             persist: self
@@ -1365,6 +1427,7 @@ fn process(job: Job, inner: &Arc<Inner>) {
     let mut request = MapRequest::new(job.design, job.board)
         .backend(SolverBackend::Serial(mip))
         .overlap_aware(job.config.overlap_aware)
+        .solve_mode(job.config.solve_mode)
         .cancel_token(cancel)
         .observer(Arc::new(progress));
     if let (Some(store), Some(f)) = (&inner.persist, family) {
@@ -1405,6 +1468,17 @@ fn process(job: Job, inner: &Arc<Inner>) {
     inner
         .incumbent_seeded
         .fetch_add(report.incumbent_seeded, Ordering::Relaxed);
+    if report.heuristic_objective.is_some() {
+        inner.heuristic_solved.fetch_add(1, Ordering::Relaxed);
+        // With a greedy seed in play the warm hint *was* the greedy
+        // assignment (it overrides any family hint), so a seeded
+        // incumbent here is the heuristic fast path paying off.
+        if job.config.solve_mode == SolveMode::Portfolio && report.incumbent_seeded > 0 {
+            inner.heuristic_seeded.fetch_add(1, Ordering::Relaxed);
+        }
+    } else if job.config.solve_mode != SolveMode::Ilp {
+        inner.heuristic_infeasible.fetch_add(1, Ordering::Relaxed);
+    }
     let mut assignment: Option<Vec<u32>> = None;
     let entry = report.outcome.map(|outcome| {
         assignment = Some(outcome.global.type_of.iter().map(|t| t.0 as u32).collect());
@@ -1530,6 +1604,35 @@ mod tests {
             "cache hit must be byte-identical"
         );
         assert_eq!(q.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn queue_wide_solve_mode_policy_rewrites_jobs_and_keys() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            solve_mode: Some(SolveMode::Portfolio),
+            ..QueueOptions::default()
+        });
+        let (design, board) = small_instance(9);
+        // The job asks for ilp; the policy forces portfolio, so the
+        // heuristic counters move and the key matches an explicit
+        // portfolio submission (one cache slot, not two).
+        let a = q.submit(design.clone(), board.clone(), JobConfig::default());
+        let out = q.wait(a.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Done);
+        let s = q.stats();
+        assert_eq!(s.heuristic_solved, 1, "{s:?}");
+        let b = q.submit(
+            design,
+            board,
+            JobConfig {
+                solve_mode: SolveMode::Portfolio,
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(a.key, b.key, "policy'd key must be the portfolio key");
+        assert!(b.cached, "second submission must hit the same cache slot");
+        assert!(q.wait_idle(Duration::from_secs(60)));
     }
 
     #[test]

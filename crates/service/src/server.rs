@@ -359,6 +359,9 @@ pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> Service
         hint_hits: s.persist.hint_hits,
         hint_misses: s.persist.hint_misses,
         incumbent_seeded: s.incumbent_seeded,
+        heuristic_solved: s.heuristic_solved,
+        heuristic_seeded: s.heuristic_seeded,
+        heuristic_infeasible: s.heuristic_infeasible,
     }
     // lint:stats-verb-end
 }

@@ -1,0 +1,265 @@
+//! Architecture-sweep grids: candidate boards × a design suite, scored by
+//! geometric-mean mapped cost.
+//!
+//! The `arch-sweep` scenario asks the question an FPGA platform architect
+//! asks: *which memory architecture serves my whole workload best, and at
+//! what capacity price?* A [`SweepSpec`] spans a grid of on-chip BRAM
+//! parameters (per-instance capacity ladder × instance counts × maximum
+//! data widths); every architecture point is a full [`Board`] mapped
+//! against the same suite of designs, and architectures are compared by
+//! the **geometric mean** of the per-design mapped costs (rapid-map's
+//! `compute_geometric_area` idiom — the geomean keeps one outlier design
+//! from dominating a suite-wide score the way an arithmetic mean would).
+//! The natural output is a Pareto front over (suite geomean cost, total
+//! board capacity): the cheapest architecture at every capacity budget.
+//!
+//! This module generates the grid, the suite, and the scoring math; the
+//! CLI's `arch-sweep` verb fans the product through the batch service
+//! machinery and renders the table + Pareto JSON.
+
+use crate::stream::{stream_instances, StreamSpec};
+use gmm_arch::{geometric_ladder, BankType, Board, Placement, RamConfig};
+use gmm_design::Design;
+
+/// The sweep grid and its evaluation suite.
+///
+/// Defaults: capacities `[2048, 4096, 8192]` bits × counts `[4]` ×
+/// widths `[16]` (a 3-point capacity ladder), suite of 4 designs from
+/// the default stream seed.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Per-instance on-chip BRAM capacities (bits) to sweep.
+    pub capacities: Vec<u64>,
+    /// On-chip BRAM instance counts to sweep.
+    pub bank_counts: Vec<u32>,
+    /// Maximum data widths of the on-chip config ladder to sweep.
+    pub widths: Vec<u32>,
+    /// How many suite designs to draw from the stream generator.
+    pub suite: usize,
+    /// Stream seed the suite is drawn from.
+    pub seed: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            capacities: vec![2048, 4096, 8192],
+            bank_counts: vec![4],
+            widths: vec![16],
+            suite: 4,
+            seed: StreamSpec::default().seed,
+        }
+    }
+}
+
+/// One architecture in the grid: a named, fully-built board.
+#[derive(Debug, Clone)]
+pub struct ArchPoint {
+    /// `bram<capacity>x<count>w<width>`, stable across runs.
+    pub name: String,
+    /// Swept per-instance on-chip capacity (bits).
+    pub capacity_bits: u64,
+    /// Swept on-chip instance count.
+    pub instances: u32,
+    /// Swept maximum on-chip data width.
+    pub width: u32,
+    /// The board: the swept on-chip type plus a fixed off-chip spill tier
+    /// sized so every suite design stays mappable on every grid point.
+    pub board: Board,
+}
+
+/// A scored architecture point (the CLI table row / JSON record).
+#[derive(Debug, Clone)]
+pub struct ArchScore {
+    pub name: String,
+    /// Total board capacity in bits (both tiers) — the Pareto x-axis.
+    pub total_capacity_bits: u64,
+    /// Geometric mean of the per-design mapped costs — the Pareto y-axis.
+    pub geomean_cost: f64,
+    /// Designs of the suite that produced a mapping on this board.
+    pub solved: usize,
+    /// Suite size.
+    pub suite: usize,
+}
+
+/// The evaluation suite: `spec.suite` designs drawn from the stream
+/// generator (boards of the stream are ignored — the sweep supplies its
+/// own). Returns `(name, design)` pairs, reproducible from the seed.
+pub fn suite_designs(spec: &SweepSpec) -> Vec<(String, Design)> {
+    stream_instances(StreamSpec {
+        seed: spec.seed,
+        ..StreamSpec::default()
+    })
+    .take(spec.suite.max(1))
+    .map(|inst| (inst.name, inst.design))
+    .collect()
+}
+
+/// Expand the grid: capacities × counts × widths, each with the spill
+/// tier sized for `suite` (one dual-port SRAM per segment of the largest
+/// design keeps every point feasible — the sweep compares mapped *cost*,
+/// not mappability cliffs).
+pub fn arch_grid(spec: &SweepSpec, suite: &[(String, Design)]) -> Vec<ArchPoint> {
+    let max_segments = suite
+        .iter()
+        .map(|(_, d)| d.num_segments())
+        .max()
+        .unwrap_or(1) as u32;
+    let mut grid = Vec::new();
+    for &capacity_bits in &spec.capacities {
+        for &instances in &spec.bank_counts {
+            for &width in &spec.widths {
+                let name = format!("bram{capacity_bits}x{instances}w{width}");
+                let min_depth = (capacity_bits / u64::from(width.max(1))).max(1) as u32;
+                let bram = BankType::new(
+                    format!("BRAM-{capacity_bits}b"),
+                    instances,
+                    2,
+                    geometric_ladder(capacity_bits, min_depth),
+                    1,
+                    1,
+                    Placement::OnChip,
+                )
+                .expect("nonzero swept parameters");
+                let spill = BankType::new(
+                    "SRAM-spill",
+                    max_segments.max(2),
+                    2,
+                    vec![RamConfig::new(16_384, 16)],
+                    2,
+                    2,
+                    Placement::DirectOffChip,
+                )
+                .expect("fixed spill tier is valid");
+                let board = Board::new(format!("sweep {name}"), vec![bram, spill])
+                    .expect("two uniquely-named banks");
+                grid.push(ArchPoint {
+                    name,
+                    capacity_bits,
+                    instances,
+                    width,
+                    board,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Geometric mean of per-design costs. Non-positive costs are clamped to
+/// a tiny epsilon so one degenerate (zero-cost) design cannot zero out
+/// the whole suite score. Empty input returns `NaN`.
+pub fn geometric_mean(costs: &[f64]) -> f64 {
+    if costs.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = costs.iter().map(|&c| c.max(1e-12).ln()).sum();
+    (log_sum / costs.len() as f64).exp()
+}
+
+/// Indices of the Pareto-efficient points, minimizing both
+/// `geomean_cost` and `total_capacity_bits`, ordered by capacity.
+/// Points with a `NaN` score (nothing solved) never make the front.
+pub fn pareto_front(scores: &[ArchScore]) -> Vec<usize> {
+    let dominates = |a: &ArchScore, b: &ArchScore| {
+        a.geomean_cost <= b.geomean_cost
+            && a.total_capacity_bits <= b.total_capacity_bits
+            && (a.geomean_cost < b.geomean_cost || a.total_capacity_bits < b.total_capacity_bits)
+    };
+    let mut front: Vec<usize> = (0..scores.len())
+        .filter(|&i| {
+            !scores[i].geomean_cost.is_nan()
+                && !scores.iter().enumerate().any(|(j, other)| {
+                    j != i && !other.geomean_cost.is_nan() && dominates(other, &scores[i])
+                })
+        })
+        .collect();
+    front.sort_by_key(|&i| (scores[i].total_capacity_bits, scores[i].name.clone()));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(name: &str, cap: u64, cost: f64) -> ArchScore {
+        ArchScore {
+            name: name.into(),
+            total_capacity_bits: cap,
+            geomean_cost: cost,
+            solved: 1,
+            suite: 1,
+        }
+    }
+
+    #[test]
+    fn grid_spans_the_product_and_is_reproducible() {
+        let spec = SweepSpec {
+            capacities: vec![2048, 4096],
+            bank_counts: vec![2, 4],
+            widths: vec![8, 16],
+            suite: 3,
+            seed: 7,
+        };
+        let suite = suite_designs(&spec);
+        assert_eq!(suite.len(), 3);
+        let grid = arch_grid(&spec, &suite);
+        assert_eq!(grid.len(), 8);
+        let again = arch_grid(&spec, &suite_designs(&spec));
+        for (a, b) in grid.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.board, b.board);
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = grid.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn every_grid_point_maps_the_whole_suite() {
+        use gmm_core::pipeline::{Mapper, MapperOptions};
+        let spec = SweepSpec {
+            suite: 3,
+            ..SweepSpec::default()
+        };
+        let suite = suite_designs(&spec);
+        let mapper = Mapper::new(MapperOptions::new());
+        for point in arch_grid(&spec, &suite) {
+            for (name, design) in &suite {
+                mapper
+                    .map(design, &point.board)
+                    .unwrap_or_else(|e| panic!("{name} unmappable on {}: {e}", point.name));
+            }
+        }
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+        // A zero cost is clamped, not propagated as geomean 0.
+        assert!(geometric_mean(&[0.0, 4.0]) > 0.0);
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let scores = vec![
+            score("cheap-small", 100, 5.0),
+            score("dominated", 200, 6.0), // worse cost AND bigger than cheap-small
+            score("big-fast", 300, 2.0),
+            score("unsolved", 50, f64::NAN),
+        ];
+        let front = pareto_front(&scores);
+        assert_eq!(front, vec![0, 2]);
+    }
+
+    #[test]
+    fn pareto_keeps_ties_and_orders_by_capacity() {
+        let scores = vec![score("b", 200, 3.0), score("a", 100, 4.0)];
+        let front = pareto_front(&scores);
+        assert_eq!(front, vec![1, 0]);
+    }
+}

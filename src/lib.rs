@@ -17,6 +17,7 @@
 //! | [`gmm_ilp`] | MILP solver: bounded simplex, presolve, serial + work-stealing parallel branch-and-bound, cuts (replaces CPLEX) |
 //! | [`gmm_arch`] | bank types, Table 1 device catalog, boards |
 //! | [`gmm_design`] | data segments, access profiles, lifetimes, conflicts |
+//! | [`gmm_heur`] | greedy first-fit heuristic mapper and the `SolveMode` portfolio (heuristic seeds branch-and-bound) |
 //! | [`gmm_sim`] | cycle-level access simulator, adder-free decode checks, cache-hit replay validation |
 //! | [`gmm_workloads`] | Table 3 design points, DSP kernels, random designs, load-test instance streams |
 //! | [`gmm_service`] | batch mapping service: sharded work-stealing job queue, content-addressed solution cache, `mapsrv` TCP daemon |
@@ -51,6 +52,7 @@ pub use gmm_api as api;
 pub use gmm_arch as arch;
 pub use gmm_core as core;
 pub use gmm_design as design;
+pub use gmm_heur as heur;
 pub use gmm_ilp as ilp;
 pub use gmm_service as service;
 pub use gmm_sim as sim;
@@ -66,6 +68,7 @@ pub mod prelude {
         PreTable, SolverBackend,
     };
     pub use gmm_design::{AccessProfile, Design, DesignBuilder, Lifetime, SegmentId};
+    pub use gmm_heur::{greedy_map, greedy_solve, HeurInfeasible, HeurOptions, SolveMode};
     pub use gmm_service::{JobConfig, JobQueue, JobState, QueueOptions};
     pub use gmm_sim::{simulate_mapping, Trace};
 }
