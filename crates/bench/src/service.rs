@@ -24,7 +24,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gmm_api::SolveMode;
-use gmm_service::{JobConfig, JobQueue, QueueOptions};
+use gmm_cluster::{Router, RouterOptions};
+use gmm_service::{JobConfig, JobQueue, MapServer, QueueOptions, Session, SubmitSpec};
 use gmm_workloads::{stream_instances, StreamSpec};
 use serde::Serialize;
 
@@ -47,6 +48,10 @@ pub struct ServiceBenchConfig {
     pub stream_seed: u64,
     /// Modes measured, one column each.
     pub modes: Vec<SolveMode>,
+    /// When nonzero, also run the same `ilp` workload through an
+    /// in-process [`Router`] over this many TCP backends (the cluster
+    /// lap); total worker threads stay `workers`, split across them.
+    pub backends: usize,
 }
 
 impl ServiceBenchConfig {
@@ -59,6 +64,7 @@ impl ServiceBenchConfig {
             workers: 4,
             stream_seed: StreamSpec::default().seed,
             modes: vec![SolveMode::Ilp, SolveMode::Portfolio],
+            backends: 0,
         }
     }
 
@@ -96,6 +102,25 @@ pub struct ModeResult {
     pub heuristic_infeasible: u64,
 }
 
+/// The routed (cluster) lap's measured column: the identical `ilp`
+/// workload pushed through an in-process router over N TCP backends.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterResult {
+    pub backends: u64,
+    /// Worker threads per backend (total stays the config's `workers`).
+    pub workers_per_backend: u64,
+    pub jobs: u64,
+    pub elapsed_secs: f64,
+    pub jobs_per_sec: f64,
+    /// The fair baseline: the identical workload against ONE TCP
+    /// `mapsrv` at the same total worker count. Both columns pay the
+    /// wire cost, so their ratio isolates what the router itself adds.
+    pub single_node_jobs_per_sec: f64,
+    /// Routed throughput over the single-TCP-node baseline — the
+    /// routing-overhead ratio the guard bounds from below.
+    pub vs_single_node: f64,
+}
+
 /// The schema-tagged artifact.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServiceBenchReport {
@@ -106,6 +131,8 @@ pub struct ServiceBenchReport {
     pub workers: u64,
     pub stream_seed: u64,
     pub modes: Vec<ModeResult>,
+    /// Present when the cluster lap ran (`backends > 0`), else `null`.
+    pub cluster: Option<ClusterResult>,
 }
 
 impl ServiceBenchReport {
@@ -177,9 +204,114 @@ fn run_mode(cfg: &ServiceBenchConfig, mode: SolveMode) -> ModeResult {
     }
 }
 
+/// Start `n` loopback `mapsrv` backends with `workers_per` workers each.
+fn start_backends(n: usize, workers_per: usize, cache_cap: usize) -> (Vec<MapServer>, Vec<String>) {
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut opts = QueueOptions::default();
+        opts.workers = workers_per;
+        opts.cache_cap = cache_cap;
+        let server = MapServer::start("127.0.0.1:0", Arc::new(JobQueue::new(opts)))
+            .expect("bind a loopback backend");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+    (servers, addrs)
+}
+
+/// Push the benchmark's lap schedule through `session` and return the
+/// elapsed wall-clock seconds.
+fn run_session_laps(
+    cfg: &ServiceBenchConfig,
+    session: &mut Session,
+    instances: &[gmm_workloads::StreamInstance],
+) -> f64 {
+    let config = JobConfig {
+        solve_mode: SolveMode::Ilp,
+        ..JobConfig::default()
+    };
+    let specs = |iter: &mut dyn Iterator<Item = &gmm_workloads::StreamInstance>| -> Vec<SubmitSpec> {
+        iter.map(|inst| {
+            SubmitSpec::new(inst.design.clone(), inst.board.clone(), config.clone())
+        })
+        .collect()
+    };
+    let drain = Duration::from_secs(600);
+    let t0 = Instant::now();
+    for _ in 0..cfg.laps {
+        session
+            .submit_batch(specs(&mut instances.iter()))
+            .expect("cold block submits");
+        session.wait_all(drain).expect("cold block drains");
+        let hot_from = cfg.distinct - cfg.cache_cap.min(cfg.distinct);
+        for _ in 0..2 {
+            session
+                .submit_batch(specs(&mut instances.iter().skip(hot_from)))
+                .expect("hot block submits");
+            session.wait_all(drain).expect("hot block drains");
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Run the identical workload twice over real TCP — once against a
+/// single `mapsrv` with all the workers, once through a router fronting
+/// `n` backends splitting the same worker count — and report the ratio.
+/// Comparing routed against the *in-process* columns would measure the
+/// wire, not the router: these jobs solve in microseconds, so TCP
+/// round-trips dominate any column that pays them.
+fn run_cluster_lap(cfg: &ServiceBenchConfig) -> ClusterResult {
+    let n = cfg.backends.max(1);
+    let workers_per = (cfg.workers / n).max(1);
+    let instances: Vec<_> = stream_instances(StreamSpec {
+        seed: cfg.stream_seed,
+        ..StreamSpec::default()
+    })
+    .take(cfg.distinct.max(1))
+    .collect();
+
+    // Baseline: one TCP backend, no router, at the same total worker
+    // count the cluster actually gets (`workers / n` rounds down, and
+    // rounds up to one per backend — give the baseline that total, not
+    // the configured figure, or a 4-worker config over 3 backends would
+    // bake a 4-vs-3 handicap into the ratio).
+    let (single_server, single_addrs) = start_backends(1, workers_per * n, cfg.cache_cap);
+    let mut session = Session::connect(&single_addrs[0]).expect("connect to the baseline");
+    let single_elapsed = run_session_laps(cfg, &mut session, &instances);
+    drop(session);
+    drop(single_server);
+
+    // Measured: the same workload through the router.
+    let (servers, addrs) = start_backends(n, workers_per, cfg.cache_cap);
+    let router =
+        Router::start("127.0.0.1:0", RouterOptions::new(addrs)).expect("bind the router");
+    let mut session = Session::connect(router.local_addr()).expect("connect to the router");
+    let elapsed = run_session_laps(cfg, &mut session, &instances);
+    drop(session);
+    router.request_stop();
+    drop(servers);
+
+    let jobs = cfg.jobs_per_mode();
+    let jobs_per_sec = jobs as f64 / elapsed.max(1e-9);
+    let single_node_jobs_per_sec = jobs as f64 / single_elapsed.max(1e-9);
+    ClusterResult {
+        backends: n as u64,
+        workers_per_backend: workers_per as u64,
+        jobs,
+        elapsed_secs: elapsed,
+        jobs_per_sec,
+        single_node_jobs_per_sec,
+        vs_single_node: jobs_per_sec / single_node_jobs_per_sec.max(1e-9),
+    }
+}
+
 /// Run the full benchmark: one column per configured mode, identical
-/// workload, fresh queue each.
+/// workload, fresh queue each — plus the routed cluster lap when
+/// `backends > 0`.
 pub fn run_service_bench(cfg: &ServiceBenchConfig) -> ServiceBenchReport {
+    let modes: Vec<ModeResult> = cfg.modes.iter().map(|&m| run_mode(cfg, m)).collect();
+    let cluster = (cfg.backends > 0).then(|| run_cluster_lap(cfg));
     ServiceBenchReport {
         schema: SERVICE_BENCH_SCHEMA.to_string(),
         distinct: cfg.distinct as u64,
@@ -187,7 +319,8 @@ pub fn run_service_bench(cfg: &ServiceBenchConfig) -> ServiceBenchReport {
         laps: cfg.laps as u64,
         workers: cfg.workers as u64,
         stream_seed: cfg.stream_seed,
-        modes: cfg.modes.iter().map(|&m| run_mode(cfg, m)).collect(),
+        modes,
+        cluster,
     }
 }
 
@@ -214,6 +347,18 @@ pub fn service_bench_guard(report: &ServiceBenchReport) -> Vec<String> {
             if m.heuristic_solved == 0 {
                 violations.push("portfolio mode: zero heuristic_solved".to_string());
             }
+        }
+    }
+    if let Some(c) = &report.cluster {
+        // The routing layer adds serialization + TCP per job; it must
+        // still keep at least 0.7x of single-node throughput at equal
+        // total worker count, or the fan-out is costing more than it
+        // could ever win back by adding machines.
+        if c.vs_single_node < 0.7 {
+            violations.push(format!(
+                "cluster lap: routed throughput is {:.2}x single-node (guard: >= 0.7x)",
+                c.vs_single_node
+            ));
         }
     }
     violations
@@ -245,6 +390,20 @@ mod tests {
         ] {
             assert!(json.contains(key), "artifact missing `{key}`:\n{json}");
         }
+    }
+
+    #[test]
+    fn cluster_lap_measures_routed_throughput() {
+        let mut cfg = ServiceBenchConfig::quick();
+        cfg.laps = 1;
+        cfg.modes = vec![SolveMode::Ilp];
+        cfg.backends = 2;
+        let report = run_service_bench(&cfg);
+        let c = report.cluster.as_ref().expect("cluster lap ran");
+        assert_eq!(c.backends, 2);
+        assert_eq!(c.jobs, cfg.jobs_per_mode());
+        assert!(c.jobs_per_sec > 0.0);
+        assert!(report.to_json().contains("vs_single_node"));
     }
 
     #[test]

@@ -110,6 +110,10 @@ pub fn build() -> ModelRun {
                     assert_eq!(*job, JOB);
                     delivered_progress += 1;
                 }
+                // This model never opts into stats deltas.
+                Frame::Event(JobEvent::Stats(_)) => {
+                    panic!("stats frame without a stats subscription")
+                }
                 Frame::Response(line) => panic!("unexpected response frame: {line}"),
             }
         }

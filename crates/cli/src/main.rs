@@ -7,6 +7,8 @@
 //! * `gen`      — generate designs/boards (random, kernels, Table 3)
 //! * `simulate` — map a design and replay a trace on the result
 //! * `serve`    — run the `mapsrv` batch daemon (JSON-lines over TCP)
+//! * `route`    — front N `mapsrv` daemons with one consistent-hash
+//!   sharded endpoint (same protocol; failover + admission propagation)
 //! * `batch`    — stream a directory/manifest/generated set of instances
 //!   through the job queue and print a summary table
 //! * `arch-sweep` — sweep a grid of on-chip BRAM parameters over a design
@@ -158,6 +160,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "batch" => cmd_batch(rest),
         "arch-sweep" => cmd_arch_sweep(rest),
         "bench" => cmd_bench(rest),
@@ -203,7 +206,9 @@ USAGE:
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
             [--cache-cap K] [--cache-dir <dir>] [--no-persist]
             [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
-            [--solve-mode ilp|heuristic|portfolio]
+            [--max-inflight J] [--solve-mode ilp|heuristic|portfolio]
+  gmm route --backends host:port,host:port[,...] [--addr 127.0.0.1:7272]
+            [--vnodes N] [--peer-fill]
   gmm batch (--dir <d> | --manifest <m.json> | --stream N [--distinct D])
             [--seed S] [--addr host:port] [--workers N] [--repeat K]
             [--verify] [--progress] [--cache-cap K] [--cache-dir <dir>]
@@ -271,6 +276,15 @@ daemon with --addr — over one multiplexed session, waits on the event
 stream (no polling), and prints a per-instance summary table with each
 job's Termination; --job-deadline-secs attaches a per-job deadline to
 every submission, --progress renders live per-job state/phase events.
+
+`route` fronts N running daemons with the same protocol: jobs shard
+across backends by a consistent-hash ring over their content-addressed
+instance keys (so identical instances reuse the same backend's cache),
+watch streams merge into one per-client stream, a lost backend's
+in-flight jobs re-route to the keys' new owners, and a backend at its
+admission bound answers `overloaded {retry_after_ms}` through the
+router. --peer-fill asks a key's previous ring owner for a cached
+answer before paying a solve (cheap ring resizes).
 
 Retention (bounded daemon memory): --cache-cap bounds live cached
 solutions (LRU eviction; default 4096, 0 = unbounded), --retain-jobs
@@ -384,7 +398,13 @@ USAGE:
   gmm serve [--addr 127.0.0.1:7171] [--workers N] [--cache-shards N]
             [--cache-cap K] [--cache-dir <dir>] [--no-persist]
             [--retain-jobs N] [--retain-secs T] [--time-limit-secs T]
-            [--solve-mode ilp|heuristic|portfolio]
+            [--max-inflight J] [--solve-mode ilp|heuristic|portfolio]
+
+--max-inflight J bounds admission: past J queued+running jobs, submits
+answer the structured v2 `overloaded {retry_after_ms}` response instead
+of queueing without bound (0 = unbounded, the default). Session clients
+(`gmm batch`, the router) retry with the suggested backoff; v1 clients
+see a plain error.
 
 --solve-mode sets a daemon-wide solve policy: every submitted job is
 forced to that mode (before its cache key is computed, so per-mode
@@ -410,6 +430,44 @@ server-push stream of JSON-lines events — `state` transitions
 frames. Event delivery is bounded per connection (drop-oldest progress,
 counted in stats as events_dropped), so slow readers never stall
 workers."
+        }
+        "route" => {
+            "\
+gmm route — front N mapsrv daemons with one sharded endpoint
+
+USAGE:
+  gmm route --backends host:port,host:port[,...] [--addr 127.0.0.1:7272]
+            [--vnodes N] [--peer-fill]
+
+OPTIONS:
+  --backends a,b,...   running mapsrv addresses (required; also accepts
+                       the flag repeated); order matters — router job
+                       ids embed each backend's position, so keep the
+                       list stable across router restarts
+  --addr host:port     listen address (default 127.0.0.1:7272)
+  --vnodes N           ring points per backend (default 64); more points
+                       smooth the key split at ring-build cost
+  --peer-fill          before routing a submit, ask the key's previous
+                       ring owner for a cached answer via the
+                       non-promoting `peek` verb — cheap ring resizes
+
+The router speaks the daemon's own JSON-lines protocol on both sides:
+clients connect exactly as they would to one mapsrv (v1 verbs and the
+v2 session surface both work), and the router is a protocol-v2 client
+of every backend. Jobs shard by the consistent-hash ring over their
+content-addressed instance keys, so identical instances always reuse
+the same backend's solution cache. Per-client watch streams from all
+backends merge into one event stream.
+
+Failure handling: a lost backend leaves the ring and its in-flight
+jobs re-submit to the keys' new owners (stderr logs each loss with a
+reconnects counter); a backend at its --max-inflight admission bound
+answers `overloaded {retry_after_ms}`, which the router retries
+briefly and then propagates to v2 clients (v1 clients see a plain
+error). `stats` aggregates all backends: counters sum, latency
+percentiles report the worst shard.
+
+Send {\"verb\":\"shutdown\"} to stop the router (backends keep running)."
         }
         "batch" => {
             "\
@@ -469,7 +527,7 @@ gmm bench — simplex pricing ablation, written to BENCH_simplex.json
 USAGE:
   gmm bench [--quick] [--stream N] [--seed S] [--points 1..9]
             [--cap-secs T] [--progress] [--out BENCH_simplex.json]
-            [--service]
+            [--service [--backends N]]
 
 Runs the stream workload plus the selected Table 3 points once per
 pricing rule (dantzig, partial, devex) through the gmm-api facade and
@@ -496,12 +554,18 @@ OPTIONS:
   --out <file>  report path (default BENCH_simplex.json, or
                 BENCH_service.json with --service)
   --service     run the service-layer benchmark instead
+  --backends N  with --service: also run the ilp workload through an
+                in-process `gmm route` router over N TCP backends at
+                the same total worker count (the cluster lap), and
+                record routed jobs/sec vs single-node
 
 The run fails (exit 1) if devex pivots/sec drops below 0.8x the
 dantzig baseline measured in the same run — the devex update must stay
 cheap enough that its per-pivot overhead never dominates. The service
 benchmark fails the same way if eviction never ran, the hot blocks
-never hit, or the portfolio column never seeded an incumbent."
+never hit, or the portfolio column never seeded an incumbent — and the
+cluster lap fails it if routed throughput drops below 0.7x the
+single-node column (routing overhead must stay amortizable)."
         }
         "arch-sweep" => {
             "\
@@ -624,6 +688,16 @@ impl<'a> Flags<'a> {
     }
     fn has(&self, key: &str) -> bool {
         self.args.iter().any(|a| a == key)
+    }
+    /// Every value of a repeatable `--key value` flag, in order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == key)
+            .filter_map(|(i, _)| self.args.get(i + 1))
+            .map(String::as_str)
+            .collect()
     }
     fn positional(&self, idx: usize) -> Option<&str> {
         self.args
@@ -1071,6 +1145,7 @@ fn queue_options_from_flags(f: &Flags) -> Result<QueueOptions, CliError> {
     opts.retain_jobs = f.parse("--retain-jobs")?.unwrap_or(opts.retain_jobs);
     opts.retain_age = f.parse_secs("--retain-secs")?;
     opts.job_time_limit = f.parse_secs("--time-limit-secs")?;
+    opts.max_inflight = f.parse("--max-inflight")?.unwrap_or(0);
     if !f.has("--no-persist") {
         opts.persist_dir = f.get("--cache-dir").map(std::path::PathBuf::from);
     }
@@ -1096,6 +1171,42 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     );
     server.join();
     println!("mapsrv stopped");
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), CliError> {
+    let f = Flags::new(args);
+    // `--backends a,b,c` and repeated `--backends` both work, mixed.
+    let backends: Vec<String> = f
+        .get_all("--backends")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError::usage(
+            "route needs --backends host:port[,host:port...]",
+        ));
+    }
+    let addr = f.get("--addr").unwrap_or("127.0.0.1:7272");
+    let mut opts = gmm_cluster::RouterOptions::new(backends);
+    opts.vnodes = f.parse("--vnodes")?.unwrap_or(0);
+    opts.peer_fill = f.has("--peer-fill");
+    let n = opts.backends.len();
+    let peer_fill = opts.peer_fill;
+    let router = gmm_cluster::Router::start(addr, opts)
+        .map_err(|e| CliError::internal(format!("binding {addr}: {e}")))?;
+    println!(
+        "route listening on {} over {} backend(s) (peer-fill {}); \
+         send {{\"verb\":\"shutdown\"}} to stop",
+        router.local_addr(),
+        n,
+        if peer_fill { "on" } else { "off" },
+    );
+    router.join();
+    println!("route stopped");
     Ok(())
 }
 
@@ -1266,6 +1377,10 @@ fn render_batch_event(ev: &JobEvent, names: &std::collections::HashMap<u64, Stri
                 eprintln!("[{stamp:>7.3}s] job {job} ({}) nodes    {nodes}", name(*job))
             }
         },
+        JobEvent::Stats(d) => eprintln!(
+            "[{stamp:>7.3}s] stats depth {} p50 {}ms p95 {}ms (+{} done, +{} failed)",
+            d.queue_depth, d.latency_p50_ms, d.latency_p95_ms, d.jobs_completed, d.jobs_failed
+        ),
     }
 }
 
@@ -1298,6 +1413,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             "--retain-jobs",
             "--retain-secs",
             "--time-limit-secs",
+            "--max-inflight",
         ] {
             if f.has(local_only) {
                 eprintln!(
@@ -1386,7 +1502,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
              {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
              {} entries, {} seeded; heur {} solved, {} seeded, {} infeasible; \
              {} events dropped; {} pivots, {} refactorizations \
-             (eta peak {}); up {:.1}s",
+             (eta peak {}); depth {}, latency p50/p95 {}/{}ms; up {:.1}s",
             s.submitted,
             s.completed,
             s.failed,
@@ -1415,6 +1531,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.lp_iterations,
             s.refactorizations,
             s.eta_nnz_peak,
+            s.queue_depth,
+            s.latency_p50_ms,
+            s.latency_p95_ms,
             s.uptime.as_secs_f64(),
         );
         queue.shutdown();
@@ -1426,7 +1545,8 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
              {} evictions; disk {}/{} hits, {} entries, {} corrupt; hints {}/{} hits, \
              {} entries, {} seeded; heur {} solved, {} seeded, {} infeasible; \
              conns v1/v2 {}/{}, {} events dropped; {} pivots, \
-             {} refactorizations (eta peak {}); up {:.1}s",
+             {} refactorizations (eta peak {}); depth {}, \
+             latency p50/p95 {}/{}ms; up {:.1}s",
             s.jobs_submitted,
             s.jobs_completed,
             s.jobs_failed,
@@ -1457,6 +1577,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             s.lp_iterations,
             s.refactorizations,
             s.eta_nnz_peak,
+            s.queue_depth,
+            s.latency_p50_ms,
+            s.latency_p95_ms,
             s.uptime_ms as f64 / 1000.0,
         )
     } else {
@@ -1526,13 +1649,17 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         );
     }
     let failed = row_failed.max(queue_failed.unwrap_or(0) as usize);
+    // `reconnects` counts sessions the client re-established mid-batch
+    // (server or router restarts survived via `attach`); the soak greps
+    // for it staying visible here.
     println!(
-        "\n{} instances x {} rounds = {} jobs in {:.2}s ({:.1} jobs/s)",
+        "\n{} instances x {} rounds = {} jobs in {:.2}s ({:.1} jobs/s, {} reconnects)",
         instances.len(),
         repeat,
         total_jobs,
         elapsed.as_secs_f64(),
         total_jobs as f64 / elapsed.as_secs_f64().max(1e-9),
+        session.reconnects(),
     );
     if !stats_line.is_empty() {
         println!("{stats_line}");
@@ -1797,6 +1924,9 @@ fn cmd_bench_service(f: &Flags) -> Result<(), CliError> {
         cfg.distinct = n.max(2);
         cfg.cache_cap = (cfg.distinct / 2).max(1);
     }
+    if let Some(n) = f.parse::<usize>("--backends")? {
+        cfg.backends = n;
+    }
     let out = f.get("--out").unwrap_or("BENCH_service.json");
 
     println!(
@@ -1825,6 +1955,12 @@ fn cmd_bench_service(f: &Flags) -> Result<(), CliError> {
             m.heuristic_solved,
             m.heuristic_seeded,
             m.heuristic_infeasible,
+        );
+    }
+    if let Some(c) = &report.cluster {
+        println!(
+            "{:>10} {:>7} {:>9.1} routed over {} backends x {} workers ({:.2}x single-node)",
+            "cluster", c.jobs, c.jobs_per_sec, c.backends, c.workers_per_backend, c.vs_single_node,
         );
     }
 

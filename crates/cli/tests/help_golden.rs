@@ -7,8 +7,8 @@
 use std::process::Command;
 
 const SUBCOMMANDS: &[&str] = &[
-    "solve", "map", "gen", "simulate", "validate", "export", "serve", "batch", "arch-sweep",
-    "bench", "check", "lint", "table1", "table2", "fig2", "table3",
+    "solve", "map", "gen", "simulate", "validate", "export", "serve", "route", "batch",
+    "arch-sweep", "bench", "check", "lint", "table1", "table2", "fig2", "table3",
 ];
 
 fn run_help(cmd: &str) -> String {

@@ -1,0 +1,41 @@
+//! # gmm-cluster — scale-out for the mapping service
+//!
+//! One `mapsrv` daemon is bounded by one machine's cores and one
+//! process's cache. This crate turns N daemons into one service without
+//! changing the wire protocol: a [`Router`] speaks the same JSON-lines
+//! dialect to clients that `mapsrv` does, and is itself a protocol-v2
+//! client of every backend.
+//!
+//! Three mechanisms, layered:
+//!
+//! * [`ring`] — a [`ShardMap`]: a consistent-hash ring with virtual
+//!   nodes over the backend addresses, keyed by the same 128-bit
+//!   content-addressed `InstanceKey` the solution cache uses. Identical
+//!   instances always land on the same backend, so sharding the *jobs*
+//!   shards the *cache* with no coordination. Removing a backend only
+//!   remaps that backend's keys (to their clockwise successors); every
+//!   other key keeps its owner and its warm cache.
+//! * [`router`] — the `gmm route` front-end: fans `submit_batch` out to
+//!   the owning backends, merges their `watch` event streams into one
+//!   per-client stream (through the same rank-gated bounded outbox the
+//!   daemon uses), and survives backend loss by re-routing in-flight
+//!   jobs to the keys' new owners. With peer cache-fill enabled it asks
+//!   a key's *previous* owner for a cached answer (the non-promoting
+//!   `peek` verb) before paying a solve — which is exactly the handoff
+//!   a ring resize needs.
+//! * admission propagation — a backend at its `max_inflight` bound
+//!   answers `Overloaded {retry_after_ms}`; the router retries briefly
+//!   and then passes the structured rejection through, so hot shards
+//!   shed load independently while cold shards keep absorbing it.
+//!
+//! Router-issued job ids embed the owning backend (`id = backend_job *
+//! 64 + backend_index`), so `poll`/`result`/`attach` on a *different*
+//! router connection — or a freshly restarted router — still find the
+//! job by stateless forwarding. That is what lets a client `Session`
+//! resume a watch stream through a router restart.
+
+pub mod ring;
+pub mod router;
+
+pub use ring::{ShardMap, DEFAULT_VNODES};
+pub use router::{Router, RouterOptions, MAX_BACKENDS};

@@ -1,0 +1,250 @@
+//! The consistent-hash ring that shards jobs across backends.
+//!
+//! Keys are the 128-bit content-addressed [`InstanceKey`]s the service
+//! already computes for every `(design, board, config)` triple, so
+//! routing by key shards the solution cache for free: the same instance
+//! always lands on the same backend, whose cache then answers repeats.
+//!
+//! Each backend contributes `vnodes` points to the ring (the FNV-128
+//! hash of `"{addr}#{i}"`), which smooths the load split: with a single
+//! point per node the arc lengths — and therefore the key shares — vary
+//! wildly. A key is owned by the first point at or clockwise after it.
+//! Removing a node only deletes that node's points, so only the keys in
+//! its arcs move (to their next clockwise point); every other key keeps
+//! its owner. That minimal-churn property is what makes resizes cheap
+//! and is covered by the `removing_a_node_only_remaps_its_keys` test.
+//!
+//! [`InstanceKey`]: gmm_service::InstanceKey
+
+use gmm_service::hash::Fnv128;
+
+/// Points each backend contributes to the ring by default.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring of backend addresses with virtual nodes.
+///
+/// ```
+/// use gmm_cluster::ShardMap;
+///
+/// let ring = ShardMap::new(&["10.0.0.1:7171", "10.0.0.2:7171"], 64);
+/// let key = 0x00c0ffee_u128;
+///
+/// // Assignment is a pure function of (nodes, vnodes, key):
+/// assert_eq!(ring.owner(key), ShardMap::new(&["10.0.0.1:7171", "10.0.0.2:7171"], 64).owner(key));
+///
+/// // Removing the owner hands the key to the node that follows it on
+/// // the ring — the same node `previous_owner` names after a re-add.
+/// let survivor = ring.without(ring.owner(key));
+/// assert_eq!(survivor.owner(key), ring.successor(key).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    nodes: Vec<String>,
+    vnodes: usize,
+    /// `(point, node index)` sorted by point; lookup is a binary search
+    /// for the first point at or after the key, wrapping at the top.
+    ring: Vec<(u128, usize)>,
+}
+
+/// Ring point for virtual replica `i` of `addr`.
+fn point(addr: &str, i: usize) -> u128 {
+    let mut h = Fnv128::new();
+    h.update(addr.as_bytes());
+    h.update(b"#");
+    h.update(&(i as u64).to_le_bytes());
+    h.finish()
+}
+
+impl ShardMap {
+    /// Build a ring over `nodes` with `vnodes` points per node (`0` is
+    /// treated as [`DEFAULT_VNODES`]). Node order does not matter: the
+    /// ring is a pure function of the node *set* and `vnodes`.
+    pub fn new(nodes: &[impl AsRef<str>], vnodes: usize) -> ShardMap {
+        let vnodes = if vnodes == 0 { DEFAULT_VNODES } else { vnodes };
+        let mut uniq: Vec<String> = Vec::new();
+        for n in nodes {
+            let n = n.as_ref();
+            if !uniq.iter().any(|u| u == n) {
+                uniq.push(n.to_string());
+            }
+        }
+        // Sorting makes the node->index mapping independent of the
+        // order the caller listed the backends in.
+        uniq.sort();
+        let mut ring = Vec::with_capacity(uniq.len() * vnodes);
+        for (idx, node) in uniq.iter().enumerate() {
+            for i in 0..vnodes {
+                ring.push((point(node, i), idx));
+            }
+        }
+        ring.sort_unstable();
+        ShardMap {
+            nodes: uniq,
+            vnodes,
+            ring,
+        }
+    }
+
+    /// The distinct backend addresses on the ring, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index (into [`ShardMap::nodes`]) of the first ring point at or
+    /// clockwise after `key`.
+    fn owner_slot(&self, key: u128) -> usize {
+        debug_assert!(!self.ring.is_empty(), "owner lookup on an empty ring");
+        match self.ring.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.ring.len() => 0, // wrap past the top
+            Err(i) => i,
+        }
+    }
+
+    /// The backend that owns `key`. Panics on an empty ring (routers
+    /// check [`ShardMap::is_empty`] and fail the job instead).
+    pub fn owner(&self, key: u128) -> &str {
+        let slot = self.owner_slot(key);
+        &self.nodes[self.ring[slot].1]
+    }
+
+    /// The first *distinct* backend clockwise after `key`'s owner: the
+    /// node that would inherit `key` if its owner left the ring.
+    ///
+    /// This is also the node that owned `key` *before* the current
+    /// owner's points landed on these arcs (a ring grown by one node
+    /// pulls each stolen key from exactly this neighbor) — which makes
+    /// it the peer to ask during cache-fill after a resize.
+    pub fn successor(&self, key: u128) -> Option<&str> {
+        if self.nodes.len() < 2 {
+            return None;
+        }
+        let slot = self.owner_slot(key);
+        let owner = self.ring[slot].1;
+        // Walk clockwise (wrapping) to the next point of another node;
+        // bounded because at least two distinct nodes hold points.
+        let mut i = slot;
+        loop {
+            i = (i + 1) % self.ring.len();
+            if self.ring[i].1 != owner {
+                return Some(&self.nodes[self.ring[i].1]);
+            }
+        }
+    }
+
+    /// The previous owner of `key` from a cache-handoff perspective —
+    /// an alias for [`ShardMap::successor`], named for the peer-fill
+    /// call site.
+    pub fn previous_owner(&self, key: u128) -> Option<&str> {
+        self.successor(key)
+    }
+
+    /// The ring with `node` removed (unknown nodes are a no-op). Only
+    /// the removed node's keys change owner.
+    pub fn without(&self, node: &str) -> ShardMap {
+        let rest: Vec<&String> = self.nodes.iter().filter(|n| n.as_str() != node).collect();
+        ShardMap::new(&rest, self.vnodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: [&str; 5] = [
+        "10.0.0.1:7171",
+        "10.0.0.2:7171",
+        "10.0.0.3:7171",
+        "10.0.0.4:7171",
+        "10.0.0.5:7171",
+    ];
+
+    /// 1k well-spread pseudo-random keys, deterministic across runs.
+    fn keys() -> Vec<u128> {
+        (0u64..1000)
+            .map(|i| {
+                let mut h = Fnv128::new();
+                h.update(&i.to_le_bytes());
+                h.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_order_independent() {
+        let a = ShardMap::new(&NODES, 64);
+        let mut reversed = NODES;
+        reversed.reverse();
+        let b = ShardMap::new(&reversed, 64);
+        for key in keys() {
+            assert_eq!(a.owner(key), b.owner(key));
+            assert_eq!(a.owner(key), a.owner(key));
+        }
+    }
+
+    #[test]
+    fn load_is_balanced_within_2x_of_ideal() {
+        let ring = ShardMap::new(&NODES, 64);
+        let mut counts = std::collections::HashMap::<String, usize>::new();
+        let keys = keys();
+        for &key in &keys {
+            *counts.entry(ring.owner(key).to_string()).or_default() += 1;
+        }
+        let ideal = keys.len() / NODES.len(); // 200
+        for node in NODES {
+            let got = counts.get(node).copied().unwrap_or(0);
+            assert!(
+                got * 2 >= ideal && got <= ideal * 2,
+                "{node} owns {got} of {} keys (ideal {ideal}); ring too lumpy",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_keys() {
+        let full = ShardMap::new(&NODES, 64);
+        let victim = NODES[2];
+        let smaller = full.without(victim);
+        assert_eq!(smaller.len(), NODES.len() - 1);
+        let mut remapped = 0usize;
+        for key in keys() {
+            let before = full.owner(key);
+            let after = smaller.owner(key);
+            if before == victim {
+                remapped += 1;
+                assert_ne!(after, victim);
+                // The inheriting node is exactly the old ring's next
+                // distinct neighbor.
+                assert_eq!(after, full.successor(key).unwrap());
+            } else {
+                assert_eq!(before, after, "key {key:#x} moved without cause");
+            }
+        }
+        assert!(remapped > 0, "victim owned no keys; test is vacuous");
+    }
+
+    #[test]
+    fn successor_differs_from_owner() {
+        let ring = ShardMap::new(&NODES, 64);
+        for key in keys() {
+            assert_ne!(ring.owner(key), ring.successor(key).unwrap());
+        }
+        let single = ShardMap::new(&[NODES[0]], 64);
+        assert_eq!(single.successor(7), None);
+    }
+
+    #[test]
+    fn duplicate_nodes_collapse() {
+        let ring = ShardMap::new(&[NODES[0], NODES[0], NODES[1]], 8);
+        assert_eq!(ring.len(), 2);
+    }
+}

@@ -102,6 +102,7 @@ pub struct MapClient {
 impl MapClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<MapClient> {
         let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
         let writer = stream.try_clone()?;
         Ok(MapClient {
             reader: BufReader::new(stream),
@@ -320,12 +321,55 @@ struct RemoteTransport {
     reader: FrameReader,
     writer: TcpStream,
     proto: u64,
+    /// Peer address, retained so a dropped connection can be re-dialed
+    /// by [`Session::resume`] / the in-stream reconnect path.
+    addr: std::net::SocketAddr,
+    /// Protocol ceiling requested at connect, replayed on reconnect.
+    max_proto: u64,
     /// Event frames that arrived while a response was awaited; drained
     /// by the next event-consuming call.
     buffered: VecDeque<JobEvent>,
 }
 
 impl RemoteTransport {
+    /// Wrap a connected stream and negotiate the protocol
+    /// (`max_proto <= 1` skips the handshake entirely).
+    fn from_stream(
+        stream: TcpStream,
+        addr: std::net::SocketAddr,
+        max_proto: u64,
+    ) -> Result<RemoteTransport, ClientError> {
+        // Small JSON-lines frames both ways: without nodelay, Nagle +
+        // delayed ACK cost ~40ms per round-trip on loopback.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        let mut transport = RemoteTransport {
+            reader: FrameReader::new(stream),
+            writer,
+            proto: 1,
+            addr,
+            max_proto,
+            buffered: VecDeque::new(),
+        };
+        if max_proto >= 2 {
+            match transport.roundtrip(&Request::Hello { proto: max_proto }) {
+                Ok(Response::Welcome { proto, .. }) => transport.proto = proto.clamp(1, max_proto),
+                // An older server answers the unknown verb with an
+                // error; that *is* the negotiation — stay on v1.
+                Ok(Response::Error { .. }) | Err(ClientError::Remote(_)) => {}
+                Ok(other) => return Err(unexpected("hello", &other)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(transport)
+    }
+
+    /// Dial `addr` fresh and negotiate — the reconnect path.
+    fn open(addr: std::net::SocketAddr, max_proto: u64) -> Result<RemoteTransport, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        RemoteTransport::from_stream(stream, addr, max_proto)
+    }
+
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         let mut text = serde_json::to_string(request)
             .expect("in-tree serde_json cannot fail to render");
@@ -443,7 +487,20 @@ pub struct Session {
     /// Whether watches subscribe to solver progress frames (default) or
     /// state transitions only; see [`Session::stream_progress`].
     want_progress: bool,
+    /// Whether watches opt into queue-level `stats` event frames; see
+    /// [`Session::stream_stats`].
+    want_stats: bool,
+    /// Connections re-established after a drop; see
+    /// [`Session::reconnects`].
+    reconnects: u64,
 }
+
+/// How many times [`Session::submit_batch`] re-sends a batch the
+/// server shed with `Overloaded` before giving up.
+const OVERLOAD_RETRY_LIMIT: u32 = 5;
+
+/// Overall deadline for [`Session::resume`]'s reconnect backoff.
+const RESUME_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl Session {
     /// Connect and negotiate protocol v2. A server that rejects the
@@ -461,29 +518,16 @@ impl Session {
         max_proto: u64,
     ) -> Result<Session, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        let mut transport = RemoteTransport {
-            reader: FrameReader::new(stream),
-            writer,
-            proto: 1,
-            buffered: VecDeque::new(),
-        };
-        if max_proto >= 2 {
-            match transport.roundtrip(&Request::Hello { proto: max_proto }) {
-                Ok(Response::Welcome { proto, .. }) => transport.proto = proto.clamp(1, max_proto),
-                // An older server answers the unknown verb with an
-                // error; that *is* the negotiation — stay on v1.
-                Ok(Response::Error { .. }) | Err(ClientError::Remote(_)) => {}
-                Ok(other) => return Err(unexpected("hello", &other)),
-                Err(e) => return Err(e),
-            }
-        }
+        let peer = stream.peer_addr()?;
+        let transport = RemoteTransport::from_stream(stream, peer, max_proto)?;
         Ok(Session {
             transport: Transport::Remote(transport),
             inflight: Vec::new(),
             watched: HashMap::new(),
             terminal: HashMap::new(),
             want_progress: true,
+            want_stats: false,
+            reconnects: 0,
         })
     }
 
@@ -503,6 +547,8 @@ impl Session {
             watched: HashMap::new(),
             terminal: HashMap::new(),
             want_progress: true,
+            want_stats: false,
+            reconnects: 0,
         }
     }
 
@@ -536,6 +582,25 @@ impl Session {
     /// subsequent `submit_batch`/`watch` calls.
     pub fn stream_progress(&mut self, on: bool) {
         self.want_progress = on;
+    }
+
+    /// Opt this session's watches into queue-level `stats` event frames
+    /// (`{"event":"stats",...}`, see [`crate::protocol::StatsDelta`]).
+    /// Off by default; applies to subsequent `watch`/`attach` calls
+    /// (the server keeps the flag sticky for the connection). Local
+    /// sessions toggle their outbox directly.
+    pub fn stream_stats(&mut self, on: bool) {
+        self.want_stats = on;
+        if let Transport::Local(t) = &self.transport {
+            t.outbox.set_stats(on);
+        }
+    }
+
+    /// How many times this session re-established a dropped connection
+    /// (via [`Session::resume`] or the in-stream reconnect path).
+    /// Always zero for local sessions.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// Submit one instance (see [`Session::submit_batch`]).
@@ -578,14 +643,32 @@ impl Session {
                 })
                 .collect::<Vec<_>>(),
             Transport::Remote(t) if t.proto >= 2 => {
-                match t.roundtrip(&Request::SubmitBatch {
+                // Keep the request so an `overloaded` rejection can be
+                // retried verbatim: the server sheds whole batches, so
+                // re-sending never double-submits.
+                let request = Request::SubmitBatch {
                     jobs: specs,
                     watch: true,
                     progress: want_progress,
-                })? {
-                    Response::Error { message } => return Err(ClientError::Remote(message)),
-                    Response::BatchSubmitted { jobs } => jobs,
-                    other => return Err(unexpected("submit_batch", &other)),
+                };
+                let mut attempts = 0u32;
+                loop {
+                    match t.roundtrip(&request)? {
+                        Response::Error { message } => return Err(ClientError::Remote(message)),
+                        Response::Overloaded {
+                            message,
+                            retry_after_ms,
+                            ..
+                        } => {
+                            attempts += 1;
+                            if attempts >= OVERLOAD_RETRY_LIMIT {
+                                return Err(ClientError::Remote(message));
+                            }
+                            std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                        }
+                        Response::BatchSubmitted { jobs } => break jobs,
+                        other => return Err(unexpected("submit_batch", &other)),
+                    }
                 }
             }
             Transport::Remote(t) => {
@@ -676,6 +759,7 @@ impl Session {
                 match t.roundtrip(&Request::Watch {
                     jobs: jobs.to_vec(),
                     progress: want_progress,
+                    stats: self.want_stats,
                 })? {
                     Response::Error { message } => return Err(ClientError::Remote(message)),
                     Response::Watching { watching, .. } => watching,
@@ -710,6 +794,164 @@ impl Session {
         self.watch(&jobs)
     }
 
+    /// Re-subscribe retained jobs after a connection loss (or from a
+    /// brand-new session pointed at the same service). Dead remote
+    /// connections are re-dialed with capped exponential backoff; the
+    /// watches are then replayed through the idempotent `attach` verb,
+    /// so nothing is lost across the gap — the server answers each
+    /// job's *current* state as a snapshot frame before streaming live
+    /// transitions, and already-completed jobs answer terminally.
+    /// Every resumed job (re)joins the in-flight set, so a plain
+    /// [`Session::wait_all`] afterwards recovers the batch. Returns the
+    /// ids the service still knows about.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gmm_service::{JobConfig, JobQueue, QueueOptions, Session, SubmitSpec};
+    /// use gmm_workloads::{random_design, RandomDesignSpec};
+    ///
+    /// let queue = Arc::new(JobQueue::new(QueueOptions::default()));
+    /// let design = random_design(&RandomDesignSpec {
+    ///     segments: 4,
+    ///     ..RandomDesignSpec::default()
+    /// });
+    /// let board = gmm_arch::Board::prototyping("XCV300", 1).unwrap();
+    ///
+    /// // First session submits and keeps the receipts...
+    /// let mut session = Session::local(queue.clone());
+    /// let receipts = session
+    ///     .submit_batch(vec![SubmitSpec::new(design, board, JobConfig::default())])
+    ///     .unwrap();
+    ///
+    /// // ...a later session resumes from those receipts alone.
+    /// let mut session = Session::local(queue);
+    /// let attached = session.resume(&receipts).unwrap();
+    /// assert_eq!(attached, vec![receipts[0].job]);
+    /// let outcomes = session.wait_all(std::time::Duration::from_secs(120)).unwrap();
+    /// assert!(outcomes[0].state.is_terminal());
+    /// ```
+    pub fn resume(&mut self, receipts: &[SubmitReceipt]) -> Result<Vec<u64>, ClientError> {
+        let jobs: Vec<u64> = receipts.iter().map(|r| r.job).collect();
+        for &job in &jobs {
+            if !self.inflight.contains(&job) {
+                self.inflight.push(job);
+            }
+        }
+        let want_progress = self.want_progress;
+        let want_stats = self.want_stats;
+        let attached = match self.proto() {
+            Proto::Local => {
+                let Transport::Local(t) = &mut self.transport else {
+                    unreachable!("proto() said local")
+                };
+                if want_stats {
+                    t.outbox.set_stats(true);
+                }
+                let (watching, _unknown) =
+                    t.outbox
+                        .watch(&jobs, want_progress, |id| t.queue.state_snapshot(id));
+                watching
+            }
+            Proto::V2 => {
+                let request = Request::Attach {
+                    jobs: jobs.clone(),
+                    progress: want_progress,
+                    stats: want_stats,
+                };
+                let first = {
+                    let Transport::Remote(t) = &mut self.transport else {
+                        unreachable!("proto() said remote v2")
+                    };
+                    t.roundtrip(&request)
+                };
+                let resp = match first {
+                    // The old connection was already dead: re-dial and
+                    // replay the attach on the fresh transport.
+                    Err(e) if is_disconnect(&e) => {
+                        self.reconnect(Instant::now() + RESUME_TIMEOUT)?;
+                        let Transport::Remote(t) = &mut self.transport else {
+                            unreachable!("reconnect keeps the transport remote")
+                        };
+                        t.roundtrip(&request)?
+                    }
+                    other => other?,
+                };
+                match resp {
+                    Response::Error { message } => return Err(ClientError::Remote(message)),
+                    Response::Attached { attached, .. } => {
+                        attached.into_iter().map(|s| s.job).collect()
+                    }
+                    other => return Err(unexpected("attach", &other)),
+                }
+            }
+            // v1: no wire support — poll-based synthesis covers the set.
+            Proto::V1 => jobs.clone(),
+        };
+        for &job in &attached {
+            self.watched.entry(job).or_insert(JobState::Queued);
+        }
+        // Drop ids the service no longer knows from the in-flight set
+        // so `wait_all` does not hang on them.
+        self.inflight
+            .retain(|j| attached.contains(j) || !jobs.contains(j));
+        Ok(attached)
+    }
+
+    /// Re-dial a dropped remote connection with capped exponential
+    /// backoff (until `deadline`), renegotiate the protocol, and
+    /// re-attach every non-terminal watched job on the fresh transport.
+    fn reconnect(&mut self, deadline: Instant) -> Result<(), ClientError> {
+        let (addr, max_proto) = match &self.transport {
+            Transport::Remote(t) => (t.addr, t.max_proto),
+            Transport::Local(_) => {
+                return Err(ClientError::Protocol("reconnect on a local session".into()))
+            }
+        };
+        let jobs: Vec<u64> = self
+            .watched
+            .keys()
+            .copied()
+            .filter(|j| !self.terminal.contains_key(j))
+            .collect();
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            let attempt = (|| {
+                let mut fresh = RemoteTransport::open(addr, max_proto)?;
+                if fresh.proto >= 2 && !jobs.is_empty() {
+                    match fresh.roundtrip(&Request::Attach {
+                        jobs: jobs.clone(),
+                        progress: self.want_progress,
+                        stats: self.want_stats,
+                    })? {
+                        Response::Error { message } => {
+                            return Err(ClientError::Remote(message))
+                        }
+                        Response::Attached { .. } => {}
+                        other => return Err(unexpected("attach", &other)),
+                    }
+                }
+                Ok(fresh)
+            })();
+            match attempt {
+                Ok(fresh) => {
+                    self.transport = Transport::Remote(fresh);
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                // Still down (or flapped again mid-handshake): wait it
+                // out below and retry.
+                Err(e) if is_disconnect(&e) => {}
+                Err(e) => return Err(e),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Expired { pending: jobs.len() });
+            }
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(Duration::from_millis(500));
+        }
+    }
+
     /// Consume events until every watched job is terminal (or the
     /// deadline, armed once at entry, expires —
     /// [`ClientError::Expired`]). `on_event` sees every frame: state
@@ -723,36 +965,49 @@ impl Session {
         mut on_event: impl FnMut(&JobEvent),
     ) -> Result<(), ClientError> {
         let deadline = Instant::now() + timeout;
-        match &mut self.transport {
-            Transport::Local(t) => loop {
+        match self.proto() {
+            Proto::Local => {
+                let Transport::Local(t) = &mut self.transport else {
+                    unreachable!("proto() said local")
+                };
+                loop {
+                    if pending_jobs(&self.watched, &self.terminal) == 0 {
+                        return Ok(());
+                    }
+                    match t.outbox.pop(Some(deadline)) {
+                        Popped::Frame(Frame::Event(ev)) => {
+                            note_event(&mut self.watched, &mut self.terminal, &ev);
+                            on_event(&ev);
+                        }
+                        Popped::Frame(Frame::Response(_)) => {
+                            return Err(ClientError::Protocol(
+                                "response frame in a local session".into(),
+                            ))
+                        }
+                        Popped::TimedOut => {
+                            return Err(ClientError::Expired {
+                                pending: pending_jobs(&self.watched, &self.terminal),
+                            })
+                        }
+                        Popped::Closed => {
+                            return Err(ClientError::Protocol("local outbox closed".into()))
+                        }
+                    }
+                }
+            }
+            Proto::V2 => loop {
                 if pending_jobs(&self.watched, &self.terminal) == 0 {
                     return Ok(());
                 }
-                match t.outbox.pop(Some(deadline)) {
-                    Popped::Frame(Frame::Event(ev)) => {
-                        note_event(&mut self.watched, &mut self.terminal, &ev);
-                        on_event(&ev);
-                    }
-                    Popped::Frame(Frame::Response(_)) => {
-                        return Err(ClientError::Protocol(
-                            "response frame in a local session".into(),
-                        ))
-                    }
-                    Popped::TimedOut => {
-                        return Err(ClientError::Expired {
-                            pending: pending_jobs(&self.watched, &self.terminal),
-                        })
-                    }
-                    Popped::Closed => {
-                        return Err(ClientError::Protocol("local outbox closed".into()))
-                    }
-                }
-            },
-            Transport::Remote(t) if t.proto >= 2 => loop {
-                if pending_jobs(&self.watched, &self.terminal) == 0 {
-                    return Ok(());
-                }
-                match t.next_event(deadline) {
+                // Re-borrow the transport each turn so a dropped
+                // connection can be replaced underneath the loop.
+                let next = {
+                    let Transport::Remote(t) = &mut self.transport else {
+                        unreachable!("proto() said remote v2")
+                    };
+                    t.next_event(deadline)
+                };
+                match next {
                     Ok(ev) => {
                         note_event(&mut self.watched, &mut self.terminal, &ev);
                         on_event(&ev);
@@ -762,10 +1017,15 @@ impl Session {
                             pending: pending_jobs(&self.watched, &self.terminal),
                         })
                     }
+                    // The connection died mid-stream: re-dial with
+                    // capped backoff and re-attach every non-terminal
+                    // watch. The server snapshots each job's current
+                    // state on attach, so no transition is lost.
+                    Err(e) if is_disconnect(&e) => self.reconnect(deadline)?,
                     Err(e) => return Err(e),
                 }
             },
-            Transport::Remote(_) => {
+            Proto::V1 => {
                 // v1 fallback: poll with capped exponential backoff,
                 // synthesizing a state event per observed transition.
                 // The backoff resets whenever something moved, so bursts
@@ -872,7 +1132,7 @@ impl Session {
                     termination: out.termination,
                 })
             }
-            Transport::Remote(t) => match t.roundtrip(&Request::Result { job })? {
+            Transport::Remote(_) => match self.remote_roundtrip(&Request::Result { job })? {
                 Response::Error { message } => Err(ClientError::Remote(message)),
                 Response::ResultReady {
                     job,
@@ -892,6 +1152,28 @@ impl Session {
                 }),
                 other => Err(unexpected("result", &other)),
             },
+        }
+    }
+
+    /// One remote round-trip that survives a single connection drop:
+    /// on a disconnect the session re-dials (capped backoff, short
+    /// deadline), re-attaches its watches, and replays the request once.
+    fn remote_roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let first = {
+            let Transport::Remote(t) = &mut self.transport else {
+                return Err(ClientError::Protocol("remote round-trip on a local session".into()));
+            };
+            t.roundtrip(request)
+        };
+        match first {
+            Err(e) if is_disconnect(&e) => {
+                self.reconnect(Instant::now() + RESUME_TIMEOUT)?;
+                let Transport::Remote(t) = &mut self.transport else {
+                    unreachable!("reconnect keeps the transport remote")
+                };
+                t.roundtrip(request)
+            }
+            other => other,
         }
     }
 
@@ -947,6 +1229,13 @@ impl Drop for Session {
             t.outbox.close();
         }
     }
+}
+
+/// Does this error mean "the connection is gone" (worth re-dialing)
+/// rather than "the server refused" (not)?
+fn is_disconnect(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_))
+        || matches!(e, ClientError::Protocol(m) if m == "server closed the connection")
 }
 
 /// Watched jobs that are not yet terminal.

@@ -79,6 +79,9 @@ struct OutboxState {
     /// entry, so this map is bounded by concurrently-live jobs — a
     /// connection-lifetime watcher does not accumulate dead entries.
     watched: HashMap<u64, Watch>,
+    /// Whether this subscriber opted into queue-level `stats` event
+    /// frames (`watch`/`attach` with `stats: true`).
+    stats: bool,
     closed: bool,
 }
 
@@ -114,6 +117,7 @@ impl Outbox {
                     frames: VecDeque::new(),
                     droppable: 0,
                     watched: HashMap::new(),
+                    stats: false,
                     closed: false,
                 },
                 crate::ranks::OUTBOX,
@@ -180,6 +184,13 @@ impl Outbox {
         (watching, unknown)
     }
 
+    /// Opt this subscriber in (or out) of queue-level `stats` event
+    /// frames. Sticky across `watch`/`attach` calls: once any request on
+    /// the connection asked for stats, the stream keeps flowing.
+    pub fn set_stats(&self, stats: bool) {
+        self.state.lock().stats = stats;
+    }
+
     /// Queue a response line (never dropped).
     pub fn push_response(&self, line: String) {
         let mut s = self.state.lock();
@@ -221,18 +232,16 @@ impl Outbox {
                 if !s.watched.get(job).is_some_and(|w| w.progress) {
                     return;
                 }
-                if s.droppable >= self.cap {
-                    let oldest = s
-                        .frames
-                        .iter()
-                        .position(|f| matches!(f, Frame::Event(e) if e.droppable()))
-                        .expect("droppable count > 0 implies a droppable frame");
-                    s.frames.remove(oldest);
-                    s.droppable -= 1;
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                push_droppable(&mut s, self.cap, &self.dropped, ev);
+            }
+            JobEvent::Stats(_) => {
+                // Queue-level frames bypass the per-job watch map; only
+                // subscribers that opted in receive them, under the same
+                // drop-oldest pressure valve as progress frames.
+                if !s.stats {
+                    return;
                 }
-                s.droppable += 1;
-                s.frames.push_back(Frame::Event(ev.clone()));
+                push_droppable(&mut s, self.cap, &self.dropped, ev);
             }
         }
         drop(s);
@@ -279,6 +288,23 @@ impl Outbox {
     pub fn dropped_total(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+}
+
+/// Append a droppable frame, evicting the oldest droppable one past the
+/// cap (counted in the shared drop counter). Caller holds the state lock.
+fn push_droppable(s: &mut OutboxState, cap: usize, dropped: &AtomicU64, ev: &JobEvent) {
+    if s.droppable >= cap {
+        let oldest = s
+            .frames
+            .iter()
+            .position(|f| matches!(f, Frame::Event(e) if e.droppable()))
+            .expect("droppable count > 0 implies a droppable frame");
+        s.frames.remove(oldest);
+        s.droppable -= 1;
+        dropped.fetch_add(1, Ordering::Relaxed);
+    }
+    s.droppable += 1;
+    s.frames.push_back(Frame::Event(ev.clone()));
 }
 
 #[cfg(test)]
@@ -414,6 +440,26 @@ mod tests {
             .iter()
             .all(|f| matches!(f, Frame::Event(e) if !e.droppable())));
         assert_eq!(dropped.load(Ordering::Relaxed), 0, "filtered, not dropped");
+    }
+
+    #[test]
+    fn stats_frames_are_opt_in_and_droppable() {
+        use crate::protocol::StatsDelta;
+        let dropped = Arc::new(AtomicU64::new(0));
+        let outbox = Outbox::new(2, dropped.clone());
+        let stats_ev = JobEvent::Stats(StatsDelta::default());
+        // Not opted in: filtered outright, not counted as a drop.
+        outbox.push_event(&stats_ev);
+        assert!(drain(&outbox).is_empty());
+        assert_eq!(dropped.load(Ordering::Relaxed), 0);
+        // Opted in: delivered, and drop-oldest past the cap like
+        // progress frames — a slow dashboard cannot stall a worker.
+        outbox.set_stats(true);
+        for _ in 0..5 {
+            outbox.push_event(&stats_ev);
+        }
+        assert_eq!(drain(&outbox).len(), 2);
+        assert_eq!(dropped.load(Ordering::Relaxed), 3);
     }
 
     #[test]

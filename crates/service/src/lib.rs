@@ -99,11 +99,11 @@ pub use events::{Frame, Outbox, Popped};
 pub use hash::{canonical_json, family_key, instance_key, normalize_floats, InstanceKey};
 pub use persist::{PersistStats, PersistStore, WarmHint};
 pub use protocol::{
-    JobEvent, ProgressFrame, ProtoVersions, Request, Response, ServiceStats, SubmitReceipt,
-    SubmitSpec, CAPABILITIES, PROTO_VERSION,
+    AttachSnapshot, JobEvent, ProgressFrame, ProtoVersions, Request, Response, ServiceStats,
+    StatsDelta, SubmitReceipt, SubmitSpec, CAPABILITIES, PROTO_VERSION,
 };
 pub use queue::{
     JobConfig, JobOutcome, JobQueue, JobSolution, JobState, JobTicket, LpBasis, LpPricing,
-    QueueOptions, QueueStats, RECORD_SHARDS,
+    Overloaded, QueueOptions, QueueStats, RECORD_SHARDS,
 };
 pub use server::MapServer;

@@ -56,6 +56,36 @@
 //! queue cap (counted in `events_dropped` of `stats`) so a slow reader
 //! can never stall a solver worker; state frames are never dropped.
 //!
+//! ## Reconnect and overload (v2)
+//!
+//! ```text
+//! → {"verb":"attach","jobs":[1,2,9]}
+//! ← {"ok":true,"verb":"attach","attached":[{"job":1,"state":"running"},
+//!    {"job":2,"state":"done","termination":"optimal"}],"unknown":[9]}
+//! ← {"event":"state","job":1,"state":"done","termination":"optimal"}
+//! ← {"ok":false,"kind":"overloaded","error":"queue is at its max_inflight
+//!    bound","inflight":64,"max_inflight":64,"retry_after_ms":120}
+//! ← {"event":"stats","queue_depth":3,"jobs_submitted":10,…}
+//! ```
+//!
+//! `attach` is the reconnect verb: a fresh connection re-subscribes the
+//! job ids retained from earlier `SubmitReceipt`s. It is **idempotent**
+//! (re-attaching an already-watched id neither duplicates frames nor
+//! rewinds the stream) and answers each id's *current* state in the
+//! response itself — terminal jobs answer terminally right there, so a
+//! client that reconnects after the last transition still completes.
+//! Non-terminal ids then stream exactly like `watch`.
+//!
+//! A daemon at its `--max-inflight` bound answers v2 submissions with
+//! the structured `overloaded` rejection (`ok:false` plus
+//! `kind:"overloaded"` and a `retry_after_ms` hint scaled by the
+//! queue's recent drain latency) instead of queueing unboundedly; v1
+//! connections see a plain error message. `watch`/`attach` with
+//! `"stats":true` additionally subscribes the connection to `stats`
+//! event frames — queue-depth/latency deltas pushed on terminal
+//! transitions, droppable under backpressure like progress frames, so
+//! dashboards don't poll.
+//!
 //! `deadline_ms` (optional) bounds that one job's solve wall-clock; a
 //! job past its deadline answers `poll` with the structured `deadline`
 //! state. `cancel` transitions a queued job to `cancelled` immediately
@@ -89,6 +119,9 @@ pub const CAPABILITIES: &[&str] = &[
     "progress",
     "cancel",
     "deadline_ms",
+    "attach",
+    "stats_events",
+    "peek",
 ];
 
 /// One instance headed into `submit` or `submit_batch`: the body of the
@@ -166,10 +199,30 @@ pub enum Request {
         progress: bool,
     },
     /// Subscribe this connection to server-push events for `jobs` (v2);
-    /// `progress: false` streams state transitions only.
+    /// `progress: false` streams state transitions only. `stats: true`
+    /// additionally subscribes the connection to `stats` event frames.
     Watch {
         jobs: Vec<u64>,
         progress: bool,
+        stats: bool,
+    },
+    /// Idempotent reconnect re-subscription (v2): answer each job id's
+    /// current state snapshot in the response (terminal jobs answer
+    /// terminally), then stream the non-terminal ones like `watch`.
+    Attach {
+        jobs: Vec<u64>,
+        progress: bool,
+        stats: bool,
+    },
+    /// Non-promoting cache probe by [`InstanceKey`] hex (v2): answers
+    /// whether this daemon's in-memory solution cache holds the key,
+    /// with the payload on a hit. Never solves, never queues, never
+    /// touches LRU order or hit/miss counters — the cluster router uses
+    /// it for peer cache-fill after a ring resize.
+    ///
+    /// [`InstanceKey`]: crate::hash::InstanceKey
+    Peek {
+        key: String,
     },
     Poll {
         job: u64,
@@ -203,6 +256,34 @@ pub enum Response {
         watching: Vec<u64>,
         unknown: Vec<u64>,
     },
+    /// Answer to `attach`: one current-state snapshot per known id
+    /// (terminal jobs answer terminally here — a reconnect after the
+    /// last transition still completes), plus the ids this server never
+    /// issued.
+    Attached {
+        attached: Vec<AttachSnapshot>,
+        unknown: Vec<u64>,
+    },
+    /// Structured admission-control rejection (v2): the daemon is at its
+    /// `max_inflight` bound. `ok:false` on the wire with
+    /// `kind:"overloaded"`, so v1-minded readers still see an error
+    /// while v2 clients get a machine-readable back-off hint.
+    Overloaded {
+        message: String,
+        /// Jobs in flight at rejection time.
+        inflight: u64,
+        /// The configured admission bound that was hit.
+        max_inflight: u64,
+        /// Suggested back-off before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// Answer to `peek`: cache-hit flag plus the payload when hit.
+    Peeked {
+        hit: bool,
+        objective: Option<f64>,
+        /// Canonical solution tree on a hit, absent on a miss.
+        solution: Option<Value>,
+    },
     Submitted {
         job: u64,
         state: JobState,
@@ -233,6 +314,15 @@ pub enum Response {
         message: String,
     },
     Bye,
+}
+
+/// One job's current state inside an `attach` response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttachSnapshot {
+    pub job: u64,
+    pub state: JobState,
+    /// Present when the job is terminal with a structured termination.
+    pub termination: Option<Termination>,
 }
 
 /// Payload of the `stats` verb.
@@ -300,6 +390,13 @@ pub struct ServiceStats {
     /// Heuristic/portfolio solves where the greedy found no fit (the ILP
     /// half may still have answered).
     pub heuristic_infeasible: u64,
+    /// Jobs submitted but not yet terminal right now (queue-depth gauge).
+    pub queue_depth: u64,
+    /// Median submit→terminal wall latency over the queue's recent
+    /// sample ring, milliseconds.
+    pub latency_p50_ms: u64,
+    /// 95th-percentile submit→terminal latency over the recent ring, ms.
+    pub latency_p95_ms: u64,
 }
 
 /// Connection counters per negotiated protocol version. A connection
@@ -327,21 +424,47 @@ pub enum JobEvent {
     /// A bridged [`gmm_api::ProgressObserver`] notification from the
     /// worker solving this job.
     Progress { job: u64, frame: ProgressFrame },
+    /// A queue-level stats delta (queue depth, terminal counters,
+    /// latency gauges), pushed on terminal transitions to connections
+    /// that opted in via `watch`/`attach` `{"stats":true}`. Droppable
+    /// under backpressure like progress frames.
+    Stats(StatsDelta),
 }
 
 impl JobEvent {
-    /// The job this frame concerns.
-    pub fn job(&self) -> u64 {
+    /// The job this frame concerns; `None` for queue-level frames.
+    pub fn job(&self) -> Option<u64> {
         match self {
-            JobEvent::State { job, .. } | JobEvent::Progress { job, .. } => *job,
+            JobEvent::State { job, .. } | JobEvent::Progress { job, .. } => Some(*job),
+            JobEvent::Stats(_) => None,
         }
     }
 
     /// Whether a bounded event queue may drop this frame under pressure
-    /// (progress frames are droppable, state frames never).
+    /// (progress and stats frames are droppable, state frames never).
     pub fn droppable(&self) -> bool {
-        matches!(self, JobEvent::Progress { .. })
+        matches!(self, JobEvent::Progress { .. } | JobEvent::Stats(_))
     }
+}
+
+/// The queue-level payload of a `stats` event frame: the gauges a
+/// dashboard polls, pushed instead. A subset of the full `stats` verb —
+/// cheap enough to assemble on every terminal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsDelta {
+    /// Jobs submitted but not yet terminal (queue-depth gauge).
+    pub queue_depth: u64,
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub jobs_cancelled: u64,
+    pub jobs_deadline: u64,
+    /// Median submit→terminal latency over the recent sample ring, ms.
+    pub latency_p50_ms: u64,
+    /// 95th-percentile submit→terminal latency, ms.
+    pub latency_p95_ms: u64,
+    /// Droppable frames discarded by bounded outboxes so far.
+    pub events_dropped: u64,
 }
 
 /// The owned, wire-shaped mirror of [`gmm_api::ProgressEvent`].
@@ -424,6 +547,37 @@ impl Deserialize for SubmitSpec {
     }
 }
 
+impl Serialize for AttachSnapshot {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("job", Value::UInt(self.job)),
+            ("state", self.state.to_value()),
+        ];
+        // Omitted (not null) for non-terminal snapshots, matching the
+        // state event frame's shape.
+        if let Some(t) = self.termination {
+            pairs.push(("termination", Value::Str(t.as_str().into())));
+        }
+        obj(pairs)
+    }
+}
+
+impl Deserialize for AttachSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let termination = match opt_field::<String>(v, "termination")? {
+            None => None,
+            Some(token) => Some(Termination::from_name(&token).ok_or_else(|| {
+                DeError::new(format!("unknown termination token `{token}`"))
+            })?),
+        };
+        Ok(AttachSnapshot {
+            job: field(v, "job")?,
+            state: field(v, "state")?,
+            termination,
+        })
+    }
+}
+
 impl Serialize for SubmitReceipt {
     fn to_value(&self) -> Value {
         obj(vec![
@@ -485,7 +639,11 @@ impl Serialize for Request {
                 }
                 obj(pairs)
             }
-            Request::Watch { jobs, progress } => {
+            Request::Watch {
+                jobs,
+                progress,
+                stats,
+            } => {
                 let mut pairs = vec![
                     ("verb", Value::Str("watch".into())),
                     (
@@ -496,8 +654,35 @@ impl Serialize for Request {
                 if !progress {
                     pairs.push(("progress", Value::Bool(false)));
                 }
+                if *stats {
+                    pairs.push(("stats", Value::Bool(true)));
+                }
                 obj(pairs)
             }
+            Request::Attach {
+                jobs,
+                progress,
+                stats,
+            } => {
+                let mut pairs = vec![
+                    ("verb", Value::Str("attach".into())),
+                    (
+                        "jobs",
+                        Value::Array(jobs.iter().map(|j| Value::UInt(*j)).collect()),
+                    ),
+                ];
+                if !progress {
+                    pairs.push(("progress", Value::Bool(false)));
+                }
+                if *stats {
+                    pairs.push(("stats", Value::Bool(true)));
+                }
+                obj(pairs)
+            }
+            Request::Peek { key } => obj(vec![
+                ("verb", Value::Str("peek".into())),
+                ("key", Value::Str(key.clone())),
+            ]),
             Request::Poll { job } => obj(vec![
                 ("verb", Value::Str("poll".into())),
                 ("job", Value::UInt(*job)),
@@ -540,6 +725,15 @@ impl Deserialize for Request {
             "watch" => Ok(Request::Watch {
                 jobs: field(v, "jobs")?,
                 progress: opt_field(v, "progress")?.unwrap_or(true),
+                stats: opt_field(v, "stats")?.unwrap_or(false),
+            }),
+            "attach" => Ok(Request::Attach {
+                jobs: field(v, "jobs")?,
+                progress: opt_field(v, "progress")?.unwrap_or(true),
+                stats: opt_field(v, "stats")?.unwrap_or(false),
+            }),
+            "peek" => Ok(Request::Peek {
+                key: field(v, "key")?,
             }),
             "poll" => Ok(Request::Poll {
                 job: field(v, "job")?,
@@ -597,6 +791,31 @@ impl Serialize for Response {
                     Value::Array(unknown.iter().map(|j| Value::UInt(*j)).collect()),
                 ),
             ]),
+            Response::Attached { attached, unknown } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("attach".into())),
+                (
+                    "attached",
+                    Value::Array(attached.iter().map(Serialize::to_value).collect()),
+                ),
+                (
+                    "unknown",
+                    Value::Array(unknown.iter().map(|j| Value::UInt(*j)).collect()),
+                ),
+            ]),
+            Response::Overloaded {
+                message,
+                inflight,
+                max_inflight,
+                retry_after_ms,
+            } => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("kind", Value::Str("overloaded".into())),
+                ("error", Value::Str(message.clone())),
+                ("inflight", Value::UInt(*inflight)),
+                ("max_inflight", Value::UInt(*max_inflight)),
+                ("retry_after_ms", Value::UInt(*retry_after_ms)),
+            ]),
             Response::Submitted {
                 job,
                 state,
@@ -609,6 +828,17 @@ impl Serialize for Response {
                 ("state", state.to_value()),
                 ("cached", Value::Bool(*cached)),
                 ("key", Value::Str(key.clone())),
+            ]),
+            Response::Peeked {
+                hit,
+                objective,
+                solution,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("verb", Value::Str("peek".into())),
+                ("hit", Value::Bool(*hit)),
+                ("objective", objective.to_value()),
+                ("solution", solution.clone().unwrap_or(Value::Null)),
             ]),
             Response::PollState { job, state } => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -665,6 +895,16 @@ impl Deserialize for Response {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let ok: bool = field(v, "ok")?;
         if !ok {
+            // `kind` discriminates structured rejections from plain
+            // errors; absent (old servers) everything is a plain error.
+            if let Some("overloaded") = v.get("kind").and_then(Value::as_str) {
+                return Ok(Response::Overloaded {
+                    message: field(v, "error")?,
+                    inflight: field(v, "inflight")?,
+                    max_inflight: field(v, "max_inflight")?,
+                    retry_after_ms: field(v, "retry_after_ms")?,
+                });
+            }
             return Ok(Response::Error {
                 message: field(v, "error")?,
             });
@@ -682,11 +922,23 @@ impl Deserialize for Response {
                 watching: field(v, "watching")?,
                 unknown: field(v, "unknown")?,
             }),
+            "attach" => Ok(Response::Attached {
+                attached: field(v, "attached")?,
+                unknown: field(v, "unknown")?,
+            }),
             "submit" => Ok(Response::Submitted {
                 job: field(v, "job")?,
                 state: field(v, "state")?,
                 cached: field(v, "cached")?,
                 key: field(v, "key")?,
+            }),
+            "peek" => Ok(Response::Peeked {
+                hit: field(v, "hit")?,
+                objective: opt_field(v, "objective")?,
+                solution: match v.get("solution") {
+                    None | Some(Value::Null) => None,
+                    Some(tree) => Some(tree.clone()),
+                },
             }),
             "poll" => Ok(Response::PollState {
                 job: field(v, "job")?,
@@ -752,6 +1004,13 @@ impl Serialize for JobEvent {
                 }
                 obj(pairs)
             }
+            JobEvent::Stats(delta) => {
+                let mut pairs = vec![("event".to_string(), Value::Str("stats".into()))];
+                if let Value::Object(fields) = delta.to_value() {
+                    pairs.extend(fields);
+                }
+                Value::Object(pairs)
+            }
         }
     }
 }
@@ -759,6 +1018,9 @@ impl Serialize for JobEvent {
 impl Deserialize for JobEvent {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let event: String = field(v, "event")?;
+        if event == "stats" {
+            return Ok(JobEvent::Stats(StatsDelta::from_value(v)?));
+        }
         let job: u64 = field(v, "job")?;
         match event.as_str() {
             "state" => {
@@ -937,6 +1199,9 @@ mod tests {
             heuristic_solved: 6,
             heuristic_seeded: 4,
             heuristic_infeasible: 1,
+            queue_depth: 3,
+            latency_p50_ms: 12,
+            latency_p95_ms: 80,
         }));
     }
 
@@ -994,20 +1259,108 @@ mod tests {
         let full = Request::Watch {
             jobs: vec![1, 2, 9],
             progress: true,
+            stats: false,
         };
         let line = serde_json::to_string(&full).unwrap();
         assert!(
             !line.contains("progress"),
             "default progress=true is omitted: {line}"
         );
+        assert!(
+            !line.contains("stats"),
+            "default stats=false is omitted: {line}"
+        );
         round_trip_request(full);
         round_trip_request(Request::Watch {
             jobs: vec![3],
             progress: false,
+            stats: true,
         });
         round_trip_response(Response::Watching {
             watching: vec![1, 2],
             unknown: vec![9],
+        });
+    }
+
+    #[test]
+    fn attach_round_trips() {
+        let minimal = Request::Attach {
+            jobs: vec![1, 2, 9],
+            progress: true,
+            stats: false,
+        };
+        let line = serde_json::to_string(&minimal).unwrap();
+        assert!(!line.contains("progress"), "defaults omitted: {line}");
+        assert!(!line.contains("stats"), "defaults omitted: {line}");
+        round_trip_request(minimal);
+        round_trip_request(Request::Attach {
+            jobs: vec![3],
+            progress: false,
+            stats: true,
+        });
+        // Terminal snapshots carry their termination; live ones omit it.
+        let resp = Response::Attached {
+            attached: vec![
+                AttachSnapshot {
+                    job: 1,
+                    state: JobState::Running,
+                    termination: None,
+                },
+                AttachSnapshot {
+                    job: 2,
+                    state: JobState::Done,
+                    termination: Some(Termination::Optimal),
+                },
+                AttachSnapshot {
+                    job: 4,
+                    state: JobState::Expired,
+                    termination: None,
+                },
+            ],
+            unknown: vec![9],
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        assert!(line.contains("\"termination\":\"optimal\""));
+        round_trip_response(resp);
+    }
+
+    #[test]
+    fn peek_round_trips() {
+        round_trip_request(Request::Peek {
+            key: "00000000000000000000000000001234".into(),
+        });
+        // A miss answers hit:false with a null payload.
+        let miss = Response::Peeked {
+            hit: false,
+            objective: None,
+            solution: None,
+        };
+        let line = serde_json::to_string(&miss).unwrap();
+        assert!(line.contains("\"hit\":false"), "{line}");
+        round_trip_response(miss);
+        round_trip_response(Response::Peeked {
+            hit: true,
+            objective: Some(12.5),
+            solution: Some(Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+        });
+    }
+
+    #[test]
+    fn overloaded_round_trips() {
+        let resp = Response::Overloaded {
+            message: "queue is at its max_inflight bound".into(),
+            inflight: 64,
+            max_inflight: 64,
+            retry_after_ms: 120,
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        assert!(line.contains("\"ok\":false"), "a rejection is not ok: {line}");
+        assert!(line.contains("\"kind\":\"overloaded\""));
+        assert!(line.contains("\"retry_after_ms\":120"));
+        round_trip_response(resp);
+        // A plain error (no kind) still parses as a plain error.
+        round_trip_response(Response::Error {
+            message: "unknown job 99".into(),
         });
     }
 
@@ -1052,7 +1405,7 @@ mod tests {
         ] {
             let ev = JobEvent::Progress { job: 9, frame };
             assert!(ev.droppable(), "progress frames are droppable");
-            assert_eq!(ev.job(), 9);
+            assert_eq!(ev.job(), Some(9));
             round_trip_event(ev);
         }
         assert!(
@@ -1064,6 +1417,26 @@ mod tests {
             .droppable(),
             "state frames are never droppable"
         );
+    }
+
+    #[test]
+    fn stats_events_round_trip() {
+        let ev = JobEvent::Stats(StatsDelta {
+            queue_depth: 3,
+            jobs_submitted: 10,
+            jobs_completed: 6,
+            jobs_failed: 1,
+            jobs_cancelled: 0,
+            jobs_deadline: 0,
+            latency_p50_ms: 12,
+            latency_p95_ms: 80,
+            events_dropped: 2,
+        });
+        assert!(ev.droppable(), "stats frames drop under backpressure");
+        assert_eq!(ev.job(), None, "stats frames are queue-level");
+        let line = round_trip_event(ev);
+        assert!(line.contains("\"event\":\"stats\""));
+        assert!(line.contains("\"queue_depth\":3"));
     }
 
     #[test]

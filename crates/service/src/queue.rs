@@ -94,7 +94,7 @@ use crate::cache::{CacheEntry, CacheStats, SolutionCache};
 use crate::events::Outbox;
 use crate::hash::{canonical_json, family_key, instance_key, InstanceKey};
 use crate::persist::{PersistStats, PersistStore, WarmHint};
-use crate::protocol::JobEvent;
+use crate::protocol::{JobEvent, StatsDelta};
 
 /// Simplex basis backend selection, serializable for the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -382,6 +382,14 @@ pub struct QueueStats {
     /// `heuristic`/`portfolio` solves where the greedy found no fit (the
     /// ILP half may still have answered).
     pub heuristic_infeasible: u64,
+    /// Jobs submitted but not yet terminal right now (queue-depth gauge;
+    /// includes both queued and running jobs).
+    pub queue_depth: u64,
+    /// Median submit→terminal wall latency over the recent sample ring
+    /// (the last `LATENCY_RING` terminal jobs, cache hits included), ms.
+    pub latency_p50_ms: u64,
+    /// 95th-percentile submit→terminal latency over the recent ring, ms.
+    pub latency_p95_ms: u64,
     pub workers: usize,
     pub cache: CacheStats,
     /// Persistent-tier counters; all-zero when the queue runs without a
@@ -397,7 +405,8 @@ pub struct QueueStats {
 /// Documented defaults: `workers = 0` (auto, capped at 8),
 /// `cache_shards = 16`, `cache_cap = 4096`, `retain_jobs = 1024`,
 /// `retain_age = None`, `job_time_limit = None`, `persist_dir = None`
-/// (no on-disk tier), `solve_mode = None` (respect per-job configs).
+/// (no on-disk tier), `solve_mode = None` (respect per-job configs),
+/// `max_inflight = 0` (no admission bound).
 ///
 /// ```
 /// use gmm_service::QueueOptions;
@@ -438,6 +447,15 @@ pub struct QueueOptions {
     /// `None` (the default) respects each job's own
     /// [`JobConfig::solve_mode`].
     pub solve_mode: Option<SolveMode>,
+    /// Admission-control bound: with a nonzero value, a submission
+    /// arriving while at least this many jobs are in flight (submitted
+    /// but not yet terminal) is rejected by the fallible submit variants
+    /// ([`JobQueue::try_submit_watched`] and friends) with a structured
+    /// [`Overloaded`] answer carrying a `retry_after_ms` hint — never an
+    /// unbounded queue. The infallible [`JobQueue::submit`] family
+    /// bypasses the gate (in-process callers own their backpressure).
+    /// Default `0` = unbounded.
+    pub max_inflight: u64,
 }
 
 impl Default for QueueOptions {
@@ -451,8 +469,29 @@ impl Default for QueueOptions {
             job_time_limit: None,
             persist_dir: None,
             solve_mode: None,
+            max_inflight: 0,
         }
     }
+}
+
+/// Capacity of the submit→terminal latency sample ring backing the
+/// [`QueueStats::latency_p50_ms`]/[`QueueStats::latency_p95_ms`] gauges.
+const LATENCY_RING: usize = 512;
+
+/// Structured admission-control rejection: the queue is at its
+/// [`QueueOptions::max_inflight`] bound. Never a panic and never a
+/// silent queue — the caller is told exactly how loaded the queue is
+/// and when to come back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Jobs in flight (submitted, not yet terminal) at rejection time.
+    pub inflight: u64,
+    /// The configured bound that was hit.
+    pub max_inflight: u64,
+    /// Suggested client back-off before resubmitting, scaled by the
+    /// queue's recent median submit→terminal latency (bounded to
+    /// 25 ms..5 s) so clients retry at the pace the queue drains.
+    pub retry_after_ms: u64,
 }
 
 /// Number of job-record shards (power of two; ids spread round-robin
@@ -518,6 +557,15 @@ struct Inner {
     /// Shared with every outbox this queue creates; counts frames the
     /// bounded queues discarded.
     events_dropped: Arc<AtomicU64>,
+    /// Recent submit→terminal latencies, ms offset by +1 (0 = empty
+    /// slot): a lock-free ring over the last [`LATENCY_RING`] terminal
+    /// jobs, written under the record-shard lock, read racily by
+    /// `stats` (a torn percentile read is just a stale gauge).
+    latency_ring: Vec<AtomicU64>,
+    /// Ring write cursor (total latency samples ever recorded).
+    latency_samples: AtomicU64,
+    /// Admission-control bound ([`QueueOptions::max_inflight`]); 0 = off.
+    max_inflight: u64,
     retain_jobs: usize,
     retain_age: Option<Duration>,
     job_time_limit: Option<Duration>,
@@ -598,7 +646,9 @@ impl Inner {
         if r.state.is_terminal() {
             return false;
         }
-        r.finished = Some(Instant::now());
+        let now = Instant::now();
+        self.record_latency(now - r.submitted);
+        r.finished = Some(now);
         r.cached = cached;
         r.state = state;
         r.termination = termination;
@@ -637,6 +687,7 @@ impl Inner {
             // and reads the outcome, the terminal frame is already in
             // every subscriber's outbox.
             self.emit_state(id, state, termination);
+            self.emit_stats_delta();
             sync.cond.notify_all();
             self.notify_idle();
         }
@@ -662,6 +713,64 @@ impl Inner {
             state,
             termination,
         });
+    }
+
+    /// The queue-level gauge payload pushed as a `stats` event frame.
+    fn stats_delta(&self) -> StatsDelta {
+        let (p50, p95) = self.latency_percentiles();
+        StatsDelta {
+            queue_depth: self.inflight(),
+            jobs_submitted: self.submitted.load(Ordering::Acquire),
+            jobs_completed: self.completed.load(Ordering::Acquire),
+            jobs_failed: self.failed.load(Ordering::Acquire),
+            jobs_cancelled: self.cancelled.load(Ordering::Acquire),
+            jobs_deadline: self.deadline_hit.load(Ordering::Acquire),
+            latency_p50_ms: p50,
+            latency_p95_ms: p95,
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Offer a stats delta to subscribers. The percentile scan is only
+    /// paid when somebody is subscribed; outboxes that never opted in
+    /// filter the frame at their lock.
+    fn emit_stats_delta(&self) {
+        if self.watcher_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        self.emit(JobEvent::Stats(self.stats_delta()));
+    }
+
+    /// Record one submit→terminal latency sample into the ring.
+    fn record_latency(&self, wall: Duration) {
+        let i = self.latency_samples.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_RING;
+        self.latency_ring[i].store(wall.as_millis() as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// (p50, p95) of the recent submit→terminal latency samples, in ms;
+    /// (0, 0) before the first terminal job.
+    fn latency_percentiles(&self) -> (u64, u64) {
+        let mut v: Vec<u64> = self
+            .latency_ring
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&ms| ms > 0)
+            .map(|ms| ms - 1)
+            .collect();
+        if v.is_empty() {
+            return (0, 0);
+        }
+        v.sort_unstable();
+        let pick = |p: usize| v[(v.len() - 1) * p / 100];
+        (pick(50), pick(95))
+    }
+
+    /// Jobs submitted but not yet terminal (the queue-depth gauge and
+    /// the admission-control measure).
+    fn inflight(&self) -> u64 {
+        self.submitted
+            .load(Ordering::Acquire)
+            .saturating_sub(self.terminal_total())
     }
 
     /// Sum of jobs in any terminal state (the `wait_idle` drain check).
@@ -790,6 +899,9 @@ impl JobQueue {
             watcher_count: AtomicUsize::new(0),
             next_watcher: AtomicU64::new(1),
             events_dropped: Arc::new(AtomicU64::new(0)),
+            latency_ring: (0..LATENCY_RING).map(|_| AtomicU64::new(0)).collect(),
+            latency_samples: AtomicU64::new(0),
+            max_inflight: opts.max_inflight,
             retain_jobs: opts.retain_jobs,
             retain_age: opts.retain_age,
             job_time_limit: opts.job_time_limit,
@@ -1011,6 +1123,58 @@ impl JobQueue {
         }
     }
 
+    /// Admission control: `Err(Overloaded)` when a nonzero
+    /// [`QueueOptions::max_inflight`] bound is configured and at least
+    /// that many jobs are in flight (submitted but not yet terminal).
+    /// With no bound (the default) every submission is admitted.
+    pub fn check_admission(&self) -> Result<(), Overloaded> {
+        if self.inner.max_inflight == 0 {
+            return Ok(());
+        }
+        let inflight = self.inner.inflight();
+        if inflight < self.inner.max_inflight {
+            return Ok(());
+        }
+        let (p50, _) = self.inner.latency_percentiles();
+        Err(Overloaded {
+            inflight,
+            max_inflight: self.inner.max_inflight,
+            retry_after_ms: p50.clamp(25, 5_000),
+        })
+    }
+
+    /// [`JobQueue::submit_with_deadline`] behind the admission gate: at
+    /// or past a configured [`QueueOptions::max_inflight`] the job is
+    /// rejected with the structured [`Overloaded`] answer instead of
+    /// queueing unboundedly. The gate runs before the cache lookup, so
+    /// an overloaded queue sheds even would-be cache hits — admission is
+    /// a load statement, not an oracle.
+    pub fn try_submit_with_deadline(
+        &self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+    ) -> Result<JobTicket, Overloaded> {
+        self.check_admission()?;
+        Ok(self.submit_inner(design, board, config, deadline, None))
+    }
+
+    /// [`JobQueue::submit_watched`] behind the admission gate (see
+    /// [`JobQueue::try_submit_with_deadline`]).
+    pub fn try_submit_watched(
+        &self,
+        design: Design,
+        board: Board,
+        config: JobConfig,
+        deadline: Option<Duration>,
+        outbox: &Outbox,
+        progress: bool,
+    ) -> Result<JobTicket, Overloaded> {
+        self.check_admission()?;
+        Ok(self.submit_inner(design, board, config, deadline, Some((outbox, progress))))
+    }
+
     /// Cancel a job. Queued jobs transition to the structured
     /// `cancelled` terminal state immediately; running jobs have their
     /// [`CancelToken`] fired and transition when the solver notices
@@ -1050,6 +1214,7 @@ impl JobQueue {
                         JobState::Cancelled,
                         Some(Termination::Cancelled),
                     );
+                    self.inner.emit_stats_delta();
                     sync.cond.notify_all();
                     self.inner.notify_idle();
                 }
@@ -1151,6 +1316,7 @@ impl JobQueue {
     }
 
     pub fn stats(&self) -> QueueStats {
+        let (p50, p95) = self.inner.latency_percentiles();
         QueueStats {
             submitted: self.inner.submitted.load(Ordering::Acquire),
             completed: self.inner.completed.load(Ordering::Acquire),
@@ -1167,6 +1333,9 @@ impl JobQueue {
             heuristic_solved: self.inner.heuristic_solved.load(Ordering::Relaxed),
             heuristic_seeded: self.inner.heuristic_seeded.load(Ordering::Relaxed),
             heuristic_infeasible: self.inner.heuristic_infeasible.load(Ordering::Relaxed),
+            queue_depth: self.inner.inflight(),
+            latency_p50_ms: p50,
+            latency_p95_ms: p95,
             workers: self.num_workers,
             cache: self.inner.cache.stats(),
             persist: self
@@ -1715,6 +1884,50 @@ mod tests {
     /// Second-scale instance, so cancels/deadlines land mid-solve.
     fn slow_instance() -> (Design, Board) {
         gmm_workloads::slow_table3_instance()
+    }
+
+    #[test]
+    fn max_inflight_sheds_load_with_retry_after() {
+        let q = JobQueue::new(QueueOptions {
+            workers: 1,
+            max_inflight: 2,
+            ..QueueOptions::default()
+        });
+        // Occupy the single worker with a second-scale solve, then fill
+        // the rest of the admission window with a queued job.
+        let (big_design, big_board) = slow_instance();
+        let running = q.submit(big_design, big_board, JobConfig::default());
+        let (design, board) = small_instance(77);
+        let queued = q.submit(design, board, JobConfig::default());
+        // The gated path must now reject, structured, with a retry hint.
+        let (design, board) = small_instance(78);
+        let err = q
+            .try_submit_with_deadline(design, board, JobConfig::default(), None)
+            .unwrap_err();
+        assert_eq!(err.max_inflight, 2);
+        assert!(err.inflight >= 2, "{err:?}");
+        assert!(
+            (25..=5_000).contains(&err.retry_after_ms),
+            "retry hint out of bounds: {err:?}"
+        );
+        assert!(q.stats().queue_depth >= 2);
+        // The infallible path bypasses the gate: in-process callers own
+        // their backpressure.
+        let (design, board) = small_instance(79);
+        assert_eq!(q.submit(design, board, JobConfig::default()).state, JobState::Queued);
+        // Draining below the bound re-admits.
+        q.cancel(running.id);
+        q.cancel(queued.id);
+        assert!(q.wait_idle(Duration::from_secs(60)));
+        let (design, board) = small_instance(80);
+        let t = q
+            .try_submit_with_deadline(design, board, JobConfig::default(), None)
+            .expect("drained queue must admit");
+        let out = q.wait(t.id, Duration::from_secs(60)).unwrap();
+        assert_eq!(out.state, JobState::Done);
+        let s = q.stats();
+        assert_eq!(s.queue_depth, 0, "{s:?}");
+        assert!(s.latency_p50_ms <= s.latency_p95_ms, "{s:?}");
     }
 
     #[test]

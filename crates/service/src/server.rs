@@ -28,9 +28,10 @@ use serde_json::Value;
 
 use crate::events::{Frame, Outbox, Popped};
 use crate::protocol::{
-    ProtoVersions, Request, Response, ServiceStats, SubmitReceipt, CAPABILITIES, PROTO_VERSION,
+    AttachSnapshot, ProtoVersions, Request, Response, ServiceStats, SubmitReceipt, CAPABILITIES,
+    PROTO_VERSION,
 };
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, Overloaded};
 
 /// Per-connection cap on queued progress frames (state frames and
 /// responses are never dropped; see [`Outbox`]).
@@ -130,6 +131,9 @@ fn accept_loop(listener: TcpListener, local: SocketAddr, shared: Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // JSON-lines request/response over small frames: Nagle + delayed
+        // ACK would add ~40ms per round-trip, dwarfing microsecond solves.
+        let _ = stream.set_nodelay(true);
         let shared = shared.clone();
         let _ = std::thread::Builder::new()
             .name("mapsrv-conn".into())
@@ -195,7 +199,10 @@ fn serve_connection(
     // Once per connection: v2 on a successful hello, v1 on any other
     // first verb.
     let mut counted = false;
-    // Lazily created on the first `watch`.
+    // Whether this connection negotiated protocol v2 — structured
+    // `overloaded` rejections are v2-only (v1 gets a plain error).
+    let mut negotiated_v2 = false;
+    // Lazily created on the first `watch`/`attach`.
     let mut subscription: Option<u64> = None;
 
     let reader = BufReader::new(stream);
@@ -231,15 +238,60 @@ fn serve_connection(
                         };
                     }
                     match request {
-                        Request::Watch { jobs, progress } => {
+                        Request::Hello { proto } => {
+                            negotiated_v2 = proto >= 2;
+                            (handle(Request::Hello { proto }, queue), false)
+                        }
+                        Request::Watch {
+                            jobs,
+                            progress,
+                            stats,
+                        } => {
                             if subscription.is_none() {
                                 // Subscribe *before* snapshotting, so no
                                 // transition can slip between the two.
                                 subscription = Some(queue.subscribe(outbox.clone()));
                             }
+                            if stats {
+                                outbox.set_stats(true);
+                            }
                             let (watching, unknown) =
                                 outbox.watch(&jobs, progress, |id| queue.state_snapshot(id));
                             (Response::Watching { watching, unknown }, false)
+                        }
+                        // Reconnect re-subscription: answer every known
+                        // id's current state in the response (terminal
+                        // jobs terminally — a client that reconnects
+                        // after the last transition still completes),
+                        // then stream the live ones exactly like
+                        // `watch`. Idempotent: the outbox skips ids this
+                        // connection already watches, and the rank gate
+                        // suppresses duplicate snapshot frames.
+                        Request::Attach {
+                            jobs,
+                            progress,
+                            stats,
+                        } => {
+                            if subscription.is_none() {
+                                subscription = Some(queue.subscribe(outbox.clone()));
+                            }
+                            if stats {
+                                outbox.set_stats(true);
+                            }
+                            let mut attached = Vec::with_capacity(jobs.len());
+                            let mut unknown = Vec::new();
+                            for &job in &jobs {
+                                match queue.state_snapshot(job) {
+                                    Some((state, termination)) => attached.push(AttachSnapshot {
+                                        job,
+                                        state,
+                                        termination,
+                                    }),
+                                    None => unknown.push(job),
+                                }
+                            }
+                            outbox.watch(&jobs, progress, |id| queue.state_snapshot(id));
+                            (Response::Attached { attached, unknown }, false)
                         }
                         // A watched batch registers each job with this
                         // connection's outbox at submission time, so the
@@ -251,26 +303,38 @@ fn serve_connection(
                             jobs,
                             watch: true,
                             progress,
-                        } => {
-                            if subscription.is_none() {
-                                subscription = Some(queue.subscribe(outbox.clone()));
+                        } => match queue.check_admission() {
+                            Err(over) => (overloaded_response(over, negotiated_v2), false),
+                            Ok(()) => {
+                                if subscription.is_none() {
+                                    subscription = Some(queue.subscribe(outbox.clone()));
+                                }
+                                let receipts = jobs
+                                    .into_iter()
+                                    .map(|spec| {
+                                        let deadline =
+                                            spec.deadline_ms.map(std::time::Duration::from_millis);
+                                        SubmitReceipt::from(&queue.submit_watched(
+                                            spec.design,
+                                            spec.board,
+                                            spec.config,
+                                            deadline,
+                                            &outbox,
+                                            progress,
+                                        ))
+                                    })
+                                    .collect();
+                                (Response::BatchSubmitted { jobs: receipts }, false)
                             }
-                            let receipts = jobs
-                                .into_iter()
-                                .map(|spec| {
-                                    let deadline =
-                                        spec.deadline_ms.map(std::time::Duration::from_millis);
-                                    SubmitReceipt::from(&queue.submit_watched(
-                                        spec.design,
-                                        spec.board,
-                                        spec.config,
-                                        deadline,
-                                        &outbox,
-                                        progress,
-                                    ))
-                                })
-                                .collect();
-                            (Response::BatchSubmitted { jobs: receipts }, false)
+                        },
+                        // The admission gate runs once per submit
+                        // request (a batch is admitted or shed whole —
+                        // receipts never cover half a frame).
+                        other @ (Request::Submit { .. } | Request::SubmitBatch { .. }) => {
+                            match queue.check_admission() {
+                                Err(over) => (overloaded_response(over, negotiated_v2), false),
+                                Ok(()) => (handle(other, queue), false),
+                            }
                         }
                         Request::Stats => (stats_response(shared), false),
                         Request::Shutdown => (Response::Bye, true),
@@ -306,6 +370,27 @@ fn serve_connection(
     outbox.close();
     let _ = writer.join();
     result
+}
+
+/// The structured admission rejection. v2 connections get the
+/// machine-readable `overloaded` kind with its back-off hint; a v1
+/// connection (which cannot be assumed to parse `kind`) gets a plain
+/// error carrying the same information in prose.
+fn overloaded_response(over: Overloaded, v2: bool) -> Response {
+    let message = format!(
+        "queue is at its max_inflight bound ({} in flight >= {}); retry in {} ms",
+        over.inflight, over.max_inflight, over.retry_after_ms
+    );
+    if v2 {
+        Response::Overloaded {
+            message,
+            inflight: over.inflight,
+            max_inflight: over.max_inflight,
+            retry_after_ms: over.retry_after_ms,
+        }
+    } else {
+        Response::Error { message }
+    }
 }
 
 /// The `stats` verb, including the server-level protocol counters.
@@ -362,6 +447,9 @@ pub fn service_stats(queue: &JobQueue, proto_versions: ProtoVersions) -> Service
         heuristic_solved: s.heuristic_solved,
         heuristic_seeded: s.heuristic_seeded,
         heuristic_infeasible: s.heuristic_infeasible,
+        queue_depth: s.queue_depth,
+        latency_p50_ms: s.latency_p50_ms,
+        latency_p95_ms: s.latency_p95_ms,
     }
     // lint:stats-verb-end
 }
@@ -412,6 +500,34 @@ pub fn handle(request: Request, queue: &JobQueue) -> Response {
         }
         Request::Watch { .. } => Response::Error {
             message: "watch requires a streaming connection".into(),
+        },
+        Request::Attach { .. } => Response::Error {
+            message: "attach requires a streaming connection".into(),
+        },
+        // Non-promoting cache probe: no solve, no queueing, no LRU or
+        // counter side effects — the router's peer-fill path leans on
+        // this being free of observable effects on the peer.
+        Request::Peek { key } => match crate::hash::InstanceKey::from_hex(&key) {
+            None => Response::Error {
+                message: format!("peek: `{key}` is not a 32-hex-digit instance key"),
+            },
+            Some(key) => match queue.cache().peek(key) {
+                Some(entry) => match serde_json::from_str::<Value>(&entry.solution_json) {
+                    Ok(solution) => Response::Peeked {
+                        hit: true,
+                        objective: Some(entry.objective),
+                        solution: Some(solution),
+                    },
+                    Err(e) => Response::Error {
+                        message: format!("peek: stored solution is not valid JSON: {e}"),
+                    },
+                },
+                None => Response::Peeked {
+                    hit: false,
+                    objective: None,
+                    solution: None,
+                },
+            },
         },
         Request::Poll { job } => match queue.poll(job) {
             Some(state) => Response::PollState { job, state },
